@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: aligned
+ * table printing and suite-summary rows so every bench emits the same
+ * format EXPERIMENTS.md references.
+ */
+
+#ifndef LTS_BENCH_BENCH_UTIL_HH
+#define LTS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "synth/synthesizer.hh"
+
+namespace lts::bench
+{
+
+/** Print a row of cells with fixed column widths. */
+inline void
+printRow(const std::vector<std::string> &cells,
+         const std::vector<int> &widths)
+{
+    std::string line;
+    for (size_t i = 0; i < cells.size(); i++) {
+        int w = i < widths.size() ? widths[i] : 12;
+        line += padRight(cells[i], static_cast<size_t>(w)) + " ";
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+/** Print a horizontal rule sized to the given widths. */
+inline void
+printRule(const std::vector<int> &widths)
+{
+    size_t total = 0;
+    for (int w : widths)
+        total += static_cast<size_t>(w) + 1;
+    std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+/** Header banner naming the paper artifact a binary reproduces. */
+inline void
+banner(const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("(Lustig et al., \"Automated Synthesis of Comprehensive Memory\n");
+    std::printf(" Model Litmus Test Suites\", ASPLOS 2017 — reproduction)\n");
+    std::printf("==============================================================\n");
+}
+
+/** Per-size test-count/runtime rows for a set of suites. */
+inline void
+printSuiteTable(const std::vector<synth::Suite> &suites, int min_size,
+                int max_size)
+{
+    std::vector<int> widths = {16};
+    std::vector<std::string> header = {"axiom"};
+    for (int s = min_size; s <= max_size; s++) {
+        header.push_back("n=" + std::to_string(s));
+        widths.push_back(8);
+    }
+    header.push_back("total");
+    widths.push_back(8);
+    header.push_back("time(s)");
+    widths.push_back(10);
+    printRow(header, widths);
+    printRule(widths);
+    for (const auto &suite : suites) {
+        std::vector<std::string> row = {suite.axiom};
+        for (int s = min_size; s <= max_size; s++) {
+            auto it = suite.testsBySize.find(s);
+            row.push_back(it == suite.testsBySize.end()
+                              ? "-"
+                              : std::to_string(it->second));
+        }
+        row.push_back(std::to_string(suite.tests.size()) +
+                      (suite.truncated ? "*" : ""));
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", suite.totalSeconds());
+        row.push_back(buf);
+        printRow(row, widths);
+    }
+}
+
+/** Per-size runtime rows (the Figure 13c/16c/20b runtime series). */
+inline void
+printRuntimeTable(const std::vector<synth::Suite> &suites, int min_size,
+                  int max_size)
+{
+    std::vector<int> widths = {16};
+    std::vector<std::string> header = {"axiom"};
+    for (int s = min_size; s <= max_size; s++) {
+        header.push_back("n=" + std::to_string(s));
+        widths.push_back(10);
+    }
+    printRow(header, widths);
+    printRule(widths);
+    for (const auto &suite : suites) {
+        std::vector<std::string> row = {suite.axiom};
+        for (int s = min_size; s <= max_size; s++) {
+            auto it = suite.secondsBySize.find(s);
+            if (it == suite.secondsBySize.end()) {
+                row.push_back("-");
+            } else {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.3f", it->second);
+                row.push_back(buf);
+            }
+        }
+        printRow(row, widths);
+    }
+}
+
+} // namespace lts::bench
+
+#endif // LTS_BENCH_BENCH_UTIL_HH

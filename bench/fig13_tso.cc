@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces the TSO results of Section 6.1:
+ *
+ *  - Figure 13a: forbidden-test counts per size bound for the Owens
+ *    baseline, the synthesized tso-union suite, and the set of all
+ *    possible programs;
+ *  - Figure 13b: per-axiom suite sizes per bound (sc_per_loc and
+ *    rmw_atomicity saturate; causality grows without bound);
+ *  - Figure 13c: per-suite generation runtime (super-exponential);
+ *  - Figures 11 and 12: the coherence-only and rmw_atomicity test
+ *    listings.
+ *
+ * Flags: --max-size (default 5; the paper ran 6-7 on a Xeon farm),
+ * --all-progs-max (explicit-enumeration bound for the "All Progs" line).
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.hh"
+#include "common/flags.hh"
+#include "litmus/canon.hh"
+#include "litmus/print.hh"
+#include "mm/registry.hh"
+#include "suites/owens.hh"
+#include "synth/explicit.hh"
+#include "synth/synthesizer.hh"
+
+using namespace lts;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("max-size", "5", "largest test size to synthesize");
+    flags.declare("all-progs-max", "4",
+                  "largest size for explicit all-programs counting");
+    if (!flags.parse(argc, argv))
+        return 1;
+    int max_size = flags.getInt("max-size");
+    int all_max = flags.getInt("all-progs-max");
+
+    bench::banner("Figures 11, 12, 13 + TSO portion of Section 6.1");
+
+    auto tso = mm::makeModel("tso");
+    synth::SynthOptions opt;
+    opt.minSize = 2;
+    opt.maxSize = max_size;
+    auto suites = synth::synthesizeAll(*tso, opt);
+    const synth::Suite &u = suites.back();
+
+    // ---- Figure 13b: per-axiom counts ---------------------------------
+    std::printf("\nFigure 13b: tests per axiom per size bound\n");
+    bench::printSuiteTable(suites, 2, max_size);
+
+    // ---- Figure 13c: runtimes -----------------------------------------
+    std::printf("\nFigure 13c: suite generation runtime (seconds)\n");
+    bench::printRuntimeTable(suites, 2, max_size);
+
+    // ---- Figure 13a: Owens vs tso-union vs all programs ----------------
+    std::printf("\nFigure 13a: forbidden tests per size bound "
+                "(cumulative)\n");
+    auto owens = suites::owensForbidden();
+    auto all_programs =
+        synth::countAllPrograms(*tso, 2, all_max, litmus::CanonMode::Paper);
+    std::vector<int> widths = {12, 10, 10, 14};
+    bench::printRow({"bound", "Owens", "tso-union", "All Progs"}, widths);
+    bench::printRule(widths);
+    uint64_t union_cum = 0;
+    uint64_t all_cum = 0;
+    for (int size = 2; size <= max_size; size++) {
+        uint64_t owens_cum = 0;
+        for (const auto &t : owens) {
+            if (static_cast<int>(t.size()) <= size)
+                owens_cum++;
+        }
+        auto it = u.testsBySize.find(size);
+        union_cum += it == u.testsBySize.end() ? 0 : it->second;
+        std::string all_str = "-";
+        if (all_programs.count(size)) {
+            all_cum += all_programs.at(size);
+            all_str = std::to_string(all_cum);
+        }
+        bench::printRow({std::to_string(size), std::to_string(owens_cum),
+                         std::to_string(union_cum), all_str},
+                        widths);
+    }
+    std::printf("(All Progs = distinct canonical programs; counted by "
+                "explicit enumeration up to n=%d)\n", all_max);
+
+    // ---- Figure 11: tests in sc_per_loc but not causality --------------
+    std::printf("\nFigure 11: tests in sc_per_loc but not in causality\n");
+    std::set<std::string> causality_keys;
+    for (const auto &t : suites[2].tests) {
+        causality_keys.insert(litmus::staticSerialize(
+            litmus::canonicalize(t, litmus::CanonMode::Exact)));
+    }
+    int only = 0;
+    for (const auto &t : suites[0].tests) {
+        std::string key = litmus::staticSerialize(
+            litmus::canonicalize(t, litmus::CanonMode::Exact));
+        if (!causality_keys.count(key)) {
+            only++;
+            std::printf("%s\n", litmus::toString(t).c_str());
+        }
+    }
+    std::printf("(%d sc_per_loc-only tests; %zu of %zu overlap "
+                "causality)\n",
+                only, suites[0].tests.size() - only, suites[0].tests.size());
+
+    // ---- Figure 12: the rmw_atomicity tests -----------------------------
+    std::printf("\nFigure 12: the rmw_atomicity suite\n");
+    for (const auto &t : suites[1].tests)
+        std::printf("%s\n", litmus::toString(t).c_str());
+
+    std::printf("\nSummary: union=%zu tests, raw SAT instances=%llu\n",
+                u.tests.size(),
+                static_cast<unsigned long long>(u.rawInstances));
+    return 0;
+}

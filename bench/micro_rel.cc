@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Microbenchmarks for the relational layer (google-benchmark): symbolic
+ * encoding cost of the constructs the memory models lean on (transitive
+ * closure, join chains, the full TSO/Power minimality formulas) and
+ * concrete evaluation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mm/exprs.hh"
+#include "mm/registry.hh"
+#include "rel/encoder.hh"
+#include "rel/eval.hh"
+#include "synth/minimality.hh"
+
+namespace
+{
+
+using namespace lts;
+using namespace lts::rel;
+
+void
+BM_EncodeClosure(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        Vocabulary vocab;
+        ExprPtr r = vocab.declare("r", 2);
+        sat::Solver solver;
+        GateBuilder builder(solver);
+        Encoder enc(vocab, n, builder);
+        GLit g = enc.encodeFormula(mkAcyclic(r));
+        benchmark::DoNotOptimize(g);
+        benchmark::DoNotOptimize(builder.numAnds());
+    }
+}
+BENCHMARK(BM_EncodeClosure)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_EncodeMinimalityTso(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto tso = mm::makeModel("tso");
+    for (auto _ : state) {
+        sat::Solver solver;
+        GateBuilder builder(solver);
+        Encoder enc(tso->vocab(), n, builder);
+        GLit g = enc.encodeFormula(
+            synth::minimalityFormula(*tso, "causality", n));
+        builder.assertTrue(g);
+        benchmark::DoNotOptimize(solver.numClauses());
+    }
+    state.counters["vars"] = 0;
+}
+BENCHMARK(BM_EncodeMinimalityTso)->Arg(4)->Arg(5)->Arg(6);
+
+void
+BM_EncodeMinimalityPower(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto power = mm::makeModel("power");
+    for (auto _ : state) {
+        sat::Solver solver;
+        GateBuilder builder(solver);
+        Encoder enc(power->vocab(), n, builder);
+        GLit g = enc.encodeFormula(
+            synth::minimalityFormula(*power, "observation", n));
+        builder.assertTrue(g);
+        benchmark::DoNotOptimize(solver.numClauses());
+    }
+}
+BENCHMARK(BM_EncodeMinimalityPower)->Arg(4)->Arg(5);
+
+void
+BM_ConcreteEvalPowerAxioms(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto power = mm::makeModel("power");
+    Instance inst(power->vocab(), n);
+    // A deterministic pseudo-random instance.
+    uint64_t x = 0x123456789ULL;
+    auto next = [&]() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    for (size_t id = 0; id < power->vocab().size(); id++) {
+        const auto &d = power->vocab().decl(static_cast<int>(id));
+        if (d.arity == 1) {
+            for (size_t i = 0; i < n; i++) {
+                if (next() & 1)
+                    inst.set(d.id).set(i);
+            }
+        } else {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    if (next() % 4 == 0)
+                        inst.matrix(d.id).set(i, j);
+                }
+            }
+        }
+    }
+    FormulaPtr all = power->allAxioms(power->base(), n);
+    for (auto _ : state) {
+        Evaluator ev(inst);
+        bool ok = ev.formula(all);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_ConcreteEvalPowerAxioms)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_GateHashConsing(benchmark::State &state)
+{
+    // Measures structural-sharing effectiveness: encoding the same
+    // axiom set twice must not double the gate count.
+    auto tso = mm::makeModel("tso");
+    size_t n = 5;
+    for (auto _ : state) {
+        sat::Solver solver;
+        GateBuilder builder(solver);
+        Encoder enc(tso->vocab(), n, builder);
+        enc.encodeFormula(tso->allAxioms(tso->base(), n));
+        size_t first = builder.numAnds();
+        enc.encodeFormula(tso->allAxioms(tso->base(), n));
+        size_t second = builder.numAnds();
+        if (second != first)
+            state.SkipWithError("hash consing failed");
+        benchmark::DoNotOptimize(second);
+    }
+}
+BENCHMARK(BM_GateHashConsing);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Microbenchmarks for the CDCL SAT substrate (google-benchmark): unit
+ * propagation throughput, pigeonhole refutation, random 3-SAT near the
+ * phase transition, and incremental model enumeration — the operations
+ * the synthesizer stresses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace lts::sat;
+
+void
+addPigeonhole(Solver &s, int holes)
+{
+    int pigeons = holes + 1;
+    std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++) {
+        for (int h = 0; h < holes; h++)
+            at[p][h] = s.newVar();
+    }
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(Lit::pos(at[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++) {
+        for (int p1 = 0; p1 < pigeons; p1++) {
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause({Lit::neg(at[p1][h]), Lit::neg(at[p2][h])});
+        }
+    }
+}
+
+void
+BM_PropagationChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Solver s;
+        int n = static_cast<int>(state.range(0));
+        std::vector<Var> v;
+        for (int i = 0; i < n; i++)
+            v.push_back(s.newVar());
+        for (int i = 0; i + 1 < n; i++)
+            s.addClause({Lit::neg(v[i]), Lit::pos(v[i + 1])});
+        s.addClause({Lit::pos(v[0])});
+        bool sat = s.solve();
+        benchmark::DoNotOptimize(sat);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PropagationChain)->Arg(1000)->Arg(10000);
+
+void
+BM_PigeonholeUnsat(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Solver s;
+        addPigeonhole(s, static_cast<int>(state.range(0)));
+        bool sat = s.solve();
+        benchmark::DoNotOptimize(sat);
+    }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(6)->Arg(7)->Arg(8);
+
+void
+BM_Random3Sat(benchmark::State &state)
+{
+    // 4.2 clauses per variable: near the satisfiability threshold.
+    int num_vars = static_cast<int>(state.range(0));
+    int num_clauses = static_cast<int>(num_vars * 4.2);
+    for (auto _ : state) {
+        std::mt19937 rng(42);
+        Solver s;
+        for (int i = 0; i < num_vars; i++)
+            s.newVar();
+        for (int c = 0; c < num_clauses; c++) {
+            Clause clause;
+            for (int l = 0; l < 3; l++) {
+                clause.push_back(
+                    Lit(static_cast<Var>(rng() % num_vars), rng() & 1));
+            }
+            if (!s.addClause(clause))
+                break;
+        }
+        bool sat = s.solve();
+        benchmark::DoNotOptimize(sat);
+    }
+}
+BENCHMARK(BM_Random3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void
+BM_ModelEnumeration(benchmark::State &state)
+{
+    // Enumerate all models over k free variables via blocking clauses —
+    // the synthesizer's inner loop shape.
+    int k = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Solver s;
+        std::vector<Var> vars;
+        for (int i = 0; i < k; i++)
+            vars.push_back(s.newVar());
+        int models = 0;
+        while (s.solve()) {
+            models++;
+            Clause blocking;
+            for (Var v : vars)
+                blocking.push_back(Lit(v, s.modelValue(v)));
+            if (!s.addClause(blocking))
+                break;
+        }
+        benchmark::DoNotOptimize(models);
+    }
+}
+BENCHMARK(BM_ModelEnumeration)->Arg(8)->Arg(10)->Arg(12);
+
+void
+BM_IncrementalAssumptions(benchmark::State &state)
+{
+    Solver s;
+    addPigeonhole(s, 5);
+    std::vector<Var> selectors;
+    for (int i = 0; i < 8; i++)
+        selectors.push_back(s.newVar());
+    int i = 0;
+    for (auto _ : state) {
+        std::vector<Lit> assumptions = {
+            Lit(selectors[i % selectors.size()], (i / 8) & 1)};
+        bool sat = s.solve(assumptions);
+        benchmark::DoNotOptimize(sat);
+        i++;
+    }
+}
+BENCHMARK(BM_IncrementalAssumptions);
+
+} // namespace
+
+BENCHMARK_MAIN();

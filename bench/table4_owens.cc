@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Table 4 and Figure 10: compare the Owens et al. x86-TSO
+ * baseline against the synthesized tso-union suite. Every forbidden
+ * Owens test must either appear in the suite (canonically) or contain a
+ * synthesized test as a subtest; the Figure 10 pair (n5/CoLB contains
+ * CoRW) is shown explicitly.
+ *
+ * Flags: --max-size (synthesis bound, default 6 so the size-6 row of
+ * Table 4 is populated).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "common/flags.hh"
+#include "litmus/print.hh"
+#include "mm/registry.hh"
+#include "suites/owens.hh"
+#include "synth/compare.hh"
+#include "synth/minimality.hh"
+#include "synth/synthesizer.hh"
+
+using namespace lts;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("max-size", "6", "largest synthesized test size");
+    flags.declare("print-tests", "false", "print every synthesized test");
+    if (!flags.parse(argc, argv))
+        return 1;
+    int max_size = flags.getInt("max-size");
+
+    bench::banner("Table 4 + Figure 10: Owens suite vs causality/union");
+
+    auto tso = mm::makeModel("tso");
+    synth::SynthOptions opt;
+    opt.minSize = 2;
+    opt.maxSize = max_size;
+    auto suites = synth::synthesizeAll(*tso, opt);
+    const synth::Suite &u = suites.back();
+    std::printf("synthesized tso-union: %zu tests (bound %d, %.1fs)\n\n",
+                u.tests.size(), max_size, u.totalSeconds());
+
+    auto owens = suites::owensSuite();
+    std::vector<litmus::LitmusTest> forbidden = suites::owensForbidden();
+    auto results = synth::compareSuites(forbidden, u.tests);
+
+    std::vector<int> widths = {18, 6, 10, 10, 10, 24};
+    bench::printRow({"Owens test", "size", "forbidden", "minimal",
+                     "in-suite", "subsumed-by"},
+                    widths);
+    bench::printRule(widths);
+    std::map<int, std::pair<int, int>> by_size; // size -> (in, only-subsumed)
+    for (size_t i = 0; i < forbidden.size(); i++) {
+        const auto &t = forbidden[i];
+        const auto &r = results[i];
+        bool minimal = !synth::minimalAxioms(*tso, t).empty();
+        by_size[static_cast<int>(t.size())].first += r.inSuite;
+        by_size[static_cast<int>(t.size())].second +=
+            (!r.inSuite && r.subsumed);
+        bench::printRow(
+            {t.name, std::to_string(t.size()), "yes",
+             minimal ? "yes" : "no", r.inSuite ? "yes" : "no",
+             r.inSuite ? "(itself)"
+                       : (r.subsumed ? r.subsumedBy : "NOT COVERED")},
+            widths);
+    }
+    std::printf("\nPer-size summary (Table 4 shape): ");
+    for (auto &[size, counts] : by_size) {
+        std::printf("n=%d: both=%d owens-only=%d; ", size, counts.first,
+                    counts.second);
+    }
+    std::printf("\n");
+
+    int covered = 0;
+    for (const auto &r : results)
+        covered += r.subsumed;
+    std::printf("\nClaim check: %d/%zu forbidden Owens tests covered "
+                "(in suite or containing a suite test)\n",
+                covered, results.size());
+
+    // ---- Figure 10 ------------------------------------------------------
+    std::printf("\nFigure 10: n5/CoLB is not minimal, but contains CoRW\n");
+    for (const auto &e : owens) {
+        if (e.test.name != "n5/CoLB")
+            continue;
+        std::printf("%s\n", litmus::toString(e.test).c_str());
+        auto axioms = synth::minimalAxioms(*tso, e.test);
+        std::printf("minimal for: %s\n",
+                    axioms.empty() ? "(no axiom)" : axioms[0].c_str());
+    }
+    for (const auto &t : u.tests) {
+        if (t.size() == 3 && t.rmw.none() &&
+            synth::isSubtest(t, owens[4].test)) {
+            std::printf("contained suite test:\n%s\n",
+                        litmus::toString(t).c_str());
+            break;
+        }
+    }
+
+    if (flags.getBool("print-tests")) {
+        std::printf("\nAll synthesized union tests:\n");
+        for (const auto &t : u.tests)
+            std::printf("%s\n", litmus::toString(t).c_str());
+    }
+    return 0;
+}

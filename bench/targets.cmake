@@ -1,0 +1,34 @@
+# Bench targets are defined from the top-level scope (included, not
+# add_subdirectory'd) and emit their binaries into ${CMAKE_BINARY_DIR}/bench
+# so that directory contains nothing but runnable benchmarks:
+#     for b in build/bench/*; do $b; done
+
+function(lts_add_bench name)
+    add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE lts_synth lts_sim lts_suites)
+    target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR})
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+lts_add_bench(table2_applicability)
+lts_add_bench(fig13_tso)
+lts_add_bench(table4_owens)
+lts_add_bench(fig14_wwc)
+lts_add_bench(fig16_power)
+lts_add_bench(fig20_scc)
+lts_add_bench(fig21_c11)
+lts_add_bench(ablation_synth)
+lts_add_bench(ablation_criterion)
+lts_add_bench(ext_scoped_ds)
+lts_add_bench(ext_random_runner)
+
+add_executable(micro_sat ${PROJECT_SOURCE_DIR}/bench/micro_sat.cc)
+target_link_libraries(micro_sat PRIVATE lts_sat benchmark::benchmark)
+set_target_properties(micro_sat PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+add_executable(micro_rel ${PROJECT_SOURCE_DIR}/bench/micro_rel.cc)
+target_link_libraries(micro_rel PRIVATE lts_synth benchmark::benchmark)
+target_include_directories(micro_rel PRIVATE ${PROJECT_SOURCE_DIR})
+set_target_properties(micro_rel PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

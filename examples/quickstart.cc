@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: synthesize a comprehensive litmus test suite for x86-TSO.
+ *
+ * This is the paper's headline flow in ~40 lines of user code:
+ *   1. pick a memory model from the registry,
+ *   2. synthesize all minimal tests per axiom up to a size bound,
+ *   3. print the union suite, ready to feed into a testing harness.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [--max-size=4]
+ */
+
+#include <cstdio>
+
+#include "common/flags.hh"
+#include "litmus/print.hh"
+#include "mm/registry.hh"
+#include "synth/synthesizer.hh"
+
+int
+main(int argc, char **argv)
+{
+    lts::Flags flags;
+    flags.declare("model", "tso", "memory model (sc|tso|power|armv7|scc|c11)");
+    flags.declare("max-size", "4", "largest test size in instructions");
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    // 1. A memory model is a vocabulary of relations, a set of named
+    //    axioms, and the instruction relaxations that apply to it.
+    auto model = lts::mm::makeModel(flags.get("model"));
+    std::printf("model '%s': %zu axioms, %zu relaxations\n",
+                model->name().c_str(), model->axioms().size(),
+                model->relaxations().size());
+
+    // 2. Synthesize per-axiom suites and their deduplicated union.
+    lts::synth::SynthOptions options;
+    options.minSize = 2;
+    options.maxSize = flags.getInt("max-size");
+    auto suites = lts::synth::synthesizeAll(*model, options);
+
+    // 3. Every test in the union satisfies the minimality criterion for
+    //    at least one axiom: weakening any instruction in any way the
+    //    model permits makes the printed outcome observable.
+    const lts::synth::Suite &united = suites.back();
+    std::printf("synthesized %zu minimal tests (bound %d) in %.2fs:\n\n",
+                united.tests.size(), options.maxSize,
+                united.totalSeconds());
+    for (const auto &test : united.tests)
+        std::printf("%s\n", lts::litmus::toString(test).c_str());
+
+    for (const auto &suite : suites) {
+        std::printf("axiom %-24s -> %3zu tests\n", suite.axiom.c_str(),
+                    suite.tests.size());
+    }
+    return 0;
+}

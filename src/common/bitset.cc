@@ -1,0 +1,282 @@
+#include "common/bitset.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/hash.hh"
+
+namespace lts
+{
+
+size_t
+Bitset::count() const
+{
+    size_t total = 0;
+    for (auto w : words)
+        total += std::popcount(w);
+    return total;
+}
+
+bool
+Bitset::none() const
+{
+    for (auto w : words) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+Bitset &
+Bitset::operator|=(const Bitset &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); i++)
+        words[i] |= other.words[i];
+    return *this;
+}
+
+Bitset &
+Bitset::operator&=(const Bitset &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); i++)
+        words[i] &= other.words[i];
+    return *this;
+}
+
+Bitset &
+Bitset::operator-=(const Bitset &other)
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); i++)
+        words[i] &= ~other.words[i];
+    return *this;
+}
+
+bool
+Bitset::operator==(const Bitset &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+bool
+Bitset::isSubsetOf(const Bitset &other) const
+{
+    assert(numBits == other.numBits);
+    for (size_t i = 0; i < words.size(); i++) {
+        if (words[i] & ~other.words[i])
+            return false;
+    }
+    return true;
+}
+
+size_t
+Bitset::firstSet() const
+{
+    for (size_t i = 0; i < words.size(); i++) {
+        if (words[i]) {
+            size_t bit = i * 64 + std::countr_zero(words[i]);
+            return bit < numBits ? bit : numBits;
+        }
+    }
+    return numBits;
+}
+
+uint64_t
+Bitset::hash() const
+{
+    uint64_t h = hashInit();
+    h = hashCombine(h, numBits);
+    for (auto w : words)
+        h = hashCombine(h, w);
+    return h;
+}
+
+std::string
+Bitset::toString() const
+{
+    std::string s;
+    s.reserve(numBits);
+    for (size_t i = 0; i < numBits; i++)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+BitMatrix::BitMatrix(size_t n) : n(n), rows(n, Bitset(n)) {}
+
+BitMatrix
+BitMatrix::identity(size_t n)
+{
+    BitMatrix m(n);
+    for (size_t i = 0; i < n; i++)
+        m.set(i, i);
+    return m;
+}
+
+BitMatrix
+BitMatrix::full(size_t n)
+{
+    BitMatrix m(n);
+    for (size_t i = 0; i < n; i++) {
+        for (size_t j = 0; j < n; j++)
+            m.set(i, j);
+    }
+    return m;
+}
+
+size_t
+BitMatrix::count() const
+{
+    size_t total = 0;
+    for (const auto &r : rows)
+        total += r.count();
+    return total;
+}
+
+bool
+BitMatrix::none() const
+{
+    for (const auto &r : rows) {
+        if (r.any())
+            return false;
+    }
+    return true;
+}
+
+BitMatrix &
+BitMatrix::operator|=(const BitMatrix &other)
+{
+    assert(n == other.n);
+    for (size_t i = 0; i < n; i++)
+        rows[i] |= other.rows[i];
+    return *this;
+}
+
+BitMatrix &
+BitMatrix::operator&=(const BitMatrix &other)
+{
+    assert(n == other.n);
+    for (size_t i = 0; i < n; i++)
+        rows[i] &= other.rows[i];
+    return *this;
+}
+
+BitMatrix &
+BitMatrix::operator-=(const BitMatrix &other)
+{
+    assert(n == other.n);
+    for (size_t i = 0; i < n; i++)
+        rows[i] -= other.rows[i];
+    return *this;
+}
+
+bool
+BitMatrix::operator==(const BitMatrix &other) const
+{
+    return n == other.n && rows == other.rows;
+}
+
+bool
+BitMatrix::isSubsetOf(const BitMatrix &other) const
+{
+    assert(n == other.n);
+    for (size_t i = 0; i < n; i++) {
+        if (!rows[i].isSubsetOf(other.rows[i]))
+            return false;
+    }
+    return true;
+}
+
+BitMatrix
+BitMatrix::compose(const BitMatrix &other) const
+{
+    assert(n == other.n);
+    BitMatrix out(n);
+    for (size_t i = 0; i < n; i++) {
+        for (size_t k = 0; k < n; k++) {
+            if (rows[i].test(k))
+                out.rows[i] |= other.rows[k];
+        }
+    }
+    return out;
+}
+
+BitMatrix
+BitMatrix::transpose() const
+{
+    BitMatrix out(n);
+    for (size_t i = 0; i < n; i++) {
+        for (size_t j = 0; j < n; j++) {
+            if (test(i, j))
+                out.set(j, i);
+        }
+    }
+    return out;
+}
+
+BitMatrix
+BitMatrix::transitiveClosure() const
+{
+    // Warshall's algorithm, row-parallel.
+    BitMatrix out = *this;
+    for (size_t k = 0; k < n; k++) {
+        for (size_t i = 0; i < n; i++) {
+            if (out.test(i, k))
+                out.rows[i] |= out.rows[k];
+        }
+    }
+    return out;
+}
+
+BitMatrix
+BitMatrix::reflexiveTransitiveClosure() const
+{
+    BitMatrix out = transitiveClosure();
+    out |= identity(n);
+    return out;
+}
+
+bool
+BitMatrix::isAcyclic() const
+{
+    BitMatrix closure = transitiveClosure();
+    for (size_t i = 0; i < n; i++) {
+        if (closure.test(i, i))
+            return false;
+    }
+    return true;
+}
+
+bool
+BitMatrix::isIrreflexive() const
+{
+    for (size_t i = 0; i < n; i++) {
+        if (test(i, i))
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+BitMatrix::hash() const
+{
+    uint64_t h = hashInit();
+    h = hashCombine(h, n);
+    for (const auto &r : rows)
+        h = hashCombine(h, r.hash());
+    return h;
+}
+
+std::string
+BitMatrix::toString() const
+{
+    std::string s;
+    for (size_t i = 0; i < n; i++) {
+        s += rows[i].toString();
+        s.push_back('\n');
+    }
+    return s;
+}
+
+} // namespace lts

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Dense bitset and square bit-matrix containers.
+ *
+ * These back the concrete relational evaluator: a unary relation over a
+ * universe of n atoms is a Bitset of n bits, and a binary relation is a
+ * BitMatrix of n x n bits. Both are small (n <= a few dozen) so the
+ * containers are optimized for clarity and word-at-a-time operations
+ * rather than for huge sizes.
+ */
+
+#ifndef LTS_COMMON_BITSET_HH
+#define LTS_COMMON_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lts
+{
+
+/**
+ * A dynamically sized dense bitset with word-parallel set operations.
+ */
+class Bitset
+{
+  public:
+    Bitset() = default;
+
+    /** Construct an all-zero bitset holding @p n bits. */
+    explicit Bitset(size_t n) : numBits(n), words((n + 63) / 64, 0) {}
+
+    /** Number of bits the set holds (not the number of set bits). */
+    size_t size() const { return numBits; }
+
+    bool
+    test(size_t i) const
+    {
+        return (words[i / 64] >> (i % 64)) & 1;
+    }
+
+    void
+    set(size_t i, bool value = true)
+    {
+        if (value)
+            words[i / 64] |= uint64_t(1) << (i % 64);
+        else
+            words[i / 64] &= ~(uint64_t(1) << (i % 64));
+    }
+
+    void reset(size_t i) { set(i, false); }
+
+    /** Set every bit to zero. */
+    void
+    clear()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** True iff no bit is set. */
+    bool none() const;
+
+    /** True iff at least one bit is set. */
+    bool any() const { return !none(); }
+
+    Bitset &operator|=(const Bitset &other);
+    Bitset &operator&=(const Bitset &other);
+    /** Set difference: clear every bit that is set in @p other. */
+    Bitset &operator-=(const Bitset &other);
+
+    bool operator==(const Bitset &other) const;
+    bool operator!=(const Bitset &other) const { return !(*this == other); }
+
+    /** True iff this is a subset of @p other. */
+    bool isSubsetOf(const Bitset &other) const;
+
+    /** Index of the lowest set bit, or size() if empty. */
+    size_t firstSet() const;
+
+    /** Stable hash of the contents. */
+    uint64_t hash() const;
+
+    /** Render as a string of '0'/'1', lowest index first. */
+    std::string toString() const;
+
+  private:
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+/**
+ * A square bit matrix representing a binary relation over atoms 0..n-1.
+ * Rows are packed Bitsets; entry (i, j) set means atom i relates to atom j.
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** Construct an empty (all-zero) n x n relation. */
+    explicit BitMatrix(size_t n);
+
+    /** The identity relation over n atoms. */
+    static BitMatrix identity(size_t n);
+
+    /** The full relation (all pairs) over n atoms. */
+    static BitMatrix full(size_t n);
+
+    size_t size() const { return n; }
+
+    bool test(size_t i, size_t j) const { return rows[i].test(j); }
+    void set(size_t i, size_t j, bool value = true) { rows[i].set(j, value); }
+
+    const Bitset &row(size_t i) const { return rows[i]; }
+
+    /** Number of related pairs. */
+    size_t count() const;
+
+    bool none() const;
+    bool any() const { return !none(); }
+
+    BitMatrix &operator|=(const BitMatrix &other);
+    BitMatrix &operator&=(const BitMatrix &other);
+    BitMatrix &operator-=(const BitMatrix &other);
+
+    bool operator==(const BitMatrix &other) const;
+    bool operator!=(const BitMatrix &other) const { return !(*this == other); }
+
+    bool isSubsetOf(const BitMatrix &other) const;
+
+    /** Relational composition: (this ; other). */
+    BitMatrix compose(const BitMatrix &other) const;
+
+    /** Transposed (inverse) relation. */
+    BitMatrix transpose() const;
+
+    /** Transitive closure (one or more steps). */
+    BitMatrix transitiveClosure() const;
+
+    /** Reflexive-transitive closure (zero or more steps). */
+    BitMatrix reflexiveTransitiveClosure() const;
+
+    /** True iff the relation contains no cycle (iden & closure is empty). */
+    bool isAcyclic() const;
+
+    /** True iff no atom relates to itself. */
+    bool isIrreflexive() const;
+
+    uint64_t hash() const;
+
+    std::string toString() const;
+
+  private:
+    size_t n = 0;
+    std::vector<Bitset> rows;
+};
+
+} // namespace lts
+
+#endif // LTS_COMMON_BITSET_HH

@@ -1,0 +1,106 @@
+#include "common/flags.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/strings.hh"
+
+namespace lts
+{
+
+void
+Flags::declare(const std::string &name, const std::string &def,
+               const std::string &help)
+{
+    decls[name] = Decl{def, help};
+}
+
+bool
+Flags::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr, "%s", usage(argv[0]).c_str());
+            return false;
+        }
+        if (!startsWith(arg, "--")) {
+            positionals.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name;
+        std::string value;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            name = body;
+            auto it = decls.find(name);
+            if (it == decls.end()) {
+                std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                             usage(argv[0]).c_str());
+                return false;
+            }
+            // Boolean-style flag unless the next token is a value.
+            bool is_bool =
+                it->second.value == "true" || it->second.value == "false";
+            if (!is_bool && i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        auto it = decls.find(name);
+        if (it == decls.end()) {
+            std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                         usage(argv[0]).c_str());
+            return false;
+        }
+        it->second.value = value;
+    }
+    return true;
+}
+
+const std::string &
+Flags::get(const std::string &name) const
+{
+    auto it = decls.find(name);
+    if (it == decls.end())
+        throw std::out_of_range("undeclared flag: " + name);
+    return it->second.value;
+}
+
+int
+Flags::getInt(const std::string &name) const
+{
+    return std::atoi(get(name).c_str());
+}
+
+bool
+Flags::getBool(const std::string &name) const
+{
+    const std::string &v = get(name);
+    return v == "true" || v == "1" || v == "yes";
+}
+
+double
+Flags::getDouble(const std::string &name) const
+{
+    return std::atof(get(name).c_str());
+}
+
+std::string
+Flags::usage(const std::string &prog) const
+{
+    std::string out = "usage: " + prog + " [flags]\n";
+    for (const auto &[name, decl] : decls) {
+        out += "  --" + padRight(name + "=" + decl.value, 32) + " " +
+               decl.help + "\n";
+    }
+    return out;
+}
+
+} // namespace lts

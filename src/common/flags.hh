@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal command-line flag parser for the bench and example binaries.
+ *
+ * Flags take the forms --name=value, --name value, or --name (boolean).
+ * Unknown flags are an error so typos in sweep scripts fail loudly.
+ */
+
+#ifndef LTS_COMMON_FLAGS_HH
+#define LTS_COMMON_FLAGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lts
+{
+
+/**
+ * Declarative flag registry: declare flags with defaults and help text,
+ * then parse argv. Values are fetched by name with typed accessors.
+ */
+class Flags
+{
+  public:
+    /** Declare a flag with a default value and a help string. */
+    void declare(const std::string &name, const std::string &def,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Returns false (and prints usage) on error or --help.
+     * Positional arguments are collected into positional().
+     */
+    bool parse(int argc, char **argv);
+
+    const std::string &get(const std::string &name) const;
+    int getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+
+    const std::vector<std::string> &positional() const { return positionals; }
+
+    /** Render usage text for all declared flags. */
+    std::string usage(const std::string &prog) const;
+
+  private:
+    struct Decl
+    {
+        std::string value;
+        std::string help;
+    };
+
+    std::map<std::string, Decl> decls;
+    std::vector<std::string> positionals;
+};
+
+} // namespace lts
+
+#endif // LTS_COMMON_FLAGS_HH

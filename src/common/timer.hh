@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock timer used by the synthesis harness to report per-suite
+ * generation runtimes (Figures 13c, 16c, 20b).
+ */
+
+#ifndef LTS_COMMON_TIMER_HH
+#define LTS_COMMON_TIMER_HH
+
+#include <chrono>
+
+namespace lts
+{
+
+/** A simple monotonic stopwatch; starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace lts
+
+#endif // LTS_COMMON_TIMER_HH

@@ -1,0 +1,245 @@
+#include "litmus/canon.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.hh"
+
+namespace lts::litmus
+{
+
+namespace
+{
+
+/** Serialize one thread with thread-local address renaming. */
+std::string
+threadSignature(const LitmusTest &test, int tid)
+{
+    std::vector<int> ids = test.threadEvents(tid);
+    // Thread-local location renaming by first use.
+    std::vector<int> loc_map(test.numLocs, -1);
+    int next_loc = 0;
+    std::string sig;
+    for (size_t pos = 0; pos < ids.size(); pos++) {
+        const Event &e = test.events[ids[pos]];
+        sig += std::to_string(static_cast<int>(e.type));
+        sig += ':';
+        if (e.isMemory()) {
+            if (loc_map[e.loc] < 0)
+                loc_map[e.loc] = next_loc++;
+            sig += std::to_string(loc_map[e.loc]);
+        } else {
+            sig += '-';
+        }
+        sig += ':';
+        sig += std::to_string(static_cast<int>(e.order));
+        sig += ':';
+        sig += std::to_string(static_cast<int>(e.scope));
+        // Intra-thread structure: deps and rmw as positional offsets.
+        for (size_t to = 0; to < ids.size(); to++) {
+            if (test.addrDep.test(ids[pos], ids[to]))
+                sig += ";a" + std::to_string(to);
+            if (test.dataDep.test(ids[pos], ids[to]))
+                sig += ";d" + std::to_string(to);
+            if (test.ctrlDep.test(ids[pos], ids[to]))
+                sig += ";c" + std::to_string(to);
+            if (test.rmw.test(ids[pos], ids[to]))
+                sig += ";m" + std::to_string(to);
+        }
+        sig += '|';
+    }
+    return sig;
+}
+
+void
+remapMatrix(const BitMatrix &in, const std::vector<int> &old_to_new,
+            BitMatrix &out)
+{
+    for (size_t i = 0; i < in.size(); i++) {
+        for (size_t j = 0; j < in.size(); j++) {
+            if (in.test(i, j))
+                out.set(old_to_new[i], old_to_new[j]);
+        }
+    }
+}
+
+} // namespace
+
+LitmusTest
+permuteThreads(const LitmusTest &test, const std::vector<int> &thread_order)
+{
+    size_t n = test.size();
+    LitmusTest out;
+    out.name = test.name;
+    out.numThreads = test.numThreads;
+    out.numLocs = test.numLocs;
+    out.events.resize(n);
+    out.addrDep = BitMatrix(n);
+    out.dataDep = BitMatrix(n);
+    out.ctrlDep = BitMatrix(n);
+    out.rmw = BitMatrix(n);
+    out.hasForbidden = test.hasForbidden;
+    out.forbidden = Outcome(n);
+
+    // Event renumbering: threads in the given order, per-thread order kept.
+    std::vector<int> old_to_new(n);
+    int next = 0;
+    for (int new_tid = 0; new_tid < test.numThreads; new_tid++) {
+        for (int id : test.threadEvents(thread_order[new_tid]))
+            old_to_new[id] = next++;
+    }
+
+    // Location renaming by first use in the new event order.
+    std::vector<int> new_to_old(n);
+    for (size_t i = 0; i < n; i++)
+        new_to_old[old_to_new[i]] = static_cast<int>(i);
+    std::vector<int> loc_map(test.numLocs, -1);
+    int next_loc = 0;
+    for (size_t new_id = 0; new_id < n; new_id++) {
+        const Event &e = test.events[new_to_old[new_id]];
+        if (e.isMemory() && loc_map[e.loc] < 0)
+            loc_map[e.loc] = next_loc++;
+    }
+
+    // Thread renumbering: position in thread_order.
+    std::vector<int> tid_map(test.numThreads);
+    for (int new_tid = 0; new_tid < test.numThreads; new_tid++)
+        tid_map[thread_order[new_tid]] = new_tid;
+
+    // Workgroups: follow the thread permutation, relabel by first use.
+    if (test.hasWorkgroups()) {
+        out.threadWg.resize(test.numThreads);
+        std::vector<int> wg_map;
+        for (int new_tid = 0; new_tid < test.numThreads; new_tid++) {
+            int old_wg = test.workgroupOf(thread_order[new_tid]);
+            int label = -1;
+            for (size_t k = 0; k < wg_map.size(); k++) {
+                if (wg_map[k] == old_wg)
+                    label = static_cast<int>(k);
+            }
+            if (label < 0) {
+                label = static_cast<int>(wg_map.size());
+                wg_map.push_back(old_wg);
+            }
+            out.threadWg[new_tid] = label;
+        }
+    }
+
+    for (size_t i = 0; i < n; i++) {
+        Event e = test.events[i];
+        e.id = old_to_new[i];
+        e.tid = tid_map[e.tid];
+        if (e.isMemory())
+            e.loc = loc_map[e.loc];
+        out.events[e.id] = e;
+    }
+    remapMatrix(test.addrDep, old_to_new, out.addrDep);
+    remapMatrix(test.dataDep, old_to_new, out.dataDep);
+    remapMatrix(test.ctrlDep, old_to_new, out.ctrlDep);
+    remapMatrix(test.rmw, old_to_new, out.rmw);
+    if (test.hasForbidden) {
+        remapMatrix(test.forbidden.rf, old_to_new, out.forbidden.rf);
+        remapMatrix(test.forbidden.co, old_to_new, out.forbidden.co);
+    }
+    return out;
+}
+
+std::string
+staticSerialize(const LitmusTest &test)
+{
+    std::string s = std::to_string(test.numThreads) + "/" +
+                    std::to_string(test.numLocs) + "/";
+    for (const auto &e : test.events) {
+        s += std::to_string(e.tid) + ":" +
+             std::to_string(static_cast<int>(e.type)) + ":" +
+             std::to_string(e.loc) + ":" +
+             std::to_string(static_cast<int>(e.order)) + ":" +
+             std::to_string(static_cast<int>(e.scope)) + "|";
+    }
+    auto emit = [&](const char *tag, const BitMatrix &m) {
+        s += tag;
+        for (size_t i = 0; i < m.size(); i++) {
+            for (size_t j = 0; j < m.size(); j++) {
+                if (m.test(i, j)) {
+                    s += std::to_string(i) + ">" + std::to_string(j) + ",";
+                }
+            }
+        }
+        s += ";";
+    };
+    emit("A", test.addrDep);
+    emit("D", test.dataDep);
+    emit("C", test.ctrlDep);
+    emit("M", test.rmw);
+    if (test.hasWorkgroups()) {
+        s += "G";
+        for (int t = 0; t < test.numThreads; t++)
+            s += std::to_string(test.workgroupOf(t)) + ",";
+        s += ";";
+    }
+    return s;
+}
+
+std::string
+fullSerialize(const LitmusTest &test)
+{
+    std::string s = staticSerialize(test);
+    if (test.hasForbidden) {
+        s += "RF";
+        for (size_t i = 0; i < test.size(); i++) {
+            for (size_t j = 0; j < test.size(); j++) {
+                if (test.forbidden.rf.test(i, j))
+                    s += std::to_string(i) + ">" + std::to_string(j) + ",";
+            }
+        }
+        s += "CO";
+        for (size_t i = 0; i < test.size(); i++) {
+            for (size_t j = 0; j < test.size(); j++) {
+                if (test.forbidden.co.test(i, j))
+                    s += std::to_string(i) + ">" + std::to_string(j) + ",";
+            }
+        }
+    }
+    return s;
+}
+
+LitmusTest
+canonicalize(const LitmusTest &test, CanonMode mode)
+{
+    if (mode == CanonMode::Paper) {
+        // Sort threads by their local signature; ties keep input order,
+        // which is exactly the WWC blind spot of Figure 14.
+        std::vector<int> order(test.numThreads);
+        std::iota(order.begin(), order.end(), 0);
+        std::vector<std::string> sigs(test.numThreads);
+        for (int t = 0; t < test.numThreads; t++)
+            sigs[t] = threadSignature(test, t);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return sigs[a] < sigs[b];
+        });
+        return permuteThreads(test, order);
+    }
+
+    // Exact: minimize over all thread permutations.
+    std::vector<int> order(test.numThreads);
+    std::iota(order.begin(), order.end(), 0);
+    LitmusTest best = permuteThreads(test, order);
+    std::string best_key = staticSerialize(best);
+    while (std::next_permutation(order.begin(), order.end())) {
+        LitmusTest candidate = permuteThreads(test, order);
+        std::string key = staticSerialize(candidate);
+        if (key < best_key) {
+            best_key = key;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+uint64_t
+canonicalHash(const LitmusTest &test, CanonMode mode)
+{
+    return hashCombine(hashInit(), staticSerialize(canonicalize(test, mode)));
+}
+
+} // namespace lts::litmus

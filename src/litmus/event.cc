@@ -1,0 +1,88 @@
+#include "litmus/event.hh"
+
+namespace lts::litmus
+{
+
+bool
+isWeaker(MemOrder weaker, MemOrder stronger)
+{
+    if (weaker == stronger)
+        return false;
+    auto rank = [](MemOrder o) -> int {
+        switch (o) {
+          case MemOrder::Plain:
+            return 0;
+          case MemOrder::Consume:
+            return 1;
+          case MemOrder::Acquire:
+          case MemOrder::Release:
+            return 2;
+          case MemOrder::AcqRel:
+            return 3;
+          case MemOrder::SeqCst:
+            return 4;
+        }
+        return 0;
+    };
+    // Acquire and Release are incomparable with each other; Consume is
+    // only below Acquire (and everything above it), not below Release.
+    if (weaker == MemOrder::Consume && stronger == MemOrder::Release)
+        return false;
+    if (weaker == MemOrder::Release && stronger == MemOrder::Acquire)
+        return false;
+    if (weaker == MemOrder::Acquire && stronger == MemOrder::Release)
+        return false;
+    return rank(weaker) < rank(stronger);
+}
+
+std::string
+toString(MemOrder order)
+{
+    switch (order) {
+      case MemOrder::Plain:
+        return "";
+      case MemOrder::Consume:
+        return "cns";
+      case MemOrder::Acquire:
+        return "acq";
+      case MemOrder::Release:
+        return "rel";
+      case MemOrder::AcqRel:
+        return "ar";
+      case MemOrder::SeqCst:
+        return "sc";
+    }
+    return "?";
+}
+
+std::string
+toString(EventType type)
+{
+    switch (type) {
+      case EventType::Read:
+        return "Ld";
+      case EventType::Write:
+        return "St";
+      case EventType::Fence:
+        return "Fence";
+    }
+    return "?";
+}
+
+std::string
+toString(Scope scope)
+{
+    switch (scope) {
+      case Scope::WorkItem:
+        return "wi";
+      case Scope::WorkGroup:
+        return "wg";
+      case Scope::Device:
+        return "dev";
+      case Scope::System:
+        return "sys";
+    }
+    return "?";
+}
+
+} // namespace lts::litmus

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Litmus-test event vocabulary: event types, memory-order annotations,
+ * and scope annotations.
+ *
+ * A single MemOrder lattice covers every model in the paper: C/C++ memory
+ * orders (Table 1), ARMv8/SCC acquire-release opcodes, and fence
+ * strengths. Fences reuse the same annotation — e.g. Power's sync is a
+ * SeqCst fence and lwsync an AcqRel fence — so the DF (demote fence) and
+ * DMO (demote memory order) instruction relaxations share one mechanism.
+ */
+
+#ifndef LTS_LITMUS_EVENT_HH
+#define LTS_LITMUS_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lts::litmus
+{
+
+/** What an event does. */
+enum class EventType : uint8_t
+{
+    Read,
+    Write,
+    Fence,
+};
+
+/**
+ * Ordering-strength annotation, in the C/C++ naming of Table 1 of the
+ * paper but applied across models. The strict-weakening lattice is
+ *
+ *     SeqCst > AcqRel > { Acquire, Release } > Consume > Plain
+ *
+ * with Acquire/Release incomparable and Consume below Acquire only.
+ */
+enum class MemOrder : uint8_t
+{
+    Plain,    ///< relaxed / ordinary access, or no-op fence
+    Consume,  ///< memory_order_consume (C/C++ only)
+    Acquire,  ///< load-acquire / memory_order_acquire
+    Release,  ///< store-release / memory_order_release
+    AcqRel,   ///< memory_order_acq_rel; as a fence: Power lwsync class
+    SeqCst,   ///< memory_order_seq_cst; as a fence: sync/mfence/FenceSC
+};
+
+/**
+ * Synchronization scope (OpenCL/HSA-style). Only used by the DS (demote
+ * scope) relaxation machinery and the applicability table; the synthesized
+ * models in this repo are scope-free and use System throughout.
+ */
+enum class Scope : uint8_t
+{
+    WorkItem,
+    WorkGroup,
+    Device,
+    System,
+};
+
+/** True iff @p weaker is a strict weakening of @p stronger. */
+bool isWeaker(MemOrder weaker, MemOrder stronger);
+
+/** Short printable mnemonic, e.g. "acq", "rel", "sc", or "" for Plain. */
+std::string toString(MemOrder order);
+
+/** Printable name of an event type. */
+std::string toString(EventType type);
+
+/** Printable name of a scope. */
+std::string toString(Scope scope);
+
+/**
+ * One instruction of a litmus test. Events are identified by their dense
+ * index in LitmusTest::events; program order within a thread follows that
+ * index order.
+ */
+struct Event
+{
+    int id = -1;                     ///< dense index within the test
+    int tid = -1;                    ///< owning thread
+    EventType type = EventType::Read;
+    int loc = -1;                    ///< location index; -1 for fences
+    MemOrder order = MemOrder::Plain;
+    Scope scope = Scope::System;
+
+    bool isRead() const { return type == EventType::Read; }
+    bool isWrite() const { return type == EventType::Write; }
+    bool isFence() const { return type == EventType::Fence; }
+    bool isMemory() const { return type != EventType::Fence; }
+};
+
+} // namespace lts::litmus
+
+#endif // LTS_LITMUS_EVENT_HH

@@ -1,0 +1,350 @@
+#include "litmus/format.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hh"
+
+namespace lts::litmus
+{
+
+namespace
+{
+
+std::string
+annotSuffix(MemOrder order)
+{
+    std::string s = toString(order);
+    return s.empty() ? "" : "." + s;
+}
+
+std::string
+scopeSuffix(const Event &e)
+{
+    return e.scope == Scope::System ? "" : "@" + toString(e.scope);
+}
+
+MemOrder
+parseAnnot(const std::string &s, const std::string &context)
+{
+    if (s.empty())
+        return MemOrder::Plain;
+    if (s == "cns")
+        return MemOrder::Consume;
+    if (s == "acq")
+        return MemOrder::Acquire;
+    if (s == "rel")
+        return MemOrder::Release;
+    if (s == "ar")
+        return MemOrder::AcqRel;
+    if (s == "sc")
+        return MemOrder::SeqCst;
+    throw std::runtime_error("bad annotation '" + s + "' in " + context);
+}
+
+std::string
+locName(int loc)
+{
+    return "m" + std::to_string(loc);
+}
+
+[[noreturn]] void
+fail(const std::string &line, const std::string &why)
+{
+    throw std::runtime_error("litmus parse error: " + why + " in '" + line +
+                             "'");
+}
+
+} // namespace
+
+std::string
+writeLitmus(const LitmusTest &test)
+{
+    std::ostringstream out;
+    out << "LTS " << (test.name.empty() ? "unnamed" : test.name) << "\n";
+    int reg = 0;
+    for (int t = 0; t < test.numThreads; t++) {
+        out << "thread " << t << ":";
+        bool first = true;
+        for (int id : test.threadEvents(t)) {
+            const Event &e = test.events[id];
+            out << (first ? " " : " ; ");
+            first = false;
+            switch (e.type) {
+              case EventType::Write:
+                out << "St" << annotSuffix(e.order) << scopeSuffix(e) << " ["
+                    << locName(e.loc) << "]";
+                break;
+              case EventType::Read:
+                out << "Ld" << annotSuffix(e.order) << scopeSuffix(e) << " r"
+                    << reg++ << " = [" << locName(e.loc) << "]";
+                break;
+              case EventType::Fence:
+                out << "Fence" << annotSuffix(e.order) << scopeSuffix(e);
+                break;
+            }
+        }
+        out << "\n";
+    }
+    if (test.hasWorkgroups()) {
+        out << "wg:";
+        for (int t = 0; t < test.numThreads; t++)
+            out << " " << test.workgroupOf(t);
+        out << "\n";
+    }
+    for (size_t i = 0; i < test.size(); i++) {
+        for (size_t j = 0; j < test.size(); j++) {
+            if (test.addrDep.test(i, j))
+                out << "dep addr " << i << " -> " << j << "\n";
+            if (test.dataDep.test(i, j))
+                out << "dep data " << i << " -> " << j << "\n";
+            if (test.ctrlDep.test(i, j))
+                out << "dep ctrl " << i << " -> " << j << "\n";
+            if (test.rmw.test(i, j))
+                out << "rmw " << i << " " << j << "\n";
+        }
+    }
+    if (test.hasForbidden) {
+        std::vector<std::string> parts;
+        for (size_t j = 0; j < test.size(); j++) {
+            if (!test.events[j].isRead())
+                continue;
+            bool sourced = false;
+            for (size_t i = 0; i < test.size(); i++) {
+                if (test.forbidden.rf.test(i, j)) {
+                    parts.push_back("rf " + std::to_string(i) + " -> " +
+                                    std::to_string(j));
+                    sourced = true;
+                }
+            }
+            if (!sourced)
+                parts.push_back("init " + std::to_string(j));
+        }
+        // Emit the co order as immediate-successor constraints.
+        for (size_t i = 0; i < test.size(); i++) {
+            for (size_t j = 0; j < test.size(); j++) {
+                if (!test.forbidden.co.test(i, j))
+                    continue;
+                bool immediate = true;
+                for (size_t k = 0; k < test.size(); k++) {
+                    if (test.forbidden.co.test(i, k) &&
+                        test.forbidden.co.test(k, j))
+                        immediate = false;
+                }
+                if (immediate) {
+                    parts.push_back("co " + std::to_string(i) + " < " +
+                                    std::to_string(j));
+                }
+            }
+        }
+        out << "forbidden: " << join(parts, " ; ") << "\n";
+    }
+    out << "end\n";
+    return out.str();
+}
+
+void
+writeLitmusSuite(std::ostream &out, const std::vector<LitmusTest> &tests)
+{
+    for (const auto &t : tests)
+        out << writeLitmus(t) << "\n";
+}
+
+LitmusTest
+parseLitmus(const std::string &text)
+{
+    std::istringstream in(text);
+    auto suite = parseLitmusSuite(in);
+    if (suite.size() != 1)
+        throw std::runtime_error("expected exactly one test, got " +
+                                 std::to_string(suite.size()));
+    return suite[0];
+}
+
+namespace
+{
+
+/** Parse one instruction like "St.rel [m0]" or "Ld r0 = [m1]". */
+void
+parseInstruction(TestBuilder &builder, int tid, const std::string &instr)
+{
+    std::string s = trim(instr);
+    if (s.empty())
+        fail(instr, "empty instruction");
+    // Opcode (with optional .annotation).
+    size_t sp = s.find(' ');
+    std::string opcode = sp == std::string::npos ? s : s.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : trim(s.substr(sp));
+    std::string base = opcode;
+    std::string scope_str;
+    size_t at = base.find('@');
+    if (at != std::string::npos) {
+        scope_str = base.substr(at + 1);
+        base = base.substr(0, at);
+    }
+    std::string annot;
+    size_t dot = base.find('.');
+    if (dot != std::string::npos) {
+        annot = base.substr(dot + 1);
+        base = base.substr(0, dot);
+    }
+    MemOrder order = parseAnnot(annot, instr);
+    Scope scope = Scope::System;
+    if (!scope_str.empty()) {
+        if (scope_str == "wg")
+            scope = Scope::WorkGroup;
+        else if (scope_str == "dev")
+            scope = Scope::Device;
+        else if (scope_str == "wi")
+            scope = Scope::WorkItem;
+        else if (scope_str != "sys")
+            fail(instr, "bad scope '" + scope_str + "'");
+    }
+
+    auto parseLoc = [&](const std::string &piece) {
+        size_t lb = piece.find('[');
+        size_t rb = piece.find(']');
+        if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+            fail(instr, "missing [location]");
+        return trim(piece.substr(lb + 1, rb - lb - 1));
+    };
+
+    int ev;
+    if (base == "St") {
+        ev = builder.write(tid, parseLoc(rest), order);
+    } else if (base == "Ld") {
+        // "rK = [loc]": the register name is ignored.
+        size_t eq = rest.find('=');
+        if (eq == std::string::npos)
+            fail(instr, "load without '='");
+        ev = builder.read(tid, parseLoc(rest.substr(eq + 1)), order);
+    } else if (base == "Fence") {
+        ev = builder.fence(tid, order);
+    } else {
+        fail(instr, "unknown opcode '" + base + "'");
+    }
+    builder.setScope(ev, scope);
+}
+
+} // namespace
+
+std::vector<LitmusTest>
+parseLitmusSuite(std::istream &in)
+{
+    std::vector<LitmusTest> out;
+    std::string line;
+
+    bool in_test = false;
+    std::string name;
+    TestBuilder builder;
+    std::vector<std::pair<int, std::string>> thread_lines;
+    std::vector<std::string> dep_lines, rmw_lines;
+    std::string forbidden_line;
+
+    auto finish = [&]() {
+        // Threads were declared in order; builder events were added when
+        // thread lines were parsed, so just apply deps/rmw/outcome.
+        auto parseEdge = [&](const std::string &body, const char *sep) {
+            auto pieces = split(body, ' ');
+            // e.g. {"0", "->", "1"}
+            if (pieces.size() != 3 || pieces[1] != sep)
+                fail(body, "expected 'A " + std::string(sep) + " B'");
+            return std::make_pair(std::stoi(pieces[0]),
+                                  std::stoi(pieces[2]));
+        };
+        for (const auto &d : dep_lines) {
+            auto pieces = split(d, ' ');
+            if (pieces.size() != 5)
+                fail(d, "expected 'dep kind A -> B'");
+            auto [from, to] =
+                parseEdge(pieces[2] + " " + pieces[3] + " " + pieces[4],
+                          "->");
+            if (pieces[1] == "addr")
+                builder.addrDepend(from, to);
+            else if (pieces[1] == "data")
+                builder.dataDepend(from, to);
+            else if (pieces[1] == "ctrl")
+                builder.ctrlDepend(from, to);
+            else
+                fail(d, "unknown dependency kind");
+        }
+        for (const auto &r : rmw_lines) {
+            auto pieces = split(r, ' ');
+            if (pieces.size() != 3)
+                fail(r, "expected 'rmw R W'");
+            builder.pairRmw(std::stoi(pieces[1]), std::stoi(pieces[2]));
+        }
+        if (!forbidden_line.empty()) {
+            for (const auto &raw : split(forbidden_line, ';')) {
+                std::string part = trim(raw);
+                if (part.empty())
+                    continue;
+                if (startsWith(part, "rf ")) {
+                    auto [w, r] = parseEdge(part.substr(3), "->");
+                    builder.readsFrom(w, r);
+                } else if (startsWith(part, "init ")) {
+                    builder.readsInitial(std::stoi(part.substr(5)));
+                } else if (startsWith(part, "co ")) {
+                    auto [a, b] = parseEdge(part.substr(3), "<");
+                    builder.coOrder(a, b);
+                } else {
+                    fail(part, "unknown outcome directive");
+                }
+            }
+        }
+        out.push_back(builder.build(name));
+        builder = TestBuilder();
+        dep_lines.clear();
+        rmw_lines.clear();
+        forbidden_line.clear();
+        in_test = false;
+    };
+
+    while (std::getline(in, line)) {
+        std::string s = trim(line);
+        if (s.empty() || s[0] == '#')
+            continue;
+        if (startsWith(s, "LTS ")) {
+            if (in_test)
+                fail(s, "nested test (missing 'end'?)");
+            in_test = true;
+            name = trim(s.substr(4));
+            continue;
+        }
+        if (!in_test)
+            fail(s, "content outside a test");
+        if (startsWith(s, "thread ")) {
+            size_t colon = s.find(':');
+            if (colon == std::string::npos)
+                fail(s, "thread line without ':'");
+            int declared = std::stoi(trim(s.substr(7, colon - 7)));
+            int tid = builder.newThread();
+            if (tid != declared)
+                fail(s, "threads must be declared densely in order");
+            for (const auto &instr : split(s.substr(colon + 1), ';'))
+                parseInstruction(builder, tid, instr);
+        } else if (startsWith(s, "wg:")) {
+            auto labels = split(s.substr(3), ' ');
+            for (size_t t = 0; t < labels.size(); t++)
+                builder.setWorkgroup(static_cast<int>(t),
+                                     std::stoi(labels[t]));
+        } else if (startsWith(s, "dep ")) {
+            dep_lines.push_back(s);
+        } else if (startsWith(s, "rmw ")) {
+            rmw_lines.push_back(s);
+        } else if (startsWith(s, "forbidden:")) {
+            forbidden_line = trim(s.substr(10));
+        } else if (s == "end") {
+            finish();
+        } else {
+            fail(s, "unrecognized line");
+        }
+    }
+    if (in_test)
+        throw std::runtime_error("unterminated test (missing 'end')");
+    return out;
+}
+
+} // namespace lts::litmus

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Textual litmus-test interchange format.
+ *
+ * A diy/herd-inspired format so synthesized suites can be fed into
+ * external testing infrastructure (Section 2.1) and read back:
+ *
+ *     LTS <name>
+ *     thread 0: St [x] ; St.rel [y]
+ *     thread 1: Ld.acq r0 = [y] ; Ld r1 = [x]
+ *     deps: data 0 -> 1
+ *     rmw: 2 3
+ *     forbidden: rf 1 -> 2 ; init 3 ; co 0 < 4
+ *     end
+ *
+ * Events are numbered test-wide in program order (thread 0 first). The
+ * "forbidden" clause lists the rf edges, explicit initial reads, and co
+ * constraints of the outcome; co is completed per location in listed
+ * order.
+ */
+
+#ifndef LTS_LITMUS_FORMAT_HH
+#define LTS_LITMUS_FORMAT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace lts::litmus
+{
+
+/** Serialize @p test (with its forbidden outcome, if any). */
+std::string writeLitmus(const LitmusTest &test);
+
+/** Serialize a whole suite, tests separated by blank lines. */
+void writeLitmusSuite(std::ostream &out,
+                      const std::vector<LitmusTest> &tests);
+
+/**
+ * Parse one test from the format above. Throws std::runtime_error with
+ * a line diagnostic on malformed input.
+ */
+LitmusTest parseLitmus(const std::string &text);
+
+/** Parse a suite (zero or more tests). */
+std::vector<LitmusTest> parseLitmusSuite(std::istream &in);
+
+} // namespace lts::litmus
+
+#endif // LTS_LITMUS_FORMAT_HH

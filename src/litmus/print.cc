@@ -1,0 +1,189 @@
+#include "litmus/print.hh"
+
+#include <algorithm>
+
+#include "common/strings.hh"
+
+namespace lts::litmus
+{
+
+namespace
+{
+
+std::string
+locName(int loc)
+{
+    static const char *names = "xyzwvut";
+    if (loc >= 0 && loc < 7)
+        return std::string(1, names[loc]);
+    return "m" + std::to_string(loc);
+}
+
+/** Registers are numbered per test in event order. */
+std::vector<int>
+regNames(const LitmusTest &test)
+{
+    std::vector<int> regs(test.size(), -1);
+    int next = 0;
+    for (size_t i = 0; i < test.size(); i++) {
+        if (test.events[i].isRead())
+            regs[i] = next++;
+    }
+    return regs;
+}
+
+std::string
+annot(const Event &e, const LitmusTest &test)
+{
+    std::string s = toString(e.order);
+    std::string out = s.empty() ? "" : "." + s;
+    if (e.scope != Scope::System)
+        out += "@" + toString(e.scope);
+    // Mark RMW halves.
+    for (size_t j = 0; j < test.size(); j++) {
+        if ((e.isRead() && test.rmw.test(e.id, j)) ||
+            (e.isWrite() && test.rmw.test(j, e.id))) {
+            out += ".rmw";
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+eventToString(const LitmusTest &test, int event_id,
+              const std::vector<int> &write_values,
+              const std::vector<int> &reg_names)
+{
+    const Event &e = test.events[event_id];
+    switch (e.type) {
+      case EventType::Fence:
+        return "Fence" + annot(e, test);
+      case EventType::Read:
+        return "Ld" + annot(e, test) + " r" +
+               std::to_string(reg_names[event_id]) + " = [" +
+               locName(e.loc) + "]";
+      case EventType::Write: {
+        int value = write_values.empty() ? 1 : write_values[event_id];
+        return "St" + annot(e, test) + " [" + locName(e.loc) + "], " +
+               std::to_string(value);
+      }
+    }
+    return "?";
+}
+
+std::string
+outcomeToString(const LitmusTest &test, const Outcome &outcome)
+{
+    std::vector<int> regs = regNames(test);
+    std::vector<int> reg_values = test.registerValues(outcome);
+    std::vector<int> finals = test.finalValues(outcome);
+
+    std::vector<std::string> parts;
+    for (size_t i = 0; i < test.size(); i++) {
+        if (test.events[i].isRead()) {
+            parts.push_back("r" + std::to_string(regs[i]) + "=" +
+                            std::to_string(reg_values[i]));
+        }
+    }
+    // Final values matter only for locations written more than once or
+    // where they disambiguate; print them for every written location.
+    std::vector<int> writes_per_loc(test.numLocs, 0);
+    for (const auto &e : test.events) {
+        if (e.isWrite())
+            writes_per_loc[e.loc]++;
+    }
+    for (int loc = 0; loc < test.numLocs; loc++) {
+        if (writes_per_loc[loc] >= 2) {
+            parts.push_back("[" + locName(loc) + "]=" +
+                            std::to_string(finals[loc]));
+        }
+    }
+    return "(" + join(parts, ", ") + ")";
+}
+
+std::string
+toString(const LitmusTest &test)
+{
+    std::vector<int> regs = regNames(test);
+    std::vector<int> write_values(test.size(), 1);
+    if (test.hasForbidden)
+        write_values = test.writeValues(test.forbidden);
+    else {
+        // Without an outcome, number writes per location in event order.
+        std::vector<int> next(test.numLocs, 1);
+        for (size_t i = 0; i < test.size(); i++) {
+            if (test.events[i].isWrite())
+                write_values[i] = next[test.events[i].loc]++;
+        }
+    }
+
+    // Build one instruction column per thread.
+    std::vector<std::vector<std::string>> cols(test.numThreads);
+    size_t rows = 0;
+    for (int t = 0; t < test.numThreads; t++) {
+        for (int id : test.threadEvents(t)) {
+            std::string line = eventToString(test, id, write_values, regs);
+            // Annotate outgoing dependencies inline.
+            for (size_t j = 0; j < test.size(); j++) {
+                if (test.addrDep.test(id, j))
+                    line += " [addr->" + std::to_string(j) + "]";
+                if (test.dataDep.test(id, j))
+                    line += " [data->" + std::to_string(j) + "]";
+                if (test.ctrlDep.test(id, j))
+                    line += " [ctrl->" + std::to_string(j) + "]";
+            }
+            cols[t].push_back(line);
+        }
+        rows = std::max(rows, cols[t].size());
+    }
+
+    bool wg = test.hasWorkgroups();
+    std::vector<std::string> headers;
+    for (int t = 0; t < test.numThreads; t++) {
+        std::string header = "Thread " + std::to_string(t);
+        if (wg)
+            header += " (wg" + std::to_string(test.workgroupOf(t)) + ")";
+        headers.push_back(header);
+    }
+
+    size_t width = 8;
+    for (const auto &header : headers)
+        width = std::max(width, header.size());
+    for (const auto &col : cols) {
+        for (const auto &line : col)
+            width = std::max(width, line.size());
+    }
+
+    std::string out;
+    if (!test.name.empty())
+        out += test.name + ":\n";
+    for (int t = 0; t < test.numThreads; t++) {
+        out += padRight(headers[t], width);
+        out += (t + 1 < test.numThreads) ? " | " : "\n";
+    }
+    for (size_t row = 0; row < rows; row++) {
+        for (int t = 0; t < test.numThreads; t++) {
+            std::string cell =
+                row < cols[t].size() ? cols[t][row] : std::string();
+            out += padRight(cell, width);
+            out += (t + 1 < test.numThreads) ? " | " : "\n";
+        }
+    }
+    if (test.hasForbidden) {
+        out += "Forbidden: " + outcomeToString(test, test.forbidden) + "\n";
+    }
+    return out;
+}
+
+std::string
+summary(const LitmusTest &test)
+{
+    return std::to_string(test.numThreads) + " thr, " +
+           std::to_string(test.size()) + " ev, " +
+           std::to_string(test.numLocs) + " locs";
+}
+
+} // namespace lts::litmus

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pretty-printing of litmus tests in the paper's figure style.
+ *
+ * Tests render as one column per thread plus a legality line, e.g.:
+ *
+ *     Thread 0            | Thread 1
+ *     St [x], 1           | Ld.acq r0 = [y]
+ *     St.rel [y], 1       | Ld r1 = [x]
+ *     Forbidden: (r0=1, r1=0)
+ */
+
+#ifndef LTS_LITMUS_PRINT_HH
+#define LTS_LITMUS_PRINT_HH
+
+#include <string>
+
+#include "litmus/test.hh"
+
+namespace lts::litmus
+{
+
+/** Render the static test plus its forbidden outcome (when present). */
+std::string toString(const LitmusTest &test);
+
+/** Render one event in instruction syntax ("St.rel [y], 2"). */
+std::string eventToString(const LitmusTest &test, int event_id,
+                          const std::vector<int> &write_values,
+                          const std::vector<int> &reg_names);
+
+/** Render an outcome as "(r0=1, r1=0, [x]=2)". */
+std::string outcomeToString(const LitmusTest &test, const Outcome &outcome);
+
+/** Compact one-line structural summary, e.g. "2 thr, 4 ev, 2 locs". */
+std::string summary(const LitmusTest &test);
+
+} // namespace lts::litmus
+
+#endif // LTS_LITMUS_PRINT_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Relation environment: a name -> expression binding.
+ *
+ * Axioms are written against an Env rather than against relation
+ * variables directly. The synthesizer instantiates each axiom twice per
+ * relaxation application: once with the base environment (every name
+ * bound to its relation variable) and once with a *perturbed* environment
+ * in which the affected relations are rebound to derived expressions
+ * (the "_p" relations of Section 4.3 of the paper).
+ */
+
+#ifndef LTS_MM_ENV_HH
+#define LTS_MM_ENV_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "rel/expr.hh"
+
+namespace lts::mm
+{
+
+/** An immutable-by-convention binding of relation names to expressions. */
+class Env
+{
+  public:
+    /** Bind (or rebind) @p name. */
+    void
+    set(const std::string &name, rel::ExprPtr expr)
+    {
+        bindings[name] = std::move(expr);
+    }
+
+    /** Look up @p name; throws if unbound. */
+    rel::ExprPtr
+    get(const std::string &name) const
+    {
+        auto it = bindings.find(name);
+        if (it == bindings.end())
+            throw std::out_of_range("unbound relation: " + name);
+        return it->second;
+    }
+
+    bool has(const std::string &name) const { return bindings.count(name); }
+
+    /** All bindings, for iteration (e.g. by the RI mask). */
+    const std::map<std::string, rel::ExprPtr> &all() const { return bindings; }
+
+  private:
+    std::map<std::string, rel::ExprPtr> bindings;
+};
+
+} // namespace lts::mm
+
+#endif // LTS_MM_ENV_HH

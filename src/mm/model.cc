@@ -1,0 +1,389 @@
+#include "mm/model.hh"
+
+#include <stdexcept>
+
+#include "mm/exprs.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+std::string
+toString(RTag tag)
+{
+    switch (tag) {
+      case RTag::RI:
+        return "RI";
+      case RTag::DMO:
+        return "DMO";
+      case RTag::DF:
+        return "DF";
+      case RTag::DRMW:
+        return "DRMW";
+      case RTag::RD:
+        return "RD";
+      case RTag::DS:
+        return "DS";
+    }
+    return "?";
+}
+
+Model::Model(std::string name, ModelFeatures features)
+    : modelName(std::move(name)), feats(features)
+{
+    // Type sets.
+    baseEnv.set(kR, vocabulary.declare(kR, 1));
+    baseEnv.set(kW, vocabulary.declare(kW, 1));
+    if (feats.fences)
+        baseEnv.set(kF, vocabulary.declare(kF, 1));
+
+    // Annotation sets.
+    if (feats.acqRelAccess || feats.acqRelFence) {
+        baseEnv.set(kAcq, vocabulary.declare(kAcq, 1));
+        baseEnv.set(kRel, vocabulary.declare(kRel, 1));
+    }
+    if (feats.acqRelFence)
+        baseEnv.set(kAcqRel, vocabulary.declare(kAcqRel, 1));
+    if (feats.scAccess || feats.scFence)
+        baseEnv.set(kSc, vocabulary.declare(kSc, 1));
+
+    // Structural relations (static part).
+    baseEnv.set(kPo, vocabulary.declare(kPo, 2));
+    baseEnv.set(kSloc, vocabulary.declare(kSloc, 2));
+    if (feats.deps) {
+        baseEnv.set(kAddr, vocabulary.declare(kAddr, 2));
+        baseEnv.set(kData, vocabulary.declare(kData, 2));
+        baseEnv.set(kCtrl, vocabulary.declare(kCtrl, 2));
+    }
+    if (feats.rmw)
+        baseEnv.set(kRmw, vocabulary.declare(kRmw, 2));
+
+    if (feats.scopes) {
+        baseEnv.set(kScopeWg, vocabulary.declare(kScopeWg, 1));
+        baseEnv.set(kScopeSys, vocabulary.declare(kScopeSys, 1));
+        baseEnv.set(kSameWg, vocabulary.declare(kSameWg, 2));
+    }
+
+    // Dynamic (execution/outcome) relations.
+    baseEnv.set(kRf, vocabulary.declare(kRf, 2));
+    baseEnv.set(kCo, vocabulary.declare(kCo, 2));
+    if (feats.scOrder)
+        baseEnv.set(kScOrd, vocabulary.declare(kScOrd, 2));
+}
+
+const Axiom &
+Model::axiom(const std::string &name) const
+{
+    for (const auto &a : axiomList) {
+        if (a.name == name)
+            return a;
+    }
+    throw std::out_of_range("model " + modelName + " has no axiom " + name);
+}
+
+FormulaPtr
+Model::wellFormed(size_t n) const
+{
+    const Env &env = baseEnv;
+    std::vector<FormulaPtr> facts;
+    ExprPtr r = env.get(kR);
+    ExprPtr w = env.get(kW);
+    ExprPtr po = env.get(kPo);
+    ExprPtr sloc = env.get(kSloc);
+    ExprPtr rf = env.get(kRf);
+    ExprPtr co = env.get(kCo);
+    ExprPtr memory = mem(env);
+
+    // Event types partition the universe.
+    facts.push_back(mkNo(r & w));
+    if (feats.fences) {
+        ExprPtr f = env.get(kF);
+        facts.push_back(mkNo(r & f));
+        facts.push_back(mkNo(w & f));
+        facts.push_back(mkEqual(r + w + f, mkUniv()));
+    } else {
+        facts.push_back(mkEqual(r + w, mkUniv()));
+    }
+
+    // Program order: transitive, consistent with atom index order (a
+    // symmetry-breaking predicate), forming contiguous thread blocks.
+    facts.push_back(mkSubset(po, indexLt(n)));
+    facts.push_back(mkSubset(mkJoin(po, po), po));
+    ExprPtr st = sameThread(env);
+    ExprPtr st_refl = st + mkIden();
+    facts.push_back(mkSubset(mkJoin(st_refl, st_refl), st_refl));
+    // Convexity: a thread owns a contiguous range of atom indices.
+    for (size_t i = 0; i < n; i++) {
+        for (size_t k = i + 2; k < n; k++) {
+            for (size_t j = i + 1; j < k; j++) {
+                facts.push_back(mkImplies(cellIn(st, i, k, n),
+                                          cellIn(st, i, j, n)));
+            }
+        }
+    }
+
+    // Same-location: an equivalence over memory events.
+    facts.push_back(mkSubset(sloc, mkProduct(memory, memory)));
+    facts.push_back(mkSubset(mkDomRestrict(memory, mkIden()), sloc));
+    facts.push_back(mkEqual(sloc, mkTranspose(sloc)));
+    facts.push_back(mkSubset(mkJoin(sloc, sloc), sloc));
+
+    // Reads-from: write -> read, same location, at most one writer each.
+    facts.push_back(mkSubset(rf, mkRanRestrict(mkDomRestrict(w, sloc), r)));
+    facts.push_back(mkSubset(mkJoin(rf, mkTranspose(rf)), mkIden()));
+
+    // Coherence: strict total order over the writes of each location.
+    facts.push_back(mkSubset(co, mkRanRestrict(mkDomRestrict(w, sloc), w)));
+    facts.push_back(mkSubset(mkJoin(co, co), co));
+    facts.push_back(mkAcyclic(co));
+    facts.push_back(mkSubset(
+        mkRanRestrict(mkDomRestrict(w, sloc), w) - mkIden(),
+        co + mkTranspose(co)));
+
+    // Dependencies: from reads to po-later events.
+    if (feats.deps) {
+        facts.push_back(mkSubset(env.get(kAddr),
+                                 mkRanRestrict(mkDomRestrict(r, po),
+                                               memory)));
+        facts.push_back(
+            mkSubset(env.get(kData), mkRanRestrict(mkDomRestrict(r, po), w)));
+        facts.push_back(mkSubset(env.get(kCtrl), mkDomRestrict(r, po)));
+    }
+
+    // RMW pairs: po-adjacent, same location, read then write (Figure 4).
+    if (feats.rmw) {
+        ExprPtr adjacent = po - mkJoin(po, po);
+        facts.push_back(mkSubset(
+            env.get(kRmw),
+            mkRanRestrict(mkDomRestrict(r, adjacent & sloc), w)));
+    }
+
+    // Annotations: pairwise disjoint, confined to their carriers.
+    std::vector<std::string> annots;
+    for (const auto &name : {kAcq, kRel, kAcqRel, kSc}) {
+        if (env.has(name))
+            annots.push_back(name);
+    }
+    for (size_t i = 0; i < annots.size(); i++) {
+        for (size_t j = i + 1; j < annots.size(); j++) {
+            facts.push_back(mkNo(env.get(annots[i]) & env.get(annots[j])));
+        }
+    }
+    ExprPtr fence_set = feats.fences ? env.get(kF) : mkNone(1);
+    if (env.has(kAcq)) {
+        ExprPtr carrier = feats.acqRelAccess ? (r + fence_set) : fence_set;
+        facts.push_back(mkSubset(env.get(kAcq), carrier));
+        carrier = feats.acqRelAccess ? (w + fence_set) : fence_set;
+        facts.push_back(mkSubset(env.get(kRel), carrier));
+    }
+    if (env.has(kAcqRel))
+        facts.push_back(mkSubset(env.get(kAcqRel), fence_set));
+    if (env.has(kSc)) {
+        ExprPtr carrier = mkNone(1);
+        if (feats.scAccess)
+            carrier = carrier + memory;
+        if (feats.scFence)
+            carrier = carrier + fence_set;
+        facts.push_back(mkSubset(env.get(kSc), carrier));
+    }
+
+    // Explicit sc order over SC fences (SCC, Figure 17/19): confined,
+    // irreflexive, total over SC-fence pairs, and limited to at most one
+    // edge — the lone-sc workaround that makes Figure 5c sound for SCC.
+    if (feats.scOrder) {
+        ExprPtr fsc = fence_set & env.get(kSc);
+        ExprPtr sc = env.get(kScOrd);
+        facts.push_back(mkSubset(sc, mkProduct(fsc, fsc)));
+        facts.push_back(mkIrreflexive(sc));
+        facts.push_back(mkSubset(mkProduct(fsc, fsc) - mkIden(),
+                                 sc + mkTranspose(sc)));
+        facts.push_back(mkLone(sc));
+    }
+
+    // Scopes: swg is an equivalence refined by sameThread, workgroups
+    // occupy contiguous thread (hence atom) ranges, and every
+    // synchronizing operation carries exactly one scope.
+    if (feats.scopes) {
+        ExprPtr swg = env.get(kSameWg);
+        facts.push_back(mkSubset(st + mkIden(), swg));
+        facts.push_back(mkEqual(swg, mkTranspose(swg)));
+        facts.push_back(mkSubset(mkJoin(swg, swg), swg));
+        for (size_t i = 0; i < n; i++) {
+            for (size_t k = i + 2; k < n; k++) {
+                for (size_t j = i + 1; j < k; j++) {
+                    facts.push_back(mkImplies(cellIn(swg, i, k, n),
+                                              cellIn(swg, i, j, n)));
+                }
+            }
+        }
+        ExprPtr sync_ops = mkNone(1);
+        if (env.has(kAcq))
+            sync_ops = sync_ops + env.get(kAcq) + env.get(kRel);
+        if (feats.fences)
+            sync_ops = sync_ops + env.get(kF);
+        ExprPtr s_wg = env.get(kScopeWg);
+        ExprPtr s_sys = env.get(kScopeSys);
+        facts.push_back(mkNo(s_wg & s_sys));
+        facts.push_back(mkEqual(s_wg + s_sys, sync_ops));
+    }
+
+    for (const auto &f : extraFacts)
+        facts.push_back(f(*this, env, n));
+
+    return mkAndAll(facts);
+}
+
+FormulaPtr
+Model::allAxioms(const Env &env, size_t n) const
+{
+    std::vector<FormulaPtr> parts;
+    for (const auto &a : axiomList)
+        parts.push_back(a.pred(*this, env, n));
+    return mkAndAll(parts);
+}
+
+FormulaPtr
+Model::allAxiomsRelaxed(const Env &env, size_t n) const
+{
+    std::vector<FormulaPtr> parts;
+    for (const auto &a : axiomList) {
+        if (a.relaxedPred)
+            parts.push_back(a.relaxedPred(*this, env, n));
+        else
+            parts.push_back(a.pred(*this, env, n));
+    }
+    return mkAndAll(parts);
+}
+
+std::vector<int>
+Model::staticVarIds() const
+{
+    std::vector<int> ids;
+    for (size_t i = 0; i < vocabulary.size(); i++) {
+        const auto &d = vocabulary.decl(static_cast<int>(i));
+        if (d.name != kRf && d.name != kCo && d.name != kScOrd)
+            ids.push_back(d.id);
+    }
+    return ids;
+}
+
+std::vector<int>
+Model::dynamicVarIds() const
+{
+    std::vector<int> ids;
+    for (size_t i = 0; i < vocabulary.size(); i++) {
+        const auto &d = vocabulary.decl(static_cast<int>(i));
+        if (d.name == kRf || d.name == kCo || d.name == kScOrd)
+            ids.push_back(d.id);
+    }
+    return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Generic relaxations (Figure 6)
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Mask @p rel so no edge touches the removed event. */
+ExprPtr
+maskBinary(const ExprPtr &relation, const ExprPtr &ev)
+{
+    ExprPtr keep = mkUniv() - ev;
+    return mkRanRestrict(mkDomRestrict(keep, relation), keep);
+}
+
+} // namespace
+
+Relaxation
+makeRI()
+{
+    Relaxation r;
+    r.tag = RTag::RI;
+    r.name = "RI";
+    r.applies = [](const Env &, const ExprPtr &, size_t) {
+        return mkTrue();
+    };
+    r.perturb = [](const Env &env, const ExprPtr &ev, size_t) {
+        Env out;
+        for (const auto &[name, expr] : env.all()) {
+            if (expr->arity == 1) {
+                out.set(name, expr - ev);
+            } else if (name == kCo) {
+                // Figure 8: take the transitive closure *before* masking so
+                // removing a middle write does not sever the chain.
+                out.set(name, maskBinary(mkClosure(expr), ev));
+            } else {
+                out.set(name, maskBinary(expr, ev));
+            }
+        }
+        return out;
+    };
+    return r;
+}
+
+Relaxation
+makeRD()
+{
+    Relaxation r;
+    r.tag = RTag::RD;
+    r.name = "RD";
+    r.applies = [](const Env &env, const ExprPtr &ev, size_t) {
+        ExprPtr deps = env.get(kAddr) + env.get(kData) + env.get(kCtrl);
+        return mkSome(mkDomRestrict(ev, deps));
+    };
+    r.perturb = [](const Env &env, const ExprPtr &ev, size_t) {
+        Env out = env;
+        for (const auto &name : {kAddr, kData, kCtrl}) {
+            out.set(name, env.get(name) - mkDomRestrict(ev, env.get(name)));
+        }
+        return out;
+    };
+    return r;
+}
+
+Relaxation
+makeDRMW()
+{
+    Relaxation r;
+    r.tag = RTag::DRMW;
+    r.name = "DRMW";
+    r.applies = [](const Env &env, const ExprPtr &ev, size_t) {
+        return mkSome(mkDomRestrict(ev, env.get(kRmw)));
+    };
+    r.perturb = [](const Env &env, const ExprPtr &ev, size_t) {
+        Env out = env;
+        out.set(kRmw, env.get(kRmw) - mkDomRestrict(ev, env.get(kRmw)));
+        return out;
+    };
+    return r;
+}
+
+Relaxation
+makeDemote(RTag tag, const std::string &name, const std::string &from_set,
+           std::optional<std::string> to_set, const std::string &carrier)
+{
+    Relaxation r;
+    r.tag = tag;
+    r.name = name;
+    r.applies = [from_set, carrier](const Env &env, const ExprPtr &ev,
+                                    size_t) {
+        return mkSome(ev & env.get(from_set) & env.get(carrier));
+    };
+    r.perturb = [from_set, to_set](const Env &env, const ExprPtr &ev,
+                                   size_t) {
+        Env out = env;
+        out.set(from_set, env.get(from_set) - ev);
+        if (to_set)
+            out.set(*to_set, env.get(*to_set) + ev);
+        return out;
+    };
+    r.demoteFrom = from_set;
+    r.demoteTo = to_set;
+    r.demoteCarrier = carrier;
+    return r;
+}
+
+} // namespace lts::mm

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The memory-model definition framework.
+ *
+ * A Model packages what the paper expresses in Alloy: a vocabulary of
+ * relation variables (the "sig" fields), well-formedness facts, a list of
+ * named axioms (the predicates suites are generated for), and the set of
+ * instruction relaxations that apply to the model (Table 2). Axioms are
+ * functions of an Env so they can be instantiated with perturbed
+ * relations; relaxations provide both an applicability condition and the
+ * environment perturbation (Figure 6).
+ */
+
+#ifndef LTS_MM_MODEL_HH
+#define LTS_MM_MODEL_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mm/env.hh"
+#include "rel/formula.hh"
+#include "rel/instance.hh"
+
+namespace lts::mm
+{
+
+class Model;
+
+/** One named axiom of a model (e.g. "sc_per_loc", "causality"). */
+struct Axiom
+{
+    std::string name;
+
+    /** The axiom as a formula over the given environment. */
+    std::function<rel::FormulaPtr(const Model &, const Env &, size_t n)> pred;
+
+    /**
+     * Variant used when checking *relaxed* executions, for models whose
+     * auxiliary relations make the Figure 5c under-approximation unsound
+     * (the SCC "sc" workaround of Figure 19). Defaults to pred.
+     */
+    std::function<rel::FormulaPtr(const Model &, const Env &, size_t n)>
+        relaxedPred;
+};
+
+/** The instruction-relaxation families of Section 3.2. */
+enum class RTag
+{
+    RI,   ///< remove instruction
+    DMO,  ///< demote memory order
+    DF,   ///< demote fence
+    DRMW, ///< decompose atomic read-modify-write
+    RD,   ///< remove dependency
+    DS,   ///< demote scope
+};
+
+/** Printable name of a relaxation family. */
+std::string toString(RTag tag);
+
+/**
+ * One concrete instruction relaxation (e.g. "DMO(acq->rlx)"): an
+ * applicability condition and an environment perturbation, both
+ * parameterized by the targeted event (as a singleton constant set).
+ */
+struct Relaxation
+{
+    RTag tag;
+    std::string name;
+
+    /** Does this relaxation apply to event @p ev (singleton set)? */
+    std::function<rel::FormulaPtr(const Env &, const rel::ExprPtr &ev,
+                                  size_t n)>
+        applies;
+
+    /** The perturbed environment when applied to event @p ev. */
+    std::function<Env(const Env &, const rel::ExprPtr &ev, size_t n)> perturb;
+
+    // Structural metadata for DMO/DF demotions, used by the sound
+    // (Figure 5b) engine to apply the relaxation to a litmus test
+    // directly. Empty for RI/RD/DRMW, whose effect is tag-determined.
+    std::optional<std::string> demoteFrom;    ///< annotation set removed
+    std::optional<std::string> demoteTo;      ///< annotation set added
+    std::string demoteCarrier;                ///< kR, kW or kF
+};
+
+/** Feature switches controlling the vocabulary and well-formedness. */
+struct ModelFeatures
+{
+    bool fences = true;       ///< F events exist
+    bool deps = false;        ///< addr/data/ctrl dependency relations
+    bool rmw = true;          ///< atomic read-modify-write pairing
+    bool acqRelAccess = false;///< ACQ on reads / REL on writes
+    bool scAccess = false;    ///< SCA annotation on accesses (C/C++)
+    bool acqRelFence = false; ///< AR fences (lwsync / FenceAcqRel / C11)
+    bool scFence = false;     ///< SCA fences (sync / FenceSC / C11 sc)
+    bool scOrder = false;     ///< explicit sc total-order relation (SCC)
+    bool scopes = false;      ///< workgroup/system scopes + DS (OpenCL/HSA)
+};
+
+/**
+ * A complete memory-model definition. Build with the factories in
+ * mm/models.hh; the registry (mm/registry.hh) lists them by name.
+ */
+class Model
+{
+  public:
+    Model(std::string name, ModelFeatures features);
+
+    const std::string &name() const { return modelName; }
+    const ModelFeatures &features() const { return feats; }
+    const rel::Vocabulary &vocab() const { return vocabulary; }
+    const Env &base() const { return baseEnv; }
+
+    const std::vector<Axiom> &axioms() const { return axiomList; }
+    const std::vector<Relaxation> &relaxations() const { return relaxList; }
+
+    /** Find an axiom by name (throws if absent). */
+    const Axiom &axiom(const std::string &name) const;
+
+    void addAxiom(Axiom axiom) { axiomList.push_back(std::move(axiom)); }
+    void addRelaxation(Relaxation r) { relaxList.push_back(std::move(r)); }
+
+    /** Extra well-formedness facts specific to this model. */
+    void
+    addExtraFact(
+        std::function<rel::FormulaPtr(const Model &, const Env &, size_t)> f)
+    {
+        extraFacts.push_back(std::move(f));
+    }
+
+    /**
+     * Well-formedness of an instance as a litmus-test execution: type
+     * partition, program-order shape (including the contiguous-thread
+     * symmetry breaking), location equivalence, rf/co sanity,
+     * dependency/rmw shape, annotation carriers, plus model extras.
+     */
+    rel::FormulaPtr wellFormed(size_t n) const;
+
+    /** Conjunction of every axiom over @p env. */
+    rel::FormulaPtr allAxioms(const Env &env, size_t n) const;
+
+    /** Conjunction of every axiom's relaxed variant over @p env. */
+    rel::FormulaPtr allAxiomsRelaxed(const Env &env, size_t n) const;
+
+    /** The relation-variable ids forming a test's *static* part. */
+    std::vector<int> staticVarIds() const;
+
+    /** The relation-variable ids of the dynamic (outcome) part. */
+    std::vector<int> dynamicVarIds() const;
+
+  private:
+    std::string modelName;
+    ModelFeatures feats;
+    rel::Vocabulary vocabulary;
+    Env baseEnv;
+    std::vector<Axiom> axiomList;
+    std::vector<Relaxation> relaxList;
+    std::vector<std::function<rel::FormulaPtr(const Model &, const Env &,
+                                              size_t)>>
+        extraFacts;
+};
+
+// --- generic relaxation builders (Figure 6 made reusable) -------------------
+
+/** Remove Instruction: mask the event out of every relation. */
+Relaxation makeRI();
+
+/** Remove Dependency: drop dependencies originating at the event. */
+Relaxation makeRD();
+
+/** Decompose RMW: drop rmw pairing originating at the event. */
+Relaxation makeDRMW();
+
+/**
+ * Demote an annotation: remove the event from @p from_set (optionally
+ * adding it to @p to_set), applicable when the event carries the
+ * annotation and lies in the carrier set named by @p carrier (one of
+ * kR/kW/kF). Used for both DMO and DF.
+ */
+Relaxation makeDemote(RTag tag, const std::string &name,
+                      const std::string &from_set,
+                      std::optional<std::string> to_set,
+                      const std::string &carrier);
+
+} // namespace lts::mm
+
+#endif // LTS_MM_MODEL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Factories for the memory models studied in the paper's case studies.
+ *
+ * Each factory transliterates the corresponding axiomatic formulation:
+ *
+ *  - makeSc():    sequential consistency (Lamport 1979)
+ *  - makeTso():   the paper's Figure 4 TSO (Alglave-style + RMW)
+ *  - makePower(): herding-cats Power (Alglave et al. 2014, Figure 15),
+ *                 with the ppo fixpoint of ii/ic/ci/cc unrolled
+ *  - makeArmv7(): the Power variant without lwsync (Section 6.2)
+ *  - makeScc():   Streamlined Causal Consistency (Figures 17 and 19),
+ *                 including the lone-sc workaround
+ *  - makeC11():   a release/acquire/SC fragment of C/C++11 after Batty et
+ *                 al. (Section 6.4); out-of-thin-air is deliberately not
+ *                 axiomatized, per Section 3.3 of the paper
+ */
+
+#ifndef LTS_MM_MODELS_HH
+#define LTS_MM_MODELS_HH
+
+#include <memory>
+
+#include "mm/model.hh"
+
+namespace lts::mm
+{
+
+std::unique_ptr<Model> makeSc();
+std::unique_ptr<Model> makeTso();
+std::unique_ptr<Model> makePower();
+std::unique_ptr<Model> makeArmv7();
+std::unique_ptr<Model> makeScc();
+
+/**
+ * SCC without the Figure 19 workaround: causality's relaxed variant is
+ * the strict Figure 5c check. Exhibits the SB false negative; used by
+ * the criterion ablation and the sound-engine tests.
+ */
+std::unique_ptr<Model> makeSccStrict();
+std::unique_ptr<Model> makeC11();
+
+/**
+ * Scoped SCC ("sscc"): SCC with OpenCL/HSA-style workgroup/system
+ * scopes, exercising the DS relaxation (stand-in for the scoped models
+ * of Table 2).
+ */
+std::unique_ptr<Model> makeScopedScc();
+
+/**
+ * The unrolled Power preserved-program-order (ppo) fixpoint: the least
+ * solution of the mutually recursive ii/ic/ci/cc equations, unrolled far
+ * enough for a universe of @p n events. Exposed for testing against the
+ * exact concrete fixpoint.
+ */
+rel::ExprPtr powerPpo(const Env &env, size_t n);
+
+/** Power's fence-ordering relation (sync plus lwsync-minus-W->R). */
+rel::ExprPtr powerFences(const Env &env);
+
+/** Power's prop relation (write propagation order). */
+rel::ExprPtr powerProp(const Env &env, size_t n);
+
+} // namespace lts::mm
+
+#endif // LTS_MM_MODELS_HH

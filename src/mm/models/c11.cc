@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A C/C++11 fragment (Section 6.4 of the paper), following the shape of
+ * Batty et al.'s formalization restricted to atomics with the
+ * release/acquire/seq_cst machinery:
+ *
+ *  - sw (synchronizes-with) from release writes/fences to acquire
+ *    reads/fences through rf (and rmw chains, subsuming release
+ *    sequences through read-modify-writes);
+ *  - hb = (po + sw)^+;
+ *  - coherence as irreflexive(hb ; eco?) with eco = (rf + co + fr)^+,
+ *    which folds the CoRR/CoWR/CoRW/CoWW shapes and rf-consistency into
+ *    one axiom;
+ *  - RMW atomicity;
+ *  - a simplified SC axiom: the seq_cst events embed into a total order
+ *    consistent with hb, co and fr (acyclicity of their restriction).
+ *
+ * Deliberate simplifications, documented per DESIGN.md: non-atomic
+ * accesses and data races are out of scope (every access is atomic),
+ * consume is dropped (deprecated in practice and treated specially in
+ * every formalization), and — exactly as the paper discusses in Sections
+ * 3.3 and 6.4 — no out-of-thin-air axiom is included, so the RD
+ * relaxation does not apply.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+namespace
+{
+
+/** Synchronizes-with. */
+ExprPtr
+c11Sw(const Env &env)
+{
+    ExprPtr f = env.get(kF);
+    ExprPtr po = env.get(kPo);
+    ExprPtr rel_plus =
+        env.get(kRel) + env.get(kAcqRel) + env.get(kSc); // release or more
+    ExprPtr acq_plus =
+        env.get(kAcq) + env.get(kAcqRel) + env.get(kSc); // acquire or more
+
+    ExprPtr releasers = (env.get(kW) + f) & rel_plus;
+    ExprPtr acquirers = (env.get(kR) + f) & acq_plus;
+
+    ExprPtr prefix = mkIden() + mkDomRestrict(f, po);
+    ExprPtr suffix = mkIden() + mkRanRestrict(po, f);
+    ExprPtr chain = mkClosure(env.get(kRf) + env.get(kRmw));
+    return mkRanRestrict(
+        mkDomRestrict(releasers, mkJoin(prefix, mkJoin(chain, suffix))),
+        acquirers);
+}
+
+/** Happens-before. */
+ExprPtr
+c11Hb(const Env &env)
+{
+    return mkClosure(env.get(kPo) + c11Sw(env));
+}
+
+} // namespace
+
+std::unique_ptr<Model>
+makeC11()
+{
+    ModelFeatures feats;
+    feats.fences = true;
+    feats.deps = false; // no out-of-thin-air axiom => RD not applicable
+    feats.rmw = true;
+    feats.acqRelAccess = true;
+    feats.scAccess = true;
+    feats.acqRelFence = true;
+    feats.scFence = true;
+
+    auto model = std::make_unique<Model>("c11", feats);
+
+    // C11 fences must carry an ordering annotation (a relaxed fence is a
+    // no-op and excluded); acq_rel on accesses only arises from RMW
+    // halves, which here carry their own acquire/release annotations.
+    model->addExtraFact([](const Model &, const Env &env, size_t) {
+        return mkAndAll({
+            mkSubset(env.get(kF), env.get(kAcq) + env.get(kRel) +
+                                      env.get(kAcqRel) + env.get(kSc)),
+            mkSubset(env.get(kAcqRel), env.get(kF)),
+            mkSubset(env.get(kAcq), env.get(kR) + env.get(kF)),
+            mkSubset(env.get(kRel), env.get(kW) + env.get(kF)),
+        });
+    });
+
+    model->addAxiom(Axiom{
+        "coherence",
+        [](const Model &, const Env &env, size_t) {
+            ExprPtr eco = mkClosure(com(env));
+            return mkIrreflexive(mkJoin(c11Hb(env), mkIden() + eco));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "rmw_atomicity",
+        [](const Model &, const Env &env, size_t) {
+            return mkNo(mkJoin(fr(env), env.get(kCo)) & env.get(kRmw));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "seq_cst",
+        [](const Model &, const Env &env, size_t) {
+            ExprPtr sc = env.get(kSc);
+            ExprPtr order = c11Hb(env) + env.get(kCo) + fr(env);
+            return mkAcyclic(mkRanRestrict(mkDomRestrict(sc, order), sc));
+        },
+        nullptr,
+    });
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeDRMW());
+    // One-step DMO demotions along Table 1.
+    model->addRelaxation(makeDemote(RTag::DMO, "DMO(R:sc->acq)", kSc, kAcq,
+                                    kR));
+    model->addRelaxation(makeDemote(RTag::DMO, "DMO(W:sc->rel)", kSc, kRel,
+                                    kW));
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(R:acq->rlx)", kAcq, std::nullopt, kR));
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(W:rel->rlx)", kRel, std::nullopt, kW));
+    // One-step DF demotions for fences.
+    model->addRelaxation(makeDemote(RTag::DF, "DF(sc->acq_rel)", kSc,
+                                    kAcqRel, kF));
+    model->addRelaxation(makeDemote(RTag::DF, "DF(acq_rel->acq)", kAcqRel,
+                                    kAcq, kF));
+    model->addRelaxation(makeDemote(RTag::DF, "DF(acq_rel->rel)", kAcqRel,
+                                    kRel, kF));
+    model->addRelaxation(
+        makeDemote(RTag::DF, "DF(acq->rlx)", kAcq, std::nullopt, kF));
+    model->addRelaxation(
+        makeDemote(RTag::DF, "DF(rel->rlx)", kRel, std::nullopt, kF));
+    return model;
+}
+
+} // namespace lts::mm

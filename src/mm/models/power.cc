@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The Power memory model of Alglave, Maranget & Tautschnig ("Herding
+ * Cats", TOPLAS 2014), as used in Section 6.2 / Figure 15 of the paper:
+ *
+ *     acyclic[rf + co + fr + po_loc]           // SC per Location
+ *     acyclic[ppo + fences + rfe]              // No Thin-Air
+ *     irreflexive[fre.prop.*(ppo+fences+rfe)]  // Observation
+ *     acyclic[co + prop]                       // Propagation
+ *
+ * ppo is the least fixed point of the four mutually recursive relations
+ * ii/ic/ci/cc; here the fixpoint is unrolled symbolically far enough for
+ * the bounded universe (tests/mm verify the unrolling against the exact
+ * concrete fixpoint). Fences: sync is a SeqCst-annotated fence, lwsync an
+ * AcqRel-annotated one. ctrl+isync (cfence) and eieio are not modeled —
+ * the latter matching the paper's note that eieio lacks an axiomatic
+ * formalization.
+ *
+ * ARMv7 (Section 6.2) is the same skeleton without lwsync.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+namespace
+{
+
+/** Number of fixpoint unrolling rounds adequate for n events. */
+size_t
+unrollRounds(size_t n)
+{
+    // Each round at least doubles the length of derivations each relation
+    // can justify (ii;ii, cc;cc, and the cross terms); ppo edges live in a
+    // universe with at most n*n pairs, so 2*ceil(log2(n)) + 2 rounds are
+    // comfortably past the fixpoint for the sizes we synthesize at.
+    size_t rounds = 2;
+    size_t reach = 1;
+    while (reach < n) {
+        reach *= 2;
+        rounds += 2;
+    }
+    return rounds;
+}
+
+} // namespace
+
+ExprPtr
+powerPpo(const Env &env, size_t n)
+{
+    ExprPtr r = env.get(kR);
+    ExprPtr w = env.get(kW);
+    ExprPtr po = env.get(kPo);
+
+    ExprPtr dp = env.get(kAddr) + env.get(kData);
+    ExprPtr rdw = poLoc(env) & mkJoin(fre(env), rfe(env));
+    ExprPtr detour = poLoc(env) & mkJoin(coe(env), rfe(env));
+
+    ExprPtr ii0 = dp + rdw + rfi(env);
+    ExprPtr ic0 = mkNone(2);
+    ExprPtr ci0 = detour; // ctrl+isync (cfence) not modeled
+    ExprPtr cc0 =
+        dp + poLoc(env) + env.get(kCtrl) + mkJoin(env.get(kAddr), po);
+
+    ExprPtr ii = ii0;
+    ExprPtr ic = ic0;
+    ExprPtr ci = ci0;
+    ExprPtr cc = cc0;
+    for (size_t round = 0; round < unrollRounds(n); round++) {
+        ExprPtr ii_next = ii0 + ci + mkJoin(ic, ci) + mkJoin(ii, ii);
+        ExprPtr ic_next = ic0 + ii + cc + mkJoin(ic, cc) + mkJoin(ii, ic);
+        ExprPtr ci_next = ci0 + mkJoin(ci, ii) + mkJoin(cc, ci);
+        ExprPtr cc_next = cc0 + ci + mkJoin(ci, ic) + mkJoin(cc, cc);
+        ii = ii_next;
+        ic = ic_next;
+        ci = ci_next;
+        cc = cc_next;
+    }
+
+    return (mkProduct(r, r) & ii) + (mkProduct(r, w) & ic);
+}
+
+ExprPtr
+powerFences(const Env &env)
+{
+    ExprPtr f = env.get(kF);
+    ExprPtr sync = f & env.get(kSc);
+    ExprPtr ff = fenceOrder(env, sync);
+    ExprPtr fences = ff;
+    if (env.has(kAcqRel)) {
+        ExprPtr lw = f & env.get(kAcqRel);
+        ExprPtr lwf = fenceOrder(env, lw) -
+                      mkProduct(env.get(kW), env.get(kR));
+        fences = fences + lwf;
+    }
+    return fences;
+}
+
+ExprPtr
+powerProp(const Env &env, size_t n)
+{
+    ExprPtr w = env.get(kW);
+    ExprPtr fences = powerFences(env);
+    ExprPtr ff = fenceOrder(env, env.get(kF) & env.get(kSc));
+    ExprPtr hb = powerPpo(env, n) + fences + rfe(env);
+
+    ExprPtr prop_base =
+        mkJoin(fences + mkJoin(rfe(env), fences), mkRClosure(hb));
+    ExprPtr prop_w = mkProduct(w, w) & prop_base;
+    ExprPtr chained = mkJoin(
+        mkRClosure(com(env)),
+        mkJoin(mkRClosure(prop_base), mkJoin(ff, mkRClosure(hb))));
+    return prop_w + chained;
+}
+
+namespace
+{
+
+std::unique_ptr<Model>
+makePowerLike(const std::string &name, bool has_lwsync)
+{
+    ModelFeatures feats;
+    feats.fences = true;
+    feats.deps = true;
+    feats.rmw = true;
+    feats.scFence = true;           // sync / dmb
+    feats.acqRelFence = has_lwsync; // lwsync
+
+    auto model = std::make_unique<Model>(name, feats);
+
+    // Every fence is one of the architected fences.
+    model->addExtraFact([has_lwsync](const Model &, const Env &env, size_t) {
+        ExprPtr allowed = env.get(kSc);
+        if (has_lwsync)
+            allowed = allowed + env.get(kAcqRel);
+        return mkSubset(env.get(kF), allowed);
+    });
+
+    model->addAxiom(Axiom{
+        "sc_per_loc",
+        [](const Model &, const Env &env, size_t) {
+            return mkAcyclic(com(env) + poLoc(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "no_thin_air",
+        [](const Model &, const Env &env, size_t n) {
+            return mkAcyclic(powerPpo(env, n) + powerFences(env) + rfe(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "observation",
+        [](const Model &, const Env &env, size_t n) {
+            ExprPtr hb = powerPpo(env, n) + powerFences(env) + rfe(env);
+            return mkIrreflexive(mkJoin(
+                fre(env), mkJoin(powerProp(env, n), mkRClosure(hb))));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "propagation",
+        [](const Model &, const Env &env, size_t n) {
+            return mkAcyclic(env.get(kCo) + powerProp(env, n));
+        },
+        nullptr,
+    });
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeRD());
+    model->addRelaxation(makeDRMW());
+    if (has_lwsync) {
+        model->addRelaxation(
+            makeDemote(RTag::DF, "DF(sync->lwsync)", kSc, kAcqRel, kF));
+    }
+    return model;
+}
+
+} // namespace
+
+std::unique_ptr<Model>
+makePower()
+{
+    return makePowerLike("power", true);
+}
+
+std::unique_ptr<Model>
+makeArmv7()
+{
+    return makePowerLike("armv7", false);
+}
+
+} // namespace lts::mm

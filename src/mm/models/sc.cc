@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sequential consistency (Lamport 1979) in the axiomatic style: all
+ * communication and program order embed into one total execution order,
+ * i.e. acyclic(po + rf + co + fr). RMW pairs are supported so DRMW and
+ * the rmw_atomicity axiom are exercised even in the simplest model.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+std::unique_ptr<Model>
+makeSc()
+{
+    ModelFeatures feats;
+    feats.fences = false; // fences are meaningless under SC
+    feats.rmw = true;
+
+    auto model = std::make_unique<Model>("sc", feats);
+
+    model->addAxiom(Axiom{
+        "sequential_consistency",
+        [](const Model &, const Env &env, size_t) {
+            return mkAcyclic(env.get(kPo) + com(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "rmw_atomicity",
+        [](const Model &, const Env &env, size_t) {
+            return mkNo(mkJoin(fr(env), env.get(kCo)) & env.get(kRmw));
+        },
+        nullptr,
+    });
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeDRMW());
+    return model;
+}
+
+} // namespace lts::mm

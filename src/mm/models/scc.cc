@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Streamlined Causal Consistency (SCC), the model the paper introduces in
+ * Section 6.3 (Figure 17), including the lone-sc workaround of Figure 19.
+ *
+ *     pred scc {
+ *       acyclic[rf + co + fr + po_loc]      // SC per Location
+ *       acyclic[rf + dep]                   // No Thin-Air values
+ *       no fr.co & rmw                      // RMW Atomicity
+ *       irreflexive[*(rf + co + fr).^cause] // Causality
+ *     }
+ *     prefix = iden + (Fence <: po) + (Release <: po_loc)
+ *     suffix = iden + (po :> Fence) + (po_loc :> Acquire)
+ *     sync   = Releasers <: prefix.^(rf+rmw).suffix :> Acquirers
+ *     cause  = *po.(sc + sync).*po
+ *
+ * The sc relation is a total order over FenceSC instructions. Because sc
+ * is an auxiliary execution relation, the Figure 5c phrasing of the
+ * minimality criterion would under-approximate (the SB discussion of
+ * Figure 18); the model therefore constrains tests to at most one sc edge
+ * and checks relaxed executions against causality_wa (Figure 19), which
+ * also tries the reversed sc edge.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+namespace
+{
+
+ExprPtr
+sccSync(const Env &env)
+{
+    ExprPtr f = env.get(kF);
+    ExprPtr acq = env.get(kAcq);
+    ExprPtr rel_set = env.get(kRel);
+    ExprPtr po = env.get(kPo);
+
+    ExprPtr prefix = mkIden() + mkDomRestrict(f, po) +
+                     mkDomRestrict(rel_set, poLoc(env));
+    ExprPtr suffix = mkIden() + mkRanRestrict(po, f) +
+                     mkRanRestrict(poLoc(env), acq);
+    ExprPtr chain = mkClosure(env.get(kRf) + env.get(kRmw));
+    ExprPtr releasers = rel_set + f;
+    ExprPtr acquirers = acq + f;
+    return mkRanRestrict(
+        mkDomRestrict(releasers, mkJoin(prefix, mkJoin(chain, suffix))),
+        acquirers);
+}
+
+/** cause with the given sc edge orientation. */
+ExprPtr
+sccCause(const Env &env, const ExprPtr &sc)
+{
+    ExprPtr po_star = mkRClosure(env.get(kPo));
+    return mkJoin(po_star, mkJoin(sc + sccSync(env), po_star));
+}
+
+FormulaPtr
+sccCausality(const Env &env, const ExprPtr &sc)
+{
+    return mkIrreflexive(
+        mkJoin(mkRClosure(com(env)), mkClosure(sccCause(env, sc))));
+}
+
+} // namespace
+
+namespace
+{
+
+std::unique_ptr<Model> makeSccImpl(bool workaround);
+
+} // namespace
+
+std::unique_ptr<Model>
+makeScc()
+{
+    return makeSccImpl(true);
+}
+
+std::unique_ptr<Model>
+makeSccStrict()
+{
+    return makeSccImpl(false);
+}
+
+namespace
+{
+
+std::unique_ptr<Model>
+makeSccImpl(bool workaround)
+{
+    ModelFeatures feats;
+    feats.fences = true;
+    feats.deps = true; // used by no_thin_air only
+    feats.rmw = true;
+    feats.acqRelAccess = true; // Acquire reads, Release writes
+    feats.acqRelFence = true;  // FenceAcqRel
+    feats.scFence = true;      // FenceSC
+    feats.scOrder = true;      // explicit sc total order (lone, Figure 19)
+
+    auto model = std::make_unique<Model>(workaround ? "scc" : "scc-strict",
+                                         feats);
+
+    // SCC annotations: acquires are reads, releases are writes (the
+    // ARMv8-like opcodes of Figure 17), fences are AcqRel or SC.
+    model->addExtraFact([](const Model &, const Env &env, size_t) {
+        return mkAndAll({
+            mkSubset(env.get(kAcq), env.get(kR)),
+            mkSubset(env.get(kRel), env.get(kW)),
+            mkSubset(env.get(kF), env.get(kAcqRel) + env.get(kSc)),
+        });
+    });
+
+    model->addAxiom(Axiom{
+        "sc_per_loc",
+        [](const Model &, const Env &env, size_t) {
+            return mkAcyclic(com(env) + poLoc(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "no_thin_air",
+        [](const Model &, const Env &env, size_t) {
+            ExprPtr dep =
+                env.get(kAddr) + env.get(kData) + env.get(kCtrl);
+            return mkAcyclic(env.get(kRf) + dep);
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "rmw_atomicity",
+        [](const Model &, const Env &env, size_t) {
+            return mkNo(mkJoin(fr(env), env.get(kCo)) & env.get(kRmw));
+        },
+        nullptr,
+    });
+    Axiom causality;
+    causality.name = "causality";
+    causality.pred = [](const Model &, const Env &env, size_t) {
+        return sccCausality(env, env.get(kScOrd));
+    };
+    if (workaround) {
+        // Figure 19: when checking relaxed executions, also accept the
+        // reversed sc edge, emulating enumeration over sc orders.
+        causality.relaxedPred = [](const Model &, const Env &env, size_t) {
+            return sccCausality(env, env.get(kScOrd)) ||
+                   sccCausality(env, mkTranspose(env.get(kScOrd)));
+        };
+    }
+    model->addAxiom(std::move(causality));
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeRD());
+    model->addRelaxation(makeDRMW());
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(acq->rlx)", kAcq, std::nullopt, kR));
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(rel->rlx)", kRel, std::nullopt, kW));
+    // FenceSC -> FenceAcqRel also drops the fence's sc edges.
+    {
+        Relaxation df = makeDemote(RTag::DF, "DF(sc->ar)", kSc, kAcqRel, kF);
+        auto base_perturb = df.perturb;
+        df.perturb = [base_perturb](const Env &env, const ExprPtr &ev,
+                                    size_t n) {
+            Env out = base_perturb(env, ev, n);
+            ExprPtr keep = mkUniv() - ev;
+            out.set(kScOrd, mkRanRestrict(
+                                mkDomRestrict(keep, env.get(kScOrd)), keep));
+            return out;
+        };
+        model->addRelaxation(df);
+    }
+    model->addRelaxation(
+        makeDemote(RTag::DF, "DF(ar->rlx)", kAcqRel, std::nullopt, kF));
+    return model;
+}
+
+} // namespace
+
+} // namespace lts::mm

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Scoped Streamlined Causal Consistency ("sscc") — SCC extended with
+ * OpenCL/HSA-style synchronization scopes, standing in for the scoped
+ * models of Table 2 (HSA, OpenCL) so the DS (demote scope) relaxation is
+ * exercised end to end.
+ *
+ * Threads are grouped into workgroups (the swg equivalence). Every
+ * synchronizing operation (acquire read, release write, fence) carries a
+ * scope: workgroup or system. A release-acquire synchronization edge
+ * takes effect only when both endpoints' scopes cover their distance —
+ * same-workgroup pairs synchronize at any scope, cross-workgroup pairs
+ * only when both ends are system-scoped (the "too narrow scope is
+ * insufficient" behavior of Section 3.2's DS discussion). FenceSC is
+ * always system-scoped. Everything else is SCC (Figure 17), including
+ * the lone-sc workaround.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+namespace
+{
+
+/** Scope-effective synchronization: SCC sync gated by scope coverage. */
+ExprPtr
+scopedSync(const Env &env)
+{
+    ExprPtr f = env.get(kF);
+    ExprPtr acq = env.get(kAcq);
+    ExprPtr rel_set = env.get(kRel);
+    ExprPtr po = env.get(kPo);
+
+    ExprPtr prefix = mkIden() + mkDomRestrict(f, po) +
+                     mkDomRestrict(rel_set, poLoc(env));
+    ExprPtr suffix = mkIden() + mkRanRestrict(po, f) +
+                     mkRanRestrict(poLoc(env), acq);
+    ExprPtr chain = mkClosure(env.get(kRf) + env.get(kRmw));
+    ExprPtr releasers = rel_set + f;
+    ExprPtr acquirers = acq + f;
+    ExprPtr sync = mkRanRestrict(
+        mkDomRestrict(releasers, mkJoin(prefix, mkJoin(chain, suffix))),
+        acquirers);
+
+    // Coverage: same workgroup, or both endpoints system-scoped.
+    ExprPtr s_sys = env.get(kScopeSys);
+    ExprPtr covered = env.get(kSameWg) + mkProduct(s_sys, s_sys);
+    return sync & covered;
+}
+
+ExprPtr
+scopedCause(const Env &env, const ExprPtr &sc)
+{
+    ExprPtr po_star = mkRClosure(env.get(kPo));
+    return mkJoin(po_star, mkJoin(sc + scopedSync(env), po_star));
+}
+
+FormulaPtr
+scopedCausality(const Env &env, const ExprPtr &sc)
+{
+    return mkIrreflexive(
+        mkJoin(mkRClosure(com(env)), mkClosure(scopedCause(env, sc))));
+}
+
+} // namespace
+
+std::unique_ptr<Model>
+makeScopedScc()
+{
+    ModelFeatures feats;
+    feats.fences = true;
+    feats.deps = true;
+    feats.rmw = true;
+    feats.acqRelAccess = true;
+    feats.acqRelFence = true;
+    feats.scFence = true;
+    feats.scOrder = true;
+    feats.scopes = true;
+
+    auto model = std::make_unique<Model>("sscc", feats);
+
+    model->addExtraFact([](const Model &, const Env &env, size_t) {
+        return mkAndAll({
+            mkSubset(env.get(kAcq), env.get(kR)),
+            mkSubset(env.get(kRel), env.get(kW)),
+            mkSubset(env.get(kF), env.get(kAcqRel) + env.get(kSc)),
+            // FenceSC is inherently system-scoped.
+            mkSubset(env.get(kF) & env.get(kSc), env.get(kScopeSys)),
+        });
+    });
+
+    model->addAxiom(Axiom{
+        "sc_per_loc",
+        [](const Model &, const Env &env, size_t) {
+            return mkAcyclic(com(env) + poLoc(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "no_thin_air",
+        [](const Model &, const Env &env, size_t) {
+            ExprPtr dep =
+                env.get(kAddr) + env.get(kData) + env.get(kCtrl);
+            return mkAcyclic(env.get(kRf) + dep);
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "rmw_atomicity",
+        [](const Model &, const Env &env, size_t) {
+            return mkNo(mkJoin(fr(env), env.get(kCo)) & env.get(kRmw));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "causality",
+        [](const Model &, const Env &env, size_t) {
+            return scopedCausality(env, env.get(kScOrd));
+        },
+        [](const Model &, const Env &env, size_t) {
+            return scopedCausality(env, env.get(kScOrd)) ||
+                   scopedCausality(env, mkTranspose(env.get(kScOrd)));
+        },
+    });
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeRD());
+    model->addRelaxation(makeDRMW());
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(acq->rlx)", kAcq, std::nullopt, kR));
+    model->addRelaxation(
+        makeDemote(RTag::DMO, "DMO(rel->rlx)", kRel, std::nullopt, kW));
+    {
+        Relaxation df = makeDemote(RTag::DF, "DF(sc->ar)", kSc, kAcqRel, kF);
+        auto base_perturb = df.perturb;
+        df.perturb = [base_perturb](const Env &env, const ExprPtr &ev,
+                                    size_t n) {
+            Env out = base_perturb(env, ev, n);
+            ExprPtr keep = mkUniv() - ev;
+            out.set(kScOrd, mkRanRestrict(
+                                mkDomRestrict(keep, env.get(kScOrd)), keep));
+            // A demoted FenceSC drops to workgroup-visible default? No:
+            // it keeps its (system) scope; only its sc participation and
+            // SC strength go away.
+            return out;
+        };
+        model->addRelaxation(df);
+    }
+    model->addRelaxation(
+        makeDemote(RTag::DF, "DF(ar->rlx)", kAcqRel, std::nullopt, kF));
+
+    // DS: narrow a system-scoped synchronizing op to workgroup scope.
+    // FenceSC is excluded (pinned to system scope by the facts above).
+    {
+        Relaxation ds;
+        ds.tag = RTag::DS;
+        ds.name = "DS(sys->wg)";
+        ds.applies = [](const Env &env, const ExprPtr &ev, size_t) {
+            ExprPtr fence_sc = env.get(kF) & env.get(kSc);
+            return mkSome((ev & env.get(kScopeSys)) - fence_sc);
+        };
+        ds.perturb = [](const Env &env, const ExprPtr &ev, size_t) {
+            Env out = env;
+            out.set(kScopeSys, env.get(kScopeSys) - ev);
+            out.set(kScopeWg, env.get(kScopeWg) + ev);
+            return out;
+        };
+        model->addRelaxation(ds);
+    }
+    return model;
+}
+
+} // namespace lts::mm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Total Store Order, transliterated from Figure 4 of the paper (the
+ * Alglave-style formulation extended with atomic read-modify-writes):
+ *
+ *     pred tso {
+ *       acyclic[rf + co + fr + po_loc]            // SC per Location
+ *       no fre.coe & rmw                          // RMW Atomicity
+ *       acyclic[rfe + co + fr + ppo + fence]      // Causality
+ *     }
+ *
+ * with ppo = po - (Write->Read) and fence = (po :> Fence).po. The suite
+ * comparison against Owens et al.'s x86-TSO tests (Table 4) runs against
+ * this model.
+ */
+
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+using namespace rel;
+
+namespace
+{
+
+/** Preserved program order: everything but write-to-read pairs. */
+ExprPtr
+tsoPpo(const Env &env)
+{
+    return env.get(kPo) - mkProduct(env.get(kW), env.get(kR));
+}
+
+} // namespace
+
+std::unique_ptr<Model>
+makeTso()
+{
+    ModelFeatures feats;
+    feats.fences = true; // mfence
+    feats.rmw = true;
+
+    auto model = std::make_unique<Model>("tso", feats);
+
+    model->addAxiom(Axiom{
+        "sc_per_loc",
+        [](const Model &, const Env &env, size_t) {
+            return mkAcyclic(com(env) + poLoc(env));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "rmw_atomicity",
+        [](const Model &, const Env &env, size_t) {
+            return mkNo(mkJoin(fre(env), coe(env)) & env.get(kRmw));
+        },
+        nullptr,
+    });
+    model->addAxiom(Axiom{
+        "causality",
+        [](const Model &, const Env &env, size_t) {
+            ExprPtr fence = fenceOrder(env, env.get(kF));
+            return mkAcyclic(rfe(env) + env.get(kCo) + fr(env) +
+                             tsoPpo(env) + fence);
+        },
+        nullptr,
+    });
+
+    model->addRelaxation(makeRI());
+    model->addRelaxation(makeDRMW());
+    return model;
+}
+
+} // namespace lts::mm

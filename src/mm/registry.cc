@@ -1,0 +1,83 @@
+#include "mm/registry.hh"
+
+#include <stdexcept>
+
+#include "mm/models.hh"
+
+namespace lts::mm
+{
+
+std::vector<std::string>
+modelNames()
+{
+    return {"sc", "tso", "power", "armv7", "scc", "sscc", "c11"};
+}
+
+std::unique_ptr<Model>
+makeModel(const std::string &name)
+{
+    if (name == "sc")
+        return makeSc();
+    if (name == "tso")
+        return makeTso();
+    if (name == "power")
+        return makePower();
+    if (name == "armv7")
+        return makeArmv7();
+    if (name == "scc")
+        return makeScc();
+    if (name == "scc-strict")
+        return makeSccStrict();
+    if (name == "sscc")
+        return makeScopedScc();
+    if (name == "c11")
+        return makeC11();
+    throw std::out_of_range("unknown model: " + name);
+}
+
+std::string
+toString(Applicability a)
+{
+    switch (a) {
+      case Applicability::No:
+        return "-";
+      case Applicability::Yes:
+        return "Y";
+      case Applicability::IfFormalized:
+        return "Y*1";
+      case Applicability::ThinAirOnly:
+        return "Y*2";
+    }
+    return "?";
+}
+
+std::vector<ApplicabilityRow>
+applicabilityTable()
+{
+    using A = Applicability;
+    // Columns: RI, DRMW, DF, DMO, RD, DS — matching Table 2 of the paper.
+    return {
+        {"SC (Lamport 1979)", true, A::Yes, A::Yes, A::No, A::No, A::No,
+         A::No},
+        {"TSO (Owens 2009; SPARC 1993)", true, A::Yes, A::Yes, A::Yes,
+         A::No, A::IfFormalized, A::No},
+        {"Power (Alglave 2014)", true, A::Yes, A::Yes, A::Yes, A::No,
+         A::Yes, A::No},
+        {"ARMv7 (Alglave 2014)", true, A::Yes, A::Yes, A::IfFormalized,
+         A::No, A::Yes, A::No},
+        {"ARMv8 (ARM 2016)", false, A::Yes, A::Yes, A::Yes, A::Yes, A::Yes,
+         A::No},
+        {"Itanium (Intel 2002)", false, A::Yes, A::Yes, A::Yes, A::Yes,
+         A::IfFormalized, A::No},
+        {"SCC [Section 6.3]", true, A::Yes, A::Yes, A::Yes, A::Yes,
+         A::ThinAirOnly, A::No},
+        {"HSA (Alglave-Maranget 2016)", false, A::Yes, A::Yes, A::Yes,
+         A::Yes, A::ThinAirOnly, A::Yes},
+        {"C/C++ (Batty 2016; ISO 2011)", true, A::Yes, A::Yes, A::Yes,
+         A::Yes, A::ThinAirOnly, A::No},
+        {"OpenCL (Batty 2016; Khronos 2015)", false, A::Yes, A::Yes,
+         A::Yes, A::Yes, A::ThinAirOnly, A::Yes},
+    };
+}
+
+} // namespace lts::mm

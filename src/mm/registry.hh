@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model registry and the relaxation-applicability table (Table 2).
+ *
+ * The registry exposes the synthesizable models by name. The
+ * applicability table additionally covers the models the paper lists but
+ * whose formalizations are unavailable or out of scope (ARMv8, Itanium,
+ * HSA, OpenCL), with the paper's footnotes about missing formalizations
+ * and dependency-only RD captured as entry states.
+ */
+
+#ifndef LTS_MM_REGISTRY_HH
+#define LTS_MM_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mm/model.hh"
+
+namespace lts::mm
+{
+
+/** Names of all synthesizable models ("sc", "tso", ...). */
+std::vector<std::string> modelNames();
+
+/** Build a model by name; throws std::out_of_range on unknown names. */
+std::unique_ptr<Model> makeModel(const std::string &name);
+
+/** Applicability of one relaxation family to one model (Table 2). */
+enum class Applicability
+{
+    No,            ///< not applicable to the model
+    Yes,           ///< applicable and exercised
+    IfFormalized,  ///< would apply if formalizations filled in the
+                   ///< missing features (Table 2 footnote 1)
+    ThinAirOnly,   ///< dependencies not used for synchronization; RD
+                   ///< applies to no-thin-air axioms only (footnote 2)
+};
+
+/** Short cell text for the applicability table. */
+std::string toString(Applicability a);
+
+/** One row of Table 2. */
+struct ApplicabilityRow
+{
+    std::string model;
+    bool synthesizable; ///< has a Model factory in this repo
+    Applicability ri, drmw, df, dmo, rd, ds;
+};
+
+/** The full Table 2, in the paper's row order. */
+std::vector<ApplicabilityRow> applicabilityTable();
+
+} // namespace lts::mm
+
+#endif // LTS_MM_REGISTRY_HH

@@ -1,0 +1,441 @@
+#include "rel/encoder.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lts::rel
+{
+
+Encoder::Encoder(const Vocabulary &vocab, size_t n, GateBuilder &builder)
+    : vocab(vocab), n(n), builder(builder)
+{
+    cellVars.resize(vocab.size());
+    for (size_t id = 0; id < vocab.size(); id++) {
+        const VarDecl &d = vocab.decl(static_cast<int>(id));
+        size_t cells = d.arity == 1 ? n : n * n;
+        cellVars[id].reserve(cells);
+        for (size_t c = 0; c < cells; c++) {
+            // The encoder owns fresh SAT variables for each cell; they are
+            // created through the builder's solver to keep numbering dense.
+            sat::Lit lit = builder.lower(builder.mkFreeInput());
+            assert(!lit.sign());
+            cellVars[id].push_back(lit.var());
+        }
+    }
+}
+
+sat::Var
+Encoder::cellVar(int var_id, size_t i, size_t j) const
+{
+    assert(vocab.decl(var_id).arity == 2);
+    return cellVars[var_id][i * n + j];
+}
+
+sat::Var
+Encoder::cellVar(int var_id, size_t i) const
+{
+    assert(vocab.decl(var_id).arity == 1);
+    return cellVars[var_id][i];
+}
+
+SymSet
+Encoder::encodeSet(const ExprPtr &e)
+{
+    assert(e->arity == 1);
+    auto it = setCache.find(e);
+    if (it != setCache.end())
+        return it->second;
+
+    SymSet out(n, kFalse);
+    switch (e->kind) {
+      case ExprKind::Var:
+        for (size_t i = 0; i < n; i++)
+            out[i] = builder.mkInput(cellVar(e->varId, i));
+        break;
+      case ExprKind::Univ:
+        for (size_t i = 0; i < n; i++)
+            out[i] = kTrue;
+        break;
+      case ExprKind::None:
+        break;
+      case ExprKind::Const:
+        for (size_t i = 0; i < n; i++)
+            out[i] = e->constSet.test(i) ? kTrue : kFalse;
+        break;
+      case ExprKind::Union: {
+        SymSet a = encodeSet(e->lhs);
+        SymSet b = encodeSet(e->rhs);
+        for (size_t i = 0; i < n; i++)
+            out[i] = builder.mkOr(a[i], b[i]);
+        break;
+      }
+      case ExprKind::Intersect: {
+        SymSet a = encodeSet(e->lhs);
+        SymSet b = encodeSet(e->rhs);
+        for (size_t i = 0; i < n; i++)
+            out[i] = builder.mkAnd(a[i], b[i]);
+        break;
+      }
+      case ExprKind::Diff: {
+        SymSet a = encodeSet(e->lhs);
+        SymSet b = encodeSet(e->rhs);
+        for (size_t i = 0; i < n; i++)
+            out[i] = builder.mkAnd(a[i], gNot(b[i]));
+        break;
+      }
+      case ExprKind::Join: {
+        if (e->lhs->arity == 1) {
+            // set.rel: out[j] = OR_i (s[i] & r[i][j])
+            SymSet s = encodeSet(e->lhs);
+            SymMatrix r = encodeMatrix(e->rhs);
+            for (size_t j = 0; j < n; j++) {
+                std::vector<GLit> terms;
+                for (size_t i = 0; i < n; i++)
+                    terms.push_back(builder.mkAnd(s[i], r.at(i, j)));
+                out[j] = builder.mkOrAll(terms);
+            }
+        } else {
+            // rel.set: out[i] = OR_j (r[i][j] & s[j])
+            SymMatrix r = encodeMatrix(e->lhs);
+            SymSet s = encodeSet(e->rhs);
+            for (size_t i = 0; i < n; i++) {
+                std::vector<GLit> terms;
+                for (size_t j = 0; j < n; j++)
+                    terms.push_back(builder.mkAnd(r.at(i, j), s[j]));
+                out[i] = builder.mkOrAll(terms);
+            }
+        }
+        break;
+      }
+      default:
+        throw std::logic_error("encodeSet: unexpected node " + e->toString());
+    }
+    setCache.emplace(e, out);
+    return out;
+}
+
+SymMatrix
+Encoder::composeSym(const SymMatrix &a, const SymMatrix &b)
+{
+    SymMatrix out(n, kFalse);
+    for (size_t i = 0; i < n; i++) {
+        for (size_t j = 0; j < n; j++) {
+            std::vector<GLit> terms;
+            for (size_t k = 0; k < n; k++)
+                terms.push_back(builder.mkAnd(a.at(i, k), b.at(k, j)));
+            out.at(i, j) = builder.mkOrAll(terms);
+        }
+    }
+    return out;
+}
+
+SymMatrix
+Encoder::closure(const SymMatrix &m)
+{
+    // Iterative squaring: after k rounds, paths of length up to 2^k are
+    // covered; ceil(log2(n)) rounds suffice in a universe of n atoms.
+    SymMatrix cur = m;
+    size_t reach = 1;
+    while (reach < n) {
+        SymMatrix sq = composeSym(cur, cur);
+        for (size_t c = 0; c < cur.cells.size(); c++)
+            cur.cells[c] = builder.mkOr(cur.cells[c], sq.cells[c]);
+        reach *= 2;
+    }
+    return cur;
+}
+
+SymMatrix
+Encoder::encodeMatrix(const ExprPtr &e)
+{
+    assert(e->arity == 2);
+    auto it = matrixCache.find(e);
+    if (it != matrixCache.end())
+        return it->second;
+
+    SymMatrix out(n, kFalse);
+    switch (e->kind) {
+      case ExprKind::Var:
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = builder.mkInput(cellVar(e->varId, i, j));
+        }
+        break;
+      case ExprKind::None:
+        break;
+      case ExprKind::Iden:
+        for (size_t i = 0; i < n; i++)
+            out.at(i, i) = kTrue;
+        break;
+      case ExprKind::Const:
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = e->constMatrix.test(i, j) ? kTrue : kFalse;
+        }
+        break;
+      case ExprKind::Union: {
+        SymMatrix a = encodeMatrix(e->lhs);
+        SymMatrix b = encodeMatrix(e->rhs);
+        for (size_t c = 0; c < out.cells.size(); c++)
+            out.cells[c] = builder.mkOr(a.cells[c], b.cells[c]);
+        break;
+      }
+      case ExprKind::Intersect: {
+        SymMatrix a = encodeMatrix(e->lhs);
+        SymMatrix b = encodeMatrix(e->rhs);
+        for (size_t c = 0; c < out.cells.size(); c++)
+            out.cells[c] = builder.mkAnd(a.cells[c], b.cells[c]);
+        break;
+      }
+      case ExprKind::Diff: {
+        SymMatrix a = encodeMatrix(e->lhs);
+        SymMatrix b = encodeMatrix(e->rhs);
+        for (size_t c = 0; c < out.cells.size(); c++)
+            out.cells[c] = builder.mkAnd(a.cells[c], gNot(b.cells[c]));
+        break;
+      }
+      case ExprKind::Join:
+        out = composeSym(encodeMatrix(e->lhs), encodeMatrix(e->rhs));
+        break;
+      case ExprKind::Product: {
+        SymSet a = encodeSet(e->lhs);
+        SymSet b = encodeSet(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = builder.mkAnd(a[i], b[j]);
+        }
+        break;
+      }
+      case ExprKind::Transpose: {
+        SymMatrix a = encodeMatrix(e->lhs);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = a.at(j, i);
+        }
+        break;
+      }
+      case ExprKind::Closure:
+        out = closure(encodeMatrix(e->lhs));
+        break;
+      case ExprKind::RClosure: {
+        out = closure(encodeMatrix(e->lhs));
+        for (size_t i = 0; i < n; i++)
+            out.at(i, i) = kTrue;
+        break;
+      }
+      case ExprKind::DomRestrict: {
+        SymSet s = encodeSet(e->lhs);
+        SymMatrix r = encodeMatrix(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = builder.mkAnd(s[i], r.at(i, j));
+        }
+        break;
+      }
+      case ExprKind::RanRestrict: {
+        SymMatrix r = encodeMatrix(e->lhs);
+        SymSet s = encodeSet(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++)
+                out.at(i, j) = builder.mkAnd(r.at(i, j), s[j]);
+        }
+        break;
+      }
+      default:
+        throw std::logic_error("encodeMatrix: unexpected node " +
+                               e->toString());
+    }
+    matrixCache.emplace(e, out);
+    return out;
+}
+
+GLit
+Encoder::encodeFormula(const FormulaPtr &f)
+{
+    auto it = formulaCache.find(f);
+    if (it != formulaCache.end())
+        return it->second;
+
+    auto allCells = [&](const ExprPtr &e) {
+        return e->arity == 1 ? encodeSet(e) : encodeMatrix(e).cells;
+    };
+
+    GLit out = kFalse;
+    switch (f->kind) {
+      case FormulaKind::True:
+        out = kTrue;
+        break;
+      case FormulaKind::False:
+        out = kFalse;
+        break;
+      case FormulaKind::Subset: {
+        auto a = allCells(f->exprLhs);
+        auto b = allCells(f->exprRhs);
+        std::vector<GLit> terms;
+        for (size_t c = 0; c < a.size(); c++)
+            terms.push_back(builder.mkImplies(a[c], b[c]));
+        out = builder.mkAndAll(terms);
+        break;
+      }
+      case FormulaKind::Equal: {
+        auto a = allCells(f->exprLhs);
+        auto b = allCells(f->exprRhs);
+        std::vector<GLit> terms;
+        for (size_t c = 0; c < a.size(); c++)
+            terms.push_back(builder.mkIff(a[c], b[c]));
+        out = builder.mkAndAll(terms);
+        break;
+      }
+      case FormulaKind::Some:
+        out = builder.mkOrAll(allCells(f->exprLhs));
+        break;
+      case FormulaKind::No:
+        out = gNot(builder.mkOrAll(allCells(f->exprLhs)));
+        break;
+      case FormulaKind::Lone:
+        out = builder.mkAtMostOne(allCells(f->exprLhs));
+        break;
+      case FormulaKind::One: {
+        auto cells = allCells(f->exprLhs);
+        out = builder.mkAnd(builder.mkOrAll(cells),
+                            builder.mkAtMostOne(cells));
+        break;
+      }
+      case FormulaKind::Acyclic: {
+        SymMatrix c = closure(encodeMatrix(f->exprLhs));
+        std::vector<GLit> diag;
+        for (size_t i = 0; i < n; i++)
+            diag.push_back(gNot(c.at(i, i)));
+        out = builder.mkAndAll(diag);
+        break;
+      }
+      case FormulaKind::Irreflexive: {
+        SymMatrix m = encodeMatrix(f->exprLhs);
+        std::vector<GLit> diag;
+        for (size_t i = 0; i < n; i++)
+            diag.push_back(gNot(m.at(i, i)));
+        out = builder.mkAndAll(diag);
+        break;
+      }
+      case FormulaKind::Total: {
+        SymMatrix r = encodeMatrix(f->exprLhs);
+        SymSet s = encodeSet(f->exprRhs);
+        std::vector<GLit> terms;
+        // Confined to s -> s.
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++) {
+                terms.push_back(builder.mkImplies(
+                    r.at(i, j), builder.mkAnd(s[i], s[j])));
+            }
+        }
+        // Irreflexive.
+        for (size_t i = 0; i < n; i++)
+            terms.push_back(gNot(r.at(i, i)));
+        // Transitive: r;r in r.
+        SymMatrix rr = composeSym(r, r);
+        for (size_t c = 0; c < rr.cells.size(); c++)
+            terms.push_back(builder.mkImplies(rr.cells[c], r.cells[c]));
+        // Total over s.
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = i + 1; j < n; j++) {
+                terms.push_back(builder.mkImplies(
+                    builder.mkAnd(s[i], s[j]),
+                    builder.mkOr(r.at(i, j), r.at(j, i))));
+            }
+        }
+        out = builder.mkAndAll(terms);
+        break;
+      }
+      case FormulaKind::And:
+        out = builder.mkAnd(encodeFormula(f->lhs), encodeFormula(f->rhs));
+        break;
+      case FormulaKind::Or:
+        out = builder.mkOr(encodeFormula(f->lhs), encodeFormula(f->rhs));
+        break;
+      case FormulaKind::Not:
+        out = gNot(encodeFormula(f->lhs));
+        break;
+      case FormulaKind::Implies:
+        out = builder.mkImplies(encodeFormula(f->lhs), encodeFormula(f->rhs));
+        break;
+      case FormulaKind::Iff:
+        out = builder.mkIff(encodeFormula(f->lhs), encodeFormula(f->rhs));
+        break;
+    }
+    formulaCache.emplace(f, out);
+    return out;
+}
+
+Instance
+Encoder::extract(const sat::Solver &solver) const
+{
+    Instance inst(vocab, n);
+    for (size_t id = 0; id < vocab.size(); id++) {
+        const VarDecl &d = vocab.decl(static_cast<int>(id));
+        if (d.arity == 1) {
+            for (size_t i = 0; i < n; i++) {
+                if (solver.modelValue(cellVars[id][i]))
+                    inst.set(d.id).set(i);
+            }
+        } else {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    if (solver.modelValue(cellVars[id][i * n + j]))
+                        inst.matrix(d.id).set(i, j);
+                }
+            }
+        }
+    }
+    return inst;
+}
+
+sat::Clause
+Encoder::blockingClause(const sat::Solver &solver,
+                        const std::vector<int> &var_ids) const
+{
+    std::vector<int> ids = var_ids;
+    if (ids.empty()) {
+        for (size_t id = 0; id < vocab.size(); id++)
+            ids.push_back(static_cast<int>(id));
+    }
+    sat::Clause clause;
+    for (int id : ids) {
+        for (sat::Var v : cellVars[id])
+            clause.push_back(sat::Lit(v, solver.modelValue(v)));
+    }
+    return clause;
+}
+
+RelSolver::RelSolver(const Vocabulary &vocab, size_t universe_size)
+    : builder(solver), enc(vocab, universe_size, builder)
+{
+}
+
+void
+RelSolver::addFact(const FormulaPtr &f)
+{
+    builder.assertTrue(enc.encodeFormula(f));
+}
+
+bool
+RelSolver::solve()
+{
+    if (exhausted)
+        return false;
+    if (!solver.solve())
+        return false;
+    lastInstance = enc.extract(solver);
+    return true;
+}
+
+bool
+RelSolver::blockAndContinue(const std::vector<int> &var_ids)
+{
+    if (!solver.addClause(enc.blockingClause(solver, var_ids))) {
+        exhausted = true;
+        return false;
+    }
+    return solve();
+}
+
+} // namespace lts::rel

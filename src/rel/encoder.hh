@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Symbolic encoder: relational expressions/formulas -> AIG gates -> CNF.
+ *
+ * Together with rel/gates.hh this is the Kodkod-equivalent translation the
+ * paper relies on: every declared relation variable becomes a matrix of
+ * free SAT variables, every operator becomes gate-level boolean algebra on
+ * those matrices (transitive closure by iterative squaring), and every
+ * formula becomes a single gate literal that can be asserted.
+ *
+ * RelSolver wraps the whole pipeline: declare a Vocabulary, assert facts,
+ * then solve/enumerate instances. Enumeration blocks either the full
+ * instance or only a chosen subset of relations (the synthesizer blocks
+ * only the *static* part of a litmus test so each test is produced once).
+ */
+
+#ifndef LTS_REL_ENCODER_HH
+#define LTS_REL_ENCODER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/eval.hh"
+#include "rel/formula.hh"
+#include "rel/gates.hh"
+#include "rel/instance.hh"
+#include "sat/solver.hh"
+
+namespace lts::rel
+{
+
+/** A symbolic set: one gate literal per atom. */
+using SymSet = std::vector<GLit>;
+
+/** A symbolic relation: n x n gate literals, row-major. */
+struct SymMatrix
+{
+    size_t n = 0;
+    std::vector<GLit> cells; // n * n, row-major
+
+    SymMatrix() = default;
+    SymMatrix(size_t n, GLit fill) : n(n), cells(n * n, fill) {}
+
+    GLit &at(size_t i, size_t j) { return cells[i * n + j]; }
+    GLit at(size_t i, size_t j) const { return cells[i * n + j]; }
+};
+
+/**
+ * Translates expressions and formulas over a fixed universe into gates.
+ * Sub-expression results are memoized by node identity.
+ */
+class Encoder
+{
+  public:
+    /**
+     * @param vocab   declared relations
+     * @param n       universe size
+     * @param builder gate builder shared with the owning solver
+     */
+    Encoder(const Vocabulary &vocab, size_t n, GateBuilder &builder);
+
+    /** The SAT variable holding cell (i, j) of binary relation @p var_id. */
+    sat::Var cellVar(int var_id, size_t i, size_t j) const;
+
+    /** The SAT variable holding membership of atom @p i in set @p var_id. */
+    sat::Var cellVar(int var_id, size_t i) const;
+
+    /** Encode an arity-1 expression. */
+    SymSet encodeSet(const ExprPtr &e);
+
+    /** Encode an arity-2 expression. */
+    SymMatrix encodeMatrix(const ExprPtr &e);
+
+    /** Encode a formula into one gate literal. */
+    GLit encodeFormula(const FormulaPtr &f);
+
+    /** Read back a full instance from the solver's current model. */
+    Instance extract(const sat::Solver &solver) const;
+
+    /**
+     * Build a blocking clause excluding the current model's assignment to
+     * the given relation variables (all relations when @p var_ids empty).
+     */
+    sat::Clause blockingClause(const sat::Solver &solver,
+                               const std::vector<int> &var_ids) const;
+
+    size_t universe() const { return n; }
+
+  private:
+    SymMatrix closure(const SymMatrix &m);
+    SymMatrix composeSym(const SymMatrix &a, const SymMatrix &b);
+
+    const Vocabulary &vocab;
+    size_t n;
+    GateBuilder &builder;
+
+    // Per declared relation: the SAT variables of its cells.
+    std::vector<std::vector<sat::Var>> cellVars;
+
+    // Keyed by shared_ptr (pointer identity) so the cache also retains the
+    // nodes: a raw-pointer key could be reused by a later allocation after
+    // a temporary expression dies, aliasing unrelated cache entries.
+    std::unordered_map<ExprPtr, SymSet> setCache;
+    std::unordered_map<ExprPtr, SymMatrix> matrixCache;
+    std::unordered_map<FormulaPtr, GLit> formulaCache;
+};
+
+/**
+ * One-stop relational solver: vocabulary + facts + solve/enumerate.
+ */
+class RelSolver
+{
+  public:
+    RelSolver(const Vocabulary &vocab, size_t universe_size);
+
+    /** Assert that @p f holds in every instance. */
+    void addFact(const FormulaPtr &f);
+
+    /** True iff an instance satisfying all facts exists; fills instance(). */
+    bool solve();
+
+    /** The instance found by the last successful solve(). */
+    const Instance &instance() const { return lastInstance; }
+
+    /**
+     * Exclude the last instance's assignment to @p var_ids (all declared
+     * relations when empty) and keep solving. Returns false when the
+     * space is exhausted.
+     */
+    bool blockAndContinue(const std::vector<int> &var_ids = {});
+
+    Encoder &encoder() { return enc; }
+    sat::Solver &satSolver() { return solver; }
+
+  private:
+    sat::Solver solver;
+    GateBuilder builder;
+    Encoder enc;
+    Instance lastInstance;
+    bool exhausted = false;
+};
+
+} // namespace lts::rel
+
+#endif // LTS_REL_ENCODER_HH

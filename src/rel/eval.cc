@@ -1,0 +1,277 @@
+#include "rel/eval.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lts::rel
+{
+
+const Bitset &
+Evaluator::set(const ExprPtr &e)
+{
+    assert(e->arity == 1);
+    auto it = setCache.find(e);
+    if (it != setCache.end())
+        return it->second;
+
+    size_t n = inst.universe();
+    Bitset out(n);
+    switch (e->kind) {
+      case ExprKind::Var:
+        out = inst.set(e->varId);
+        break;
+      case ExprKind::Univ:
+        for (size_t i = 0; i < n; i++)
+            out.set(i);
+        break;
+      case ExprKind::None:
+        break;
+      case ExprKind::Const:
+        assert(e->constSet.size() == n);
+        out = e->constSet;
+        break;
+      case ExprKind::Union:
+        out = set(e->lhs);
+        out |= set(e->rhs);
+        break;
+      case ExprKind::Intersect:
+        out = set(e->lhs);
+        out &= set(e->rhs);
+        break;
+      case ExprKind::Diff:
+        out = set(e->lhs);
+        out -= set(e->rhs);
+        break;
+      case ExprKind::Join: {
+        if (e->lhs->arity == 1) {
+            // set.rel: image of the set.
+            const Bitset &s = set(e->lhs);
+            const BitMatrix &r = matrix(e->rhs);
+            for (size_t i = 0; i < n; i++) {
+                if (s.test(i))
+                    out |= r.row(i);
+            }
+        } else {
+            // rel.set: preimage of the set.
+            const BitMatrix &r = matrix(e->lhs);
+            const Bitset &s = set(e->rhs);
+            for (size_t i = 0; i < n; i++) {
+                Bitset row = r.row(i);
+                row &= s;
+                if (row.any())
+                    out.set(i);
+            }
+        }
+        break;
+      }
+      default:
+        throw std::logic_error("evalSet: unexpected node " + e->toString());
+    }
+    return setCache.emplace(e, std::move(out)).first->second;
+}
+
+const BitMatrix &
+Evaluator::matrix(const ExprPtr &e)
+{
+    assert(e->arity == 2);
+    auto it = matrixCache.find(e);
+    if (it != matrixCache.end())
+        return it->second;
+
+    size_t n = inst.universe();
+    BitMatrix out(n);
+    switch (e->kind) {
+      case ExprKind::Var:
+        out = inst.matrix(e->varId);
+        break;
+      case ExprKind::None:
+        break;
+      case ExprKind::Iden:
+        out = BitMatrix::identity(n);
+        break;
+      case ExprKind::Const:
+        assert(e->constMatrix.size() == n);
+        out = e->constMatrix;
+        break;
+      case ExprKind::Union:
+        out = matrix(e->lhs);
+        out |= matrix(e->rhs);
+        break;
+      case ExprKind::Intersect:
+        out = matrix(e->lhs);
+        out &= matrix(e->rhs);
+        break;
+      case ExprKind::Diff:
+        out = matrix(e->lhs);
+        out -= matrix(e->rhs);
+        break;
+      case ExprKind::Join:
+        out = matrix(e->lhs).compose(matrix(e->rhs));
+        break;
+      case ExprKind::Product: {
+        const Bitset &a = set(e->lhs);
+        const Bitset &b = set(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            if (a.test(i)) {
+                for (size_t j = 0; j < n; j++) {
+                    if (b.test(j))
+                        out.set(i, j);
+                }
+            }
+        }
+        break;
+      }
+      case ExprKind::Transpose:
+        out = matrix(e->lhs).transpose();
+        break;
+      case ExprKind::Closure:
+        out = matrix(e->lhs).transitiveClosure();
+        break;
+      case ExprKind::RClosure:
+        out = matrix(e->lhs).reflexiveTransitiveClosure();
+        break;
+      case ExprKind::DomRestrict: {
+        const Bitset &s = set(e->lhs);
+        const BitMatrix &r = matrix(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            if (s.test(i)) {
+                for (size_t j = 0; j < n; j++) {
+                    if (r.test(i, j))
+                        out.set(i, j);
+                }
+            }
+        }
+        break;
+      }
+      case ExprKind::RanRestrict: {
+        const BitMatrix &r = matrix(e->lhs);
+        const Bitset &s = set(e->rhs);
+        for (size_t i = 0; i < n; i++) {
+            Bitset row = r.row(i);
+            row &= s;
+            for (size_t j = 0; j < n; j++) {
+                if (row.test(j))
+                    out.set(i, j);
+            }
+        }
+        break;
+      }
+      default:
+        throw std::logic_error("evalMatrix: unexpected node " + e->toString());
+    }
+    return matrixCache.emplace(e, std::move(out)).first->second;
+}
+
+bool
+Evaluator::formula(const FormulaPtr &f)
+{
+    auto it = formulaCache.find(f);
+    if (it != formulaCache.end())
+        return it->second;
+
+    size_t n = inst.universe();
+    auto count = [&](const ExprPtr &e) {
+        return e->arity == 1 ? set(e).count() : matrix(e).count();
+    };
+
+    bool out = false;
+    switch (f->kind) {
+      case FormulaKind::True:
+        out = true;
+        break;
+      case FormulaKind::False:
+        out = false;
+        break;
+      case FormulaKind::Subset:
+        out = f->exprLhs->arity == 1
+                  ? set(f->exprLhs).isSubsetOf(set(f->exprRhs))
+                  : matrix(f->exprLhs).isSubsetOf(matrix(f->exprRhs));
+        break;
+      case FormulaKind::Equal:
+        out = f->exprLhs->arity == 1 ? set(f->exprLhs) == set(f->exprRhs)
+                                     : matrix(f->exprLhs) == matrix(f->exprRhs);
+        break;
+      case FormulaKind::Some:
+        out = count(f->exprLhs) > 0;
+        break;
+      case FormulaKind::No:
+        out = count(f->exprLhs) == 0;
+        break;
+      case FormulaKind::Lone:
+        out = count(f->exprLhs) <= 1;
+        break;
+      case FormulaKind::One:
+        out = count(f->exprLhs) == 1;
+        break;
+      case FormulaKind::Acyclic:
+        out = matrix(f->exprLhs).isAcyclic();
+        break;
+      case FormulaKind::Irreflexive:
+        out = matrix(f->exprLhs).isIrreflexive();
+        break;
+      case FormulaKind::Total: {
+        const BitMatrix &r = matrix(f->exprLhs);
+        const Bitset &s = set(f->exprRhs);
+        out = true;
+        for (size_t i = 0; i < n && out; i++) {
+            for (size_t j = 0; j < n && out; j++) {
+                if (r.test(i, j) && (!s.test(i) || !s.test(j)))
+                    out = false;
+            }
+        }
+        if (out && !r.isIrreflexive())
+            out = false;
+        if (out && !r.compose(r).isSubsetOf(r))
+            out = false;
+        for (size_t i = 0; i < n && out; i++) {
+            for (size_t j = 0; j < n && out; j++) {
+                if (i != j && s.test(i) && s.test(j) && !r.test(i, j) &&
+                    !r.test(j, i)) {
+                    out = false;
+                }
+            }
+        }
+        break;
+      }
+      case FormulaKind::And:
+        out = formula(f->lhs) && formula(f->rhs);
+        break;
+      case FormulaKind::Or:
+        out = formula(f->lhs) || formula(f->rhs);
+        break;
+      case FormulaKind::Not:
+        out = !formula(f->lhs);
+        break;
+      case FormulaKind::Implies:
+        out = !formula(f->lhs) || formula(f->rhs);
+        break;
+      case FormulaKind::Iff:
+        out = formula(f->lhs) == formula(f->rhs);
+        break;
+    }
+    formulaCache.emplace(f, out);
+    return out;
+}
+
+Bitset
+evalSet(const ExprPtr &e, const Instance &inst)
+{
+    Evaluator ev(inst);
+    return ev.set(e);
+}
+
+BitMatrix
+evalMatrix(const ExprPtr &e, const Instance &inst)
+{
+    Evaluator ev(inst);
+    return ev.matrix(e);
+}
+
+bool
+evalFormula(const FormulaPtr &f, const Instance &inst)
+{
+    Evaluator ev(inst);
+    return ev.formula(f);
+}
+
+} // namespace lts::rel

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Concrete evaluation of relational expressions and formulas against an
+ * Instance.
+ *
+ * This evaluator is the ground truth for the symbolic encoder: the
+ * property tests assert that for every instance, encoder and evaluator
+ * agree. It also powers the explicit synthesis engine and the minimality
+ * audit of existing suites, where executions are enumerated directly.
+ */
+
+#ifndef LTS_REL_EVAL_HH
+#define LTS_REL_EVAL_HH
+
+#include <unordered_map>
+
+#include "common/bitset.hh"
+#include "rel/formula.hh"
+#include "rel/instance.hh"
+
+namespace lts::rel
+{
+
+/** Evaluate a set-valued (arity-1) expression. */
+Bitset evalSet(const ExprPtr &e, const Instance &inst);
+
+/** Evaluate a relation-valued (arity-2) expression. */
+BitMatrix evalMatrix(const ExprPtr &e, const Instance &inst);
+
+/** Evaluate a formula to a truth value. */
+bool evalFormula(const FormulaPtr &f, const Instance &inst);
+
+/**
+ * Memoizing evaluator bound to one instance. Expression DAGs with heavy
+ * sharing (e.g. the unrolled Power ppo fixpoint) take exponential time
+ * under the plain recursive functions above; the Evaluator caches each
+ * node's value so every DAG node is computed once.
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const Instance &inst) : inst(inst) {}
+
+    const Bitset &set(const ExprPtr &e);
+    const BitMatrix &matrix(const ExprPtr &e);
+    bool formula(const FormulaPtr &f);
+
+  private:
+    const Instance &inst;
+    std::unordered_map<ExprPtr, Bitset> setCache;
+    std::unordered_map<ExprPtr, BitMatrix> matrixCache;
+    std::unordered_map<FormulaPtr, bool> formulaCache;
+};
+
+} // namespace lts::rel
+
+#endif // LTS_REL_EVAL_HH

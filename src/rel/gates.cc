@@ -1,0 +1,199 @@
+#include "rel/gates.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lts::rel
+{
+
+GLit
+GateBuilder::newNode(bool is_input, uint32_t index)
+{
+    GLit id = static_cast<GLit>(nodes.size());
+    nodes.push_back(Node{is_input, index});
+    return id << 1;
+}
+
+GLit
+GateBuilder::mkInput(sat::Var v)
+{
+    auto it = inputCache.find(v);
+    if (it != inputCache.end())
+        return it->second;
+    GLit g = newNode(true, static_cast<uint32_t>(inputGates.size()));
+    inputGates.push_back(InputGate{v});
+    inputCache[v] = g;
+    return g;
+}
+
+GLit
+GateBuilder::mkAnd(GLit a, GLit b)
+{
+    // Constant folding and trivial simplifications.
+    if (a == kFalse || b == kFalse)
+        return kFalse;
+    if (a == kTrue)
+        return b;
+    if (b == kTrue)
+        return a;
+    if (a == b)
+        return a;
+    if (a == gNot(b))
+        return kFalse;
+
+    if (a > b)
+        std::swap(a, b);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto it = andCache.find(key);
+    if (it != andCache.end())
+        return it->second;
+
+    GLit g = newNode(false, static_cast<uint32_t>(andGates.size()));
+    andGates.push_back(AndGate{a, b, -1});
+    andCache[key] = g;
+    return g;
+}
+
+GLit
+GateBuilder::mkXor(GLit a, GLit b)
+{
+    // a xor b = (a | b) & ~(a & b)
+    return mkAnd(mkOr(a, b), gNot(mkAnd(a, b)));
+}
+
+GLit
+GateBuilder::mkMux(GLit s, GLit t, GLit e)
+{
+    return mkOr(mkAnd(s, t), mkAnd(gNot(s), e));
+}
+
+GLit
+GateBuilder::mkAndAll(const std::vector<GLit> &lits)
+{
+    GLit out = kTrue;
+    for (GLit l : lits)
+        out = mkAnd(out, l);
+    return out;
+}
+
+GLit
+GateBuilder::mkOrAll(const std::vector<GLit> &lits)
+{
+    GLit out = kFalse;
+    for (GLit l : lits)
+        out = mkOr(out, l);
+    return out;
+}
+
+GLit
+GateBuilder::mkAtMostOne(const std::vector<GLit> &lits)
+{
+    // "Seen one so far" sequential encoding keeps the gate count linear.
+    GLit ok = kTrue;
+    GLit seen = kFalse;
+    for (GLit l : lits) {
+        ok = mkAnd(ok, gNot(mkAnd(seen, l)));
+        seen = mkOr(seen, l);
+    }
+    return ok;
+}
+
+sat::Lit
+GateBuilder::litOf(GLit g, sat::Var var) const
+{
+    return sat::Lit(var, (g & 1) != 0);
+}
+
+sat::Lit
+GateBuilder::lower(GLit g)
+{
+    uint32_t node_id = g >> 1;
+    if (node_id == 0) {
+        // Constant: materialize a variable pinned to true once per builder.
+        if (constVar < 0) {
+            constVar = solver.newVar();
+            solver.addClause({sat::Lit::pos(constVar)});
+        }
+        return litOf(g, constVar);
+    }
+
+    const Node &node = nodes[node_id];
+    if (node.isInput)
+        return litOf(g, inputGates[node.index].var);
+
+    // Iterative DFS so deep formulas do not overflow the stack.
+    std::vector<uint32_t> stack = {node_id};
+    while (!stack.empty()) {
+        uint32_t id = stack.back();
+        const Node &n = nodes[id];
+        if (n.isInput || id == 0) {
+            stack.pop_back();
+            continue;
+        }
+        AndGate &gate = andGates[n.index];
+        if (gate.satVar >= 0) {
+            stack.pop_back();
+            continue;
+        }
+        uint32_t ca = gate.a >> 1;
+        uint32_t cb = gate.b >> 1;
+        bool ready = true;
+        for (uint32_t child : {ca, cb}) {
+            const Node &cn = nodes[child];
+            if (child != 0 && !cn.isInput &&
+                andGates[cn.index].satVar < 0) {
+                stack.push_back(child);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        stack.pop_back();
+
+        sat::Lit la = lowerResolved(gate.a);
+        sat::Lit lb = lowerResolved(gate.b);
+        sat::Var v = solver.newVar();
+        gate.satVar = v;
+        sat::Lit lg = sat::Lit::pos(v);
+        // g <-> a & b
+        solver.addClause({~lg, la});
+        solver.addClause({~lg, lb});
+        solver.addClause({lg, ~la, ~lb});
+    }
+    return litOf(g, andGates[node.index].satVar);
+}
+
+sat::Lit
+GateBuilder::lowerResolved(GLit g)
+{
+    uint32_t node_id = g >> 1;
+    if (node_id == 0) {
+        if (constVar < 0) {
+            constVar = solver.newVar();
+            solver.addClause({sat::Lit::pos(constVar)});
+        }
+        return litOf(g, constVar);
+    }
+    const Node &node = nodes[node_id];
+    if (node.isInput)
+        return litOf(g, inputGates[node.index].var);
+    assert(andGates[node.index].satVar >= 0);
+    return litOf(g, andGates[node.index].satVar);
+}
+
+void
+GateBuilder::assertTrue(GLit g)
+{
+    if (g == kTrue)
+        return;
+    if (g == kFalse) {
+        // Assert false: make the solver trivially unsatisfiable.
+        sat::Var v = solver.newVar();
+        solver.addClause({sat::Lit::pos(v)});
+        solver.addClause({sat::Lit::neg(v)});
+        return;
+    }
+    solver.addClause({lower(g)});
+}
+
+} // namespace lts::rel

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Hash-consed AND-inverter-graph (AIG) builder with Tseitin lowering.
+ *
+ * The symbolic relational encoder produces one boolean gate per matrix
+ * cell of every sub-expression. Structural hashing is what keeps the
+ * minimality-criterion encoding tractable: the perturbed relation copies
+ * (one per relaxation application, Section 4.3 of the paper) share almost
+ * all of their structure with the base relations, and identical gates are
+ * built only once. Gates are lowered on demand into CNF clauses inside a
+ * sat::Solver.
+ */
+
+#ifndef LTS_REL_GATES_HH
+#define LTS_REL_GATES_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace lts::rel
+{
+
+/**
+ * A gate literal: gate id with a complement bit, AIGER-style.
+ * Gate 0 is the constant TRUE, so literal 0 = true, literal 1 = false.
+ */
+using GLit = uint32_t;
+
+constexpr GLit kTrue = 0;
+constexpr GLit kFalse = 1;
+
+/** Complement a gate literal. */
+inline GLit
+gNot(GLit a)
+{
+    return a ^ 1;
+}
+
+/**
+ * Builds a shared AIG over a sat::Solver's variables and lowers asserted
+ * gates to CNF.
+ */
+class GateBuilder
+{
+  public:
+    explicit GateBuilder(sat::Solver &solver) : solver(solver) {}
+
+    /** A gate literal that is true iff the SAT variable @p v is true. */
+    GLit mkInput(sat::Var v);
+
+    /** Allocate a fresh free SAT variable and wrap it as an input gate. */
+    GLit
+    mkFreeInput()
+    {
+        return mkInput(solver.newVar());
+    }
+
+    GLit mkAnd(GLit a, GLit b);
+    GLit
+    mkOr(GLit a, GLit b)
+    {
+        return gNot(mkAnd(gNot(a), gNot(b)));
+    }
+    GLit
+    mkImplies(GLit a, GLit b)
+    {
+        return mkOr(gNot(a), b);
+    }
+    GLit mkXor(GLit a, GLit b);
+    GLit
+    mkIff(GLit a, GLit b)
+    {
+        return gNot(mkXor(a, b));
+    }
+    /** if s then t else e. */
+    GLit mkMux(GLit s, GLit t, GLit e);
+
+    /** AND of a list (true when empty). */
+    GLit mkAndAll(const std::vector<GLit> &lits);
+
+    /** OR of a list (false when empty). */
+    GLit mkOrAll(const std::vector<GLit> &lits);
+
+    /** At most one of the literals is true (pairwise encoding via gates). */
+    GLit mkAtMostOne(const std::vector<GLit> &lits);
+
+    /**
+     * Lower @p g to a SAT literal, adding Tseitin clauses for every gate in
+     * its cone that has not been lowered yet.
+     */
+    sat::Lit lower(GLit g);
+
+    /** Assert that @p g is true (lower + unit clause). */
+    void assertTrue(GLit g);
+
+    /** Number of distinct AND gates created (for stats/benchmarks). */
+    size_t numAnds() const { return andGates.size(); }
+
+  private:
+    struct AndGate
+    {
+        GLit a;
+        GLit b;
+        sat::Var satVar = -1; ///< -1 until lowered
+    };
+
+    struct InputGate
+    {
+        sat::Var var;
+    };
+
+    // Gate ids: 0 = constant true; then inputs and ANDs share the id space.
+    // node index -> (isInput, index into the respective table)
+    struct Node
+    {
+        bool isInput;
+        uint32_t index;
+    };
+
+    GLit newNode(bool is_input, uint32_t index);
+    sat::Lit litOf(GLit g, sat::Var var) const;
+    /** Lit for a gate whose cone is already lowered (children resolved). */
+    sat::Lit lowerResolved(GLit g);
+
+    sat::Solver &solver;
+    std::vector<Node> nodes = {Node{false, UINT32_MAX}}; // node 0: TRUE
+    std::vector<AndGate> andGates;
+    std::vector<InputGate> inputGates;
+    std::unordered_map<uint64_t, GLit> andCache;
+    std::unordered_map<int32_t, GLit> inputCache;
+    sat::Var constVar = -1; ///< variable pinned true, for constant gates
+};
+
+} // namespace lts::rel
+
+#endif // LTS_REL_GATES_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Vocabulary (relation-variable declarations) and Instance (a concrete
+ * binding of every declared relation to explicit contents).
+ *
+ * A Vocabulary is shared by both evaluators: the concrete evaluator binds
+ * each variable to a Bitset / BitMatrix, while the symbolic encoder binds
+ * each cell to a SAT literal. An Instance is what the solver hands back —
+ * it plays the role of an Alloy "model instance" (one litmus-test
+ * execution) in the paper.
+ */
+
+#ifndef LTS_REL_INSTANCE_HH
+#define LTS_REL_INSTANCE_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bitset.hh"
+#include "rel/expr.hh"
+
+namespace lts::rel
+{
+
+/** Declaration record for one relation variable. */
+struct VarDecl
+{
+    int id;
+    std::string name;
+    int arity;
+};
+
+/**
+ * The set of declared relation variables. Var ids are dense and returned
+ * by declare(); the same Vocabulary must be used to build expressions, to
+ * bind instances, and to encode problems.
+ */
+class Vocabulary
+{
+  public:
+    /** Declare a relation and get back an expression referring to it. */
+    ExprPtr
+    declare(const std::string &name, int arity)
+    {
+        if (byName.count(name))
+            throw std::invalid_argument("relation redeclared: " + name);
+        int id = static_cast<int>(decls.size());
+        decls.push_back(VarDecl{id, name, arity});
+        byName[name] = id;
+        return mkVar(id, name, arity);
+    }
+
+    size_t size() const { return decls.size(); }
+    const VarDecl &decl(int id) const { return decls.at(id); }
+
+    /** Look up a declared relation by name (throws if absent). */
+    const VarDecl &
+    find(const std::string &name) const
+    {
+        auto it = byName.find(name);
+        if (it == byName.end())
+            throw std::out_of_range("no such relation: " + name);
+        return decls[it->second];
+    }
+
+    bool contains(const std::string &name) const { return byName.count(name); }
+
+    /** Rebuild the ExprPtr for a declared relation. */
+    ExprPtr
+    expr(const std::string &name) const
+    {
+        const VarDecl &d = find(name);
+        return mkVar(d.id, d.name, d.arity);
+    }
+
+  private:
+    std::vector<VarDecl> decls;
+    std::map<std::string, int> byName;
+};
+
+/**
+ * A total assignment of contents to every declared relation over a
+ * universe of @c universeSize atoms.
+ */
+class Instance
+{
+  public:
+    Instance() = default;
+
+    Instance(const Vocabulary &vocab, size_t universe_size)
+        : universeSize(universe_size)
+    {
+        sets.resize(vocab.size());
+        matrices.resize(vocab.size());
+        for (size_t i = 0; i < vocab.size(); i++) {
+            if (vocab.decl(static_cast<int>(i)).arity == 1)
+                sets[i] = Bitset(universe_size);
+            else
+                matrices[i] = BitMatrix(universe_size);
+        }
+    }
+
+    size_t universe() const { return universeSize; }
+
+    Bitset &set(int var_id) { return sets.at(var_id); }
+    const Bitset &set(int var_id) const { return sets.at(var_id); }
+
+    BitMatrix &matrix(int var_id) { return matrices.at(var_id); }
+    const BitMatrix &matrix(int var_id) const { return matrices.at(var_id); }
+
+  private:
+    size_t universeSize = 0;
+    std::vector<Bitset> sets;
+    std::vector<BitMatrix> matrices;
+};
+
+} // namespace lts::rel
+
+#endif // LTS_REL_INSTANCE_HH

@@ -1,0 +1,70 @@
+#include "sat/dimacs.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lts::sat
+{
+
+Cnf
+parseDimacs(std::istream &in)
+{
+    Cnf cnf;
+    int declared_clauses = -1;
+    std::string line;
+    Clause current;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == 'c')
+            continue;
+        if (line[0] == 'p') {
+            std::istringstream ss(line);
+            std::string p, fmt;
+            ss >> p >> fmt >> cnf.numVars >> declared_clauses;
+            if (fmt != "cnf" || !ss)
+                throw std::runtime_error("bad DIMACS problem line: " + line);
+            continue;
+        }
+        std::istringstream ss(line);
+        long v;
+        while (ss >> v) {
+            if (v == 0) {
+                cnf.clauses.push_back(current);
+                current.clear();
+            } else {
+                long var = std::labs(v) - 1;
+                if (var >= cnf.numVars)
+                    throw std::runtime_error("literal out of range");
+                current.push_back(Lit(static_cast<Var>(var), v < 0));
+            }
+        }
+    }
+    if (!current.empty())
+        throw std::runtime_error("unterminated clause at end of input");
+    if (declared_clauses >= 0 &&
+        static_cast<size_t>(declared_clauses) != cnf.clauses.size()) {
+        throw std::runtime_error("clause count mismatch");
+    }
+    return cnf;
+}
+
+Cnf
+parseDimacsString(const std::string &text)
+{
+    std::istringstream ss(text);
+    return parseDimacs(ss);
+}
+
+void
+writeDimacs(std::ostream &out, const Cnf &cnf)
+{
+    out << "p cnf " << cnf.numVars << " " << cnf.clauses.size() << "\n";
+    for (const auto &clause : cnf.clauses) {
+        for (Lit l : clause)
+            out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+        out << "0\n";
+    }
+}
+
+} // namespace lts::sat

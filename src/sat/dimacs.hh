@@ -1,0 +1,43 @@
+/**
+ * @file
+ * DIMACS CNF reader/writer.
+ *
+ * Lets the solver be exercised against standard CNF benchmarks, and lets
+ * the relational encoder dump the formulas it builds for offline
+ * inspection with external tools.
+ */
+
+#ifndef LTS_SAT_DIMACS_HH
+#define LTS_SAT_DIMACS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace lts::sat
+{
+
+/** An in-memory CNF: variable count plus clause list. */
+struct Cnf
+{
+    int numVars = 0;
+    std::vector<Clause> clauses;
+};
+
+/**
+ * Parse DIMACS text from @p in. Throws std::runtime_error on malformed
+ * input. Comment lines and the problem line are handled per the format.
+ */
+Cnf parseDimacs(std::istream &in);
+
+/** Parse DIMACS from a string (convenience for tests). */
+Cnf parseDimacsString(const std::string &text);
+
+/** Serialize @p cnf in DIMACS format. */
+void writeDimacs(std::ostream &out, const Cnf &cnf);
+
+} // namespace lts::sat
+
+#endif // LTS_SAT_DIMACS_HH

@@ -1,0 +1,626 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lts::sat
+{
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(assigns.size());
+    assigns.push_back(LBool::Undef);
+    model.push_back(LBool::Undef);
+    polarity.push_back(true); // negative phase first, MiniSAT-style
+    levels.push_back(0);
+    reasons.push_back(kNoReason);
+    activity.push_back(0.0);
+    heapIndex.push_back(-1);
+    seen.push_back(0);
+    watches.emplace_back();
+    watches.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Clause management
+// ---------------------------------------------------------------------------
+
+Solver::ClauseRef
+Solver::allocClause(std::vector<Lit> lits, bool learned)
+{
+    ClauseRef cref = static_cast<ClauseRef>(clauses.size());
+    InternalClause c;
+    c.lits = std::move(lits);
+    c.learned = learned;
+    clauses.push_back(std::move(c));
+    if (learned) {
+        numLearnedClauses++;
+        statsData.learnedClauses++;
+    } else {
+        numProblemClauses++;
+    }
+    return cref;
+}
+
+void
+Solver::attachClause(ClauseRef cref)
+{
+    const auto &c = clauses[cref];
+    assert(c.lits.size() >= 2);
+    watches[(~c.lits[0]).index()].push_back(cref);
+    watches[(~c.lits[1]).index()].push_back(cref);
+}
+
+void
+Solver::detachClause(ClauseRef cref)
+{
+    const auto &c = clauses[cref];
+    for (int i = 0; i < 2; i++) {
+        auto &ws = watches[(~c.lits[i]).index()];
+        auto it = std::find(ws.begin(), ws.end(), cref);
+        assert(it != ws.end());
+        *it = ws.back();
+        ws.pop_back();
+    }
+}
+
+void
+Solver::removeClause(ClauseRef cref)
+{
+    auto &c = clauses[cref];
+    assert(!c.deleted);
+    detachClause(cref);
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    if (c.learned)
+        numLearnedClauses--;
+    else
+        numProblemClauses--;
+    statsData.deletedClauses++;
+}
+
+bool
+Solver::addClause(Clause lits)
+{
+    assert(decisionLevel() == 0);
+    if (!ok)
+        return false;
+
+    std::sort(lits.begin(), lits.end());
+    // Dedupe; drop clause on tautology; drop level-0 falsified literals.
+    std::vector<Lit> out;
+    Lit prev;
+    for (Lit l : lits) {
+        assert(l.var() < numVars());
+        if (value(l) == LBool::True || (prev.valid() && l == ~prev))
+            return true; // satisfied or tautological
+        if (value(l) != LBool::False && l != prev)
+            out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], kNoReason);
+        ok = (propagate() == kNoReason);
+        return ok;
+    }
+    ClauseRef cref = allocClause(std::move(out), false);
+    attachClause(cref);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Trail
+// ---------------------------------------------------------------------------
+
+void
+Solver::uncheckedEnqueue(Lit l, ClauseRef reason)
+{
+    assert(value(l) == LBool::Undef);
+    Var v = l.var();
+    assigns[v] = l.sign() ? LBool::False : LBool::True;
+    levels[v] = decisionLevel();
+    reasons[v] = reason;
+    trail.push_back(l);
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (size_t i = trail.size(); i > trailLims[level]; i--) {
+        Lit l = trail[i - 1];
+        Var v = l.var();
+        assigns[v] = LBool::Undef;
+        polarity[v] = l.sign();
+        reasons[v] = kNoReason;
+        if (!heapContains(v))
+            heapInsert(v);
+    }
+    trail.resize(trailLims[level]);
+    trailLims.resize(level);
+    qhead = trail.size();
+}
+
+// ---------------------------------------------------------------------------
+// Propagation
+// ---------------------------------------------------------------------------
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    ClauseRef confl = kNoReason;
+    while (qhead < trail.size()) {
+        Lit p = trail[qhead++];
+        statsData.propagations++;
+        auto &ws = watches[p.index()];
+        size_t keep = 0;
+        size_t i = 0;
+        for (; i < ws.size(); i++) {
+            ClauseRef cref = ws[i];
+            auto &c = clauses[cref];
+            if (c.deleted)
+                continue; // drop stale watch
+            // Make sure the false literal (~p) sits at position 1.
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == false_lit);
+
+            Lit first = c.lits[0];
+            if (value(first) == LBool::True) {
+                ws[keep++] = cref;
+                continue;
+            }
+            // Search for a replacement watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches[(~c.lits[1]).index()].push_back(cref);
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            // Clause is unit or conflicting; the watch stays.
+            ws[keep++] = cref;
+            if (value(first) == LBool::False) {
+                confl = cref;
+                qhead = trail.size();
+                // Preserve the remaining watches.
+                for (i++; i < ws.size(); i++)
+                    ws[keep++] = ws[i];
+                break;
+            }
+            uncheckedEnqueue(first, cref);
+        }
+        ws.resize(keep);
+        if (confl != kNoReason)
+            break;
+    }
+    return confl;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+// ---------------------------------------------------------------------------
+
+void
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt, int &out_btlevel)
+{
+    out_learnt.clear();
+    out_learnt.push_back(Lit()); // placeholder for the asserting literal
+
+    int path_count = 0;
+    Lit p; // invalid
+    int index = static_cast<int>(trail.size()) - 1;
+
+    do {
+        assert(confl != kNoReason);
+        auto &c = clauses[confl];
+        if (c.learned)
+            claBumpActivity(c);
+
+        for (size_t j = p.valid() ? 1 : 0; j < c.lits.size(); j++) {
+            Lit q = c.lits[j];
+            Var v = q.var();
+            if (!seen[v] && levels[v] > 0) {
+                seen[v] = 1;
+                varBumpActivity(v);
+                if (levels[v] >= decisionLevel())
+                    path_count++;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        // Select the next node on the current decision level to expand.
+        while (!seen[trail[index].var()])
+            index--;
+        p = trail[index];
+        index--;
+        confl = reasons[p.var()];
+        seen[p.var()] = 0;
+        path_count--;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Recursive minimization of the learnt clause.
+    analyzeToClear = out_learnt;
+    uint32_t abstract_levels = 0;
+    for (size_t i = 1; i < out_learnt.size(); i++)
+        abstract_levels |= uint32_t(1) << (levels[out_learnt[i].var()] & 31);
+
+    size_t keep = 1;
+    for (size_t i = 1; i < out_learnt.size(); i++) {
+        if (reasons[out_learnt[i].var()] == kNoReason ||
+            !litRedundant(out_learnt[i], abstract_levels)) {
+            out_learnt[keep++] = out_learnt[i];
+        } else {
+            statsData.minimizedLits++;
+        }
+    }
+    out_learnt.resize(keep);
+
+    // Find the backtrack level (second-highest level in the clause).
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learnt.size(); i++) {
+            if (levels[out_learnt[i].var()] > levels[out_learnt[max_i].var()])
+                max_i = i;
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = levels[out_learnt[1].var()];
+    }
+
+    for (Lit l : analyzeToClear)
+        seen[l.var()] = 0;
+    analyzeToClear.clear();
+}
+
+bool
+Solver::litRedundant(Lit l, uint32_t abstract_levels)
+{
+    analyzeStack.clear();
+    analyzeStack.push_back(l);
+    size_t top = analyzeToClear.size();
+    while (!analyzeStack.empty()) {
+        Lit cur = analyzeStack.back();
+        analyzeStack.pop_back();
+        assert(reasons[cur.var()] != kNoReason);
+        const auto &c = clauses[reasons[cur.var()]];
+        for (size_t i = 1; i < c.lits.size(); i++) {
+            Lit q = c.lits[i];
+            Var v = q.var();
+            if (seen[v] || levels[v] == 0)
+                continue;
+            bool level_ok =
+                (uint32_t(1) << (levels[v] & 31)) & abstract_levels;
+            if (reasons[v] != kNoReason && level_ok) {
+                seen[v] = 1;
+                analyzeStack.push_back(q);
+                analyzeToClear.push_back(q);
+            } else {
+                // Not provably redundant: undo the marks we made here.
+                for (size_t j = top; j < analyzeToClear.size(); j++)
+                    seen[analyzeToClear[j].var()] = 0;
+                analyzeToClear.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Solver::analyzeFinal(Lit p)
+{
+    conflict.clear();
+    conflict.push_back(p);
+    if (decisionLevel() == 0)
+        return;
+
+    seen[p.var()] = 1;
+    for (size_t i = trail.size(); i > trailLims[0]; i--) {
+        Var v = trail[i - 1].var();
+        if (!seen[v])
+            continue;
+        if (reasons[v] == kNoReason) {
+            assert(levels[v] > 0);
+            conflict.push_back(~trail[i - 1]);
+        } else {
+            const auto &c = clauses[reasons[v]];
+            for (size_t j = 1; j < c.lits.size(); j++) {
+                if (levels[c.lits[j].var()] > 0)
+                    seen[c.lits[j].var()] = 1;
+            }
+        }
+        seen[v] = 0;
+    }
+    seen[p.var()] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Heuristics
+// ---------------------------------------------------------------------------
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity[v] += varInc;
+    if (activity[v] > 1e100) {
+        for (auto &a : activity)
+            a *= 1e-100;
+        varInc *= 1e-100;
+    }
+    if (heapContains(v))
+        heapUpdate(v);
+}
+
+void
+Solver::claBumpActivity(InternalClause &c)
+{
+    c.activity += claInc;
+    if (c.activity > 1e20) {
+        for (ClauseRef cref : learnts) {
+            if (!clauses[cref].deleted)
+                clauses[cref].activity *= 1e-20;
+        }
+        claInc *= 1e-20;
+    }
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heap.empty()) {
+        Var v = heapRemoveMax();
+        if (value(v) == LBool::Undef)
+            return Lit(v, polarity[v]);
+    }
+    return Lit();
+}
+
+void
+Solver::reduceDB()
+{
+    // Drop the least active half of the learnt clauses, keeping any clause
+    // that is currently the reason for an assignment.
+    std::vector<ClauseRef> alive;
+    for (ClauseRef cref : learnts) {
+        if (!clauses[cref].deleted)
+            alive.push_back(cref);
+    }
+    std::sort(alive.begin(), alive.end(), [&](ClauseRef a, ClauseRef b) {
+        return clauses[a].activity < clauses[b].activity;
+    });
+    double extra_lim = claInc / std::max<size_t>(alive.size(), 1);
+    size_t removed = 0;
+    for (size_t i = 0; i < alive.size(); i++) {
+        auto &c = clauses[alive[i]];
+        bool locked = reasons[c.lits[0].var()] == alive[i] &&
+                      value(c.lits[0]) == LBool::True;
+        bool weak = i < alive.size() / 2 || c.activity < extra_lim;
+        if (!locked && c.lits.size() > 2 && weak) {
+            removeClause(alive[i]);
+            removed++;
+        }
+    }
+    (void)removed;
+    learnts.erase(std::remove_if(learnts.begin(), learnts.end(),
+                                 [&](ClauseRef cref) {
+                                     return clauses[cref].deleted;
+                                 }),
+                  learnts.end());
+}
+
+double
+Solver::luby(double y, int i)
+{
+    // Find the finite subsequence that contains index i, and the index of
+    // i within that subsequence.
+    int size = 1;
+    int seq = 0;
+    while (size < i + 1) {
+        seq++;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        seq--;
+        i = i % size;
+    }
+    return std::pow(y, seq);
+}
+
+// ---------------------------------------------------------------------------
+// Main search
+// ---------------------------------------------------------------------------
+
+LBool
+Solver::search(int64_t max_conflicts)
+{
+    int64_t conflicts_here = 0;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        ClauseRef confl = propagate();
+        if (confl != kNoReason) {
+            statsData.conflicts++;
+            conflicts_here++;
+            if (decisionLevel() == 0) {
+                ok = false;
+                return LBool::False;
+            }
+            int bt_level = 0;
+            analyze(confl, learnt, bt_level);
+            cancelUntil(bt_level);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], kNoReason);
+            } else {
+                ClauseRef cref = allocClause(learnt, true);
+                learnts.push_back(cref);
+                attachClause(cref);
+                claBumpActivity(clauses[cref]);
+                uncheckedEnqueue(learnt[0], cref);
+            }
+            varDecayActivity();
+            claDecayActivity();
+            if (conflictBudget && statsData.conflicts >= conflictBudget) {
+                hitBudget = true;
+                cancelUntil(0);
+                return LBool::Undef;
+            }
+        } else {
+            if (conflicts_here >= max_conflicts) {
+                statsData.restarts++;
+                cancelUntil(0);
+                return LBool::Undef;
+            }
+            if (numLearnedClauses - static_cast<int>(trail.size()) >=
+                maxLearnts) {
+                reduceDB();
+            }
+
+            // Respect assumptions before free decisions.
+            Lit next;
+            while (decisionLevel() < static_cast<int>(assumptionsVec.size())) {
+                Lit p = assumptionsVec[decisionLevel()];
+                if (value(p) == LBool::True) {
+                    newDecisionLevel(); // dummy level; already satisfied
+                } else if (value(p) == LBool::False) {
+                    analyzeFinal(~p);
+                    return LBool::False;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (!next.valid()) {
+                next = pickBranchLit();
+                if (!next.valid()) {
+                    model = assigns;
+                    return LBool::True;
+                }
+                statsData.decisions++;
+            }
+            newDecisionLevel();
+            uncheckedEnqueue(next, kNoReason);
+        }
+    }
+}
+
+bool
+Solver::solve()
+{
+    return solve({});
+}
+
+bool
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    conflict.clear();
+    hitBudget = false;
+    if (!ok)
+        return false;
+    assumptionsVec = assumptions;
+    maxLearnts = std::max(static_cast<double>(numProblemClauses) / 3.0,
+                          2000.0);
+
+    LBool status = LBool::Undef;
+    int curr_restarts = 0;
+    while (status == LBool::Undef && !hitBudget) {
+        double base = luby(2.0, curr_restarts) * 100.0;
+        status = search(static_cast<int64_t>(base));
+        curr_restarts++;
+    }
+    cancelUntil(0);
+    assumptionsVec.clear();
+    return status == LBool::True;
+}
+
+// ---------------------------------------------------------------------------
+// Activity-ordered variable heap
+// ---------------------------------------------------------------------------
+
+void
+Solver::heapInsert(Var v)
+{
+    assert(!heapContains(v));
+    heapIndex[v] = static_cast<int>(heap.size());
+    heap.push_back(v);
+    heapPercolateUp(heapIndex[v]);
+}
+
+void
+Solver::heapUpdate(Var v)
+{
+    heapPercolateUp(heapIndex[v]);
+}
+
+Var
+Solver::heapRemoveMax()
+{
+    Var v = heap[0];
+    heap[0] = heap.back();
+    heapIndex[heap[0]] = 0;
+    heap.pop_back();
+    heapIndex[v] = -1;
+    if (!heap.empty())
+        heapPercolateDown(0);
+    return v;
+}
+
+void
+Solver::heapPercolateUp(int i)
+{
+    Var v = heap[i];
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (activity[heap[parent]] >= activity[v])
+            break;
+        heap[i] = heap[parent];
+        heapIndex[heap[i]] = i;
+        i = parent;
+    }
+    heap[i] = v;
+    heapIndex[v] = i;
+}
+
+void
+Solver::heapPercolateDown(int i)
+{
+    Var v = heap[i];
+    int n = static_cast<int>(heap.size());
+    for (;;) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && activity[heap[child + 1]] > activity[heap[child]])
+            child++;
+        if (activity[heap[child]] <= activity[v])
+            break;
+        heap[i] = heap[child];
+        heapIndex[heap[i]] = i;
+        i = child;
+    }
+    heap[i] = v;
+    heapIndex[v] = i;
+}
+
+} // namespace lts::sat

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * A conflict-driven clause-learning (CDCL) SAT solver.
+ *
+ * This is the project's stand-in for the off-the-shelf MiniSAT backend the
+ * paper used underneath Alloy/Kodkod. It implements the standard modern
+ * architecture: two-watched-literal unit propagation, first-UIP conflict
+ * analysis with recursive clause minimization, VSIDS decision heuristics
+ * with phase saving, Luby-sequence restarts, activity-driven learned-clause
+ * deletion, and incremental solving under assumptions. Clauses may be added
+ * between solve() calls, which is how the synthesizer's enumeration loop
+ * blocks previously found tests.
+ */
+
+#ifndef LTS_SAT_SOLVER_HH
+#define LTS_SAT_SOLVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace lts::sat
+{
+
+/** Aggregate counters exposed for benchmarks and logging. */
+struct SolverStats
+{
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learnedClauses = 0;
+    uint64_t deletedClauses = 0;
+    uint64_t minimizedLits = 0;
+};
+
+/**
+ * CDCL SAT solver over clauses of Lit.
+ *
+ * Typical use:
+ * @code
+ *   Solver s;
+ *   Var a = s.newVar(), b = s.newVar();
+ *   s.addClause({Lit::pos(a), Lit::pos(b)});
+ *   if (s.solve()) { bool va = s.modelValue(a); ... }
+ * @endcode
+ */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Allocate a fresh variable and return it. */
+    Var newVar();
+
+    /** Number of allocated variables. */
+    int numVars() const { return static_cast<int>(assigns.size()); }
+
+    /** Number of problem (non-learned) clauses currently alive. */
+    int numClauses() const { return numProblemClauses; }
+
+    /** Number of learned clauses currently alive. */
+    int numLearned() const { return numLearnedClauses; }
+
+    /**
+     * Add a clause. Returns false if the clause (together with prior
+     * top-level facts) makes the formula trivially unsatisfiable.
+     * May be called between solve() calls.
+     */
+    bool addClause(Clause lits);
+
+    /** Solve with no assumptions. */
+    bool solve();
+
+    /**
+     * Solve under the given assumption literals. The assumptions hold
+     * only for this call. Returns true iff satisfiable.
+     */
+    bool solve(const std::vector<Lit> &assumptions);
+
+    /** True once the formula is known unsatisfiable regardless of input. */
+    bool inConflict() const { return !ok; }
+
+    /** Value of @p v in the most recent satisfying model. */
+    bool modelValue(Var v) const { return model[v] == LBool::True; }
+
+    /** Value of @p l in the most recent satisfying model. */
+    bool
+    modelValue(Lit l) const
+    {
+        bool v = model[l.var()] == LBool::True;
+        return l.sign() ? !v : v;
+    }
+
+    /**
+     * Subset of the assumptions responsible for the last UNSAT answer
+     * (negated, i.e. the final conflict clause over assumption vars).
+     */
+    const std::vector<Lit> &conflictAssumptions() const { return conflict; }
+
+    const SolverStats &stats() const { return statsData; }
+
+    /** Abort solve() once this many conflicts occur (0 = no limit). */
+    void setConflictBudget(uint64_t budget) { conflictBudget = budget; }
+
+    /** True if the previous solve() stopped on the conflict budget. */
+    bool budgetExhausted() const { return hitBudget; }
+
+  private:
+    /** Internal clause representation. */
+    struct InternalClause
+    {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        bool learned = false;
+        bool deleted = false;
+    };
+
+    using ClauseRef = int32_t;
+    static constexpr ClauseRef kNoReason = -1;
+
+    // --- clause & watch management -------------------------------------
+    ClauseRef allocClause(std::vector<Lit> lits, bool learned);
+    void attachClause(ClauseRef cref);
+    void detachClause(ClauseRef cref);
+    void removeClause(ClauseRef cref);
+
+    // --- assignment trail -----------------------------------------------
+    LBool value(Var v) const { return assigns[v]; }
+    LBool
+    value(Lit l) const
+    {
+        LBool b = assigns[l.var()];
+        return l.sign() ? ~b : b;
+    }
+    int decisionLevel() const { return static_cast<int>(trailLims.size()); }
+    void newDecisionLevel() { trailLims.push_back(trail.size()); }
+    void uncheckedEnqueue(Lit l, ClauseRef reason);
+    void cancelUntil(int level);
+
+    // --- search ----------------------------------------------------------
+    ClauseRef propagate();
+    void analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
+                 int &out_btlevel);
+    bool litRedundant(Lit l, uint32_t abstract_levels);
+    void analyzeFinal(Lit p);
+    Lit pickBranchLit();
+    LBool search(int64_t max_conflicts);
+
+    // --- heuristics -------------------------------------------------------
+    void varBumpActivity(Var v);
+    void varDecayActivity() { varInc /= varDecay; }
+    void claBumpActivity(InternalClause &c);
+    void claDecayActivity() { claInc /= claDecay; }
+    void reduceDB();
+    static double luby(double y, int i);
+
+    // --- order heap (max-heap on activity) --------------------------------
+    void heapInsert(Var v);
+    void heapUpdate(Var v);
+    Var heapRemoveMax();
+    bool heapContains(Var v) const { return heapIndex[v] >= 0; }
+    void heapPercolateUp(int i);
+    void heapPercolateDown(int i);
+
+    // --- state -------------------------------------------------------------
+    std::vector<InternalClause> clauses;
+    std::vector<ClauseRef> learnts;
+    std::vector<std::vector<ClauseRef>> watches; // indexed by Lit::index()
+
+    std::vector<LBool> assigns;
+    std::vector<LBool> model;
+    std::vector<bool> polarity;  // saved phases
+    std::vector<int> levels;
+    std::vector<ClauseRef> reasons;
+    std::vector<Lit> trail;
+    std::vector<size_t> trailLims;
+    size_t qhead = 0;
+
+    std::vector<double> activity;
+    std::vector<int> heap;       // variable max-heap by activity
+    std::vector<int> heapIndex;  // var -> position in heap, -1 if absent
+
+    std::vector<Lit> assumptionsVec;
+    std::vector<Lit> conflict;
+
+    std::vector<uint8_t> seen;
+    std::vector<Lit> analyzeStack;
+    std::vector<Lit> analyzeToClear;
+
+    bool ok = true;
+    double varInc = 1.0;
+    double varDecay = 0.95;
+    double claInc = 1.0;
+    double claDecay = 0.999;
+    int numProblemClauses = 0;
+    int numLearnedClauses = 0;
+    double maxLearnts = 0.0;
+    uint64_t conflictBudget = 0;
+    bool hitBudget = false;
+
+    SolverStats statsData;
+};
+
+} // namespace lts::sat
+
+#endif // LTS_SAT_SOLVER_HH

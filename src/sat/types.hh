@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core SAT types: variables, literals, and ternary truth values.
+ *
+ * Variables are dense non-negative integers. A literal packs a variable
+ * and a sign into one integer (2 * var + sign) so literals index arrays
+ * directly, MiniSAT-style.
+ */
+
+#ifndef LTS_SAT_TYPES_HH
+#define LTS_SAT_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lts::sat
+{
+
+/** A propositional variable, numbered from 0. */
+using Var = int32_t;
+
+/**
+ * A literal: variable @c v with polarity. Positive literal of v is
+ * 2v, negative is 2v+1. The default-constructed literal is invalid.
+ */
+class Lit
+{
+  public:
+    Lit() : code(-2) {}
+
+    /** Make a literal for @p v, negated when @p negated is true. */
+    Lit(Var v, bool negated) : code(2 * v + (negated ? 1 : 0)) {}
+
+    /** The positive literal of @p v. */
+    static Lit pos(Var v) { return Lit(v, false); }
+
+    /** The negative literal of @p v. */
+    static Lit neg(Var v) { return Lit(v, true); }
+
+    /** Rebuild a literal from its integer code. */
+    static Lit
+    fromCode(int32_t code)
+    {
+        Lit l;
+        l.code = code;
+        return l;
+    }
+
+    Var var() const { return code >> 1; }
+    bool sign() const { return code & 1; }
+    int32_t index() const { return code; }
+    bool valid() const { return code >= 0; }
+
+    Lit operator~() const { return fromCode(code ^ 1); }
+    bool operator==(const Lit &o) const { return code == o.code; }
+    bool operator!=(const Lit &o) const { return code != o.code; }
+    bool operator<(const Lit &o) const { return code < o.code; }
+
+    /** Render as e.g. "x3" or "~x3" for debugging. */
+    std::string
+    toString() const
+    {
+        if (!valid())
+            return "<invalid>";
+        return (sign() ? "~x" : "x") + std::to_string(var());
+    }
+
+  private:
+    int32_t code;
+};
+
+/** Ternary truth value. */
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+/** Negate a ternary value, leaving Undef untouched. */
+inline LBool
+operator~(LBool b)
+{
+    if (b == LBool::Undef)
+        return b;
+    return b == LBool::True ? LBool::False : LBool::True;
+}
+
+/** A clause as a plain literal vector (used at the API boundary). */
+using Clause = std::vector<Lit>;
+
+} // namespace lts::sat
+
+#endif // LTS_SAT_TYPES_HH

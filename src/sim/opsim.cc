@@ -1,0 +1,193 @@
+#include "sim/opsim.hh"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace lts::sim
+{
+
+using litmus::EventType;
+using litmus::LitmusTest;
+using litmus::Outcome;
+
+Signature
+observableSignature(const LitmusTest &test, const Outcome &outcome)
+{
+    Signature sig(test.size(), -1);
+    for (size_t j = 0; j < test.size(); j++) {
+        if (!test.events[j].isRead())
+            continue;
+        sig[j] = 0;
+        for (size_t i = 0; i < test.size(); i++) {
+            if (outcome.rf.test(i, j))
+                sig[j] = static_cast<int>(i) + 1;
+        }
+    }
+    for (int loc = 0; loc < test.numLocs; loc++) {
+        int final_value = 0;
+        for (size_t i = 0; i < test.size(); i++) {
+            const auto &e = test.events[i];
+            if (!e.isWrite() || e.loc != loc)
+                continue;
+            bool last = true;
+            for (size_t j = 0; j < test.size(); j++) {
+                if (outcome.co.test(i, j))
+                    last = false;
+            }
+            if (last)
+                final_value = static_cast<int>(i) + 1;
+        }
+        sig.push_back(final_value);
+    }
+    return sig;
+}
+
+namespace
+{
+
+/** One pending store-buffer entry. */
+struct BufferEntry
+{
+    int loc;
+    int value;
+
+    auto operator<=>(const BufferEntry &) const = default;
+};
+
+/** Full machine state, ordered so visited-state sets work. */
+struct MachineState
+{
+    std::vector<int> pc;                          // next event per thread
+    std::vector<std::vector<BufferEntry>> buffers; // per-thread FIFO
+    std::vector<int> memory;                      // per location
+    std::vector<int> reads;                       // value per event (-1)
+
+    auto operator<=>(const MachineState &) const = default;
+};
+
+/**
+ * Common exploration engine; @p with_buffers selects TSO vs SC.
+ */
+std::set<Signature>
+explore(const LitmusTest &test, bool with_buffers)
+{
+    if (test.depMatrix().any())
+        throw std::invalid_argument(
+            "operational simulators do not model dependencies");
+
+    std::vector<std::vector<int>> thread_events(test.numThreads);
+    for (const auto &e : test.events)
+        thread_events[e.tid].push_back(e.id);
+
+    std::set<Signature> outcomes;
+    std::set<MachineState> visited;
+
+    MachineState init;
+    init.pc.assign(test.numThreads, 0);
+    init.buffers.resize(test.numThreads);
+    init.memory.assign(test.numLocs, 0);
+    init.reads.assign(test.size(), -1);
+
+    std::function<void(const MachineState &)> step =
+        [&](const MachineState &state) {
+            if (visited.count(state))
+                return;
+            visited.insert(state);
+
+            bool progressed = false;
+            for (int t = 0; t < test.numThreads; t++) {
+                // Option 1: drain the oldest store-buffer entry.
+                if (!state.buffers[t].empty()) {
+                    MachineState next = state;
+                    BufferEntry entry = next.buffers[t].front();
+                    next.buffers[t].erase(next.buffers[t].begin());
+                    next.memory[entry.loc] = entry.value;
+                    progressed = true;
+                    step(next);
+                }
+                // Option 2: execute the thread's next instruction.
+                if (state.pc[t] >=
+                    static_cast<int>(thread_events[t].size())) {
+                    continue;
+                }
+                int id = thread_events[t][state.pc[t]];
+                const auto &e = test.events[id];
+                MachineState next = state;
+                next.pc[t]++;
+
+                switch (e.type) {
+                  case EventType::Fence:
+                    // Fences stall until the buffer has drained.
+                    if (!state.buffers[t].empty())
+                        continue;
+                    break;
+                  case EventType::Read: {
+                    // RMW read: atomic with its write; needs an empty
+                    // buffer (locked instructions drain first) and goes
+                    // straight to memory.
+                    int paired_write = -1;
+                    for (size_t j = 0; j < test.size(); j++) {
+                        if (test.rmw.test(id, j))
+                            paired_write = static_cast<int>(j);
+                    }
+                    if (paired_write >= 0) {
+                        if (!state.buffers[t].empty())
+                            continue;
+                        next.reads[id] = next.memory[e.loc];
+                        next.memory[test.events[paired_write].loc] =
+                            paired_write + 1;
+                        next.pc[t]++; // consume the write half too
+                        break;
+                    }
+                    // Plain read: forward from the youngest buffered
+                    // store to the same location, else read memory.
+                    int value = next.memory[e.loc];
+                    for (const auto &entry : state.buffers[t]) {
+                        if (entry.loc == e.loc)
+                            value = entry.value;
+                    }
+                    next.reads[id] = value;
+                    break;
+                  }
+                  case EventType::Write:
+                    if (with_buffers) {
+                        next.buffers[t].push_back(
+                            BufferEntry{e.loc, id + 1});
+                    } else {
+                        next.memory[e.loc] = id + 1;
+                    }
+                    break;
+                }
+                progressed = true;
+                step(next);
+            }
+
+            if (!progressed) {
+                // All threads done and all buffers empty: record.
+                Signature sig = state.reads;
+                for (int loc = 0; loc < test.numLocs; loc++)
+                    sig.push_back(state.memory[loc]);
+                outcomes.insert(sig);
+            }
+        };
+
+    step(init);
+    return outcomes;
+}
+
+} // namespace
+
+std::set<Signature>
+scOutcomes(const LitmusTest &test)
+{
+    return explore(test, false);
+}
+
+std::set<Signature>
+tsoOutcomes(const LitmusTest &test)
+{
+    return explore(test, true);
+}
+
+} // namespace lts::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Operational memory-model simulators.
+ *
+ * These exhaustively explore the interleavings of a litmus test on an
+ * executable machine model and report the set of observable outcomes:
+ *
+ *  - ScSimulator: an atomic-memory interleaving machine (sequential
+ *    consistency);
+ *  - TsoSimulator: a store-buffer machine in the style of Owens et al.'s
+ *    x86-TSO operational model — one FIFO store buffer per thread with
+ *    forwarding, fences that stall until the buffer drains, and
+ *    buffer-draining locked RMWs.
+ *
+ * They serve as an independent oracle: on every synthesized TSO test the
+ * outcome set of the store-buffer machine must equal the axiomatic
+ * model's legal set (tests/integration), which ties the paper's
+ * declarative formulation to an executable artifact. Each write is given
+ * the unique value (event id + 1) so outcomes are comparable across the
+ * axiomatic and operational sides via observableSignature().
+ */
+
+#ifndef LTS_SIM_OPSIM_HH
+#define LTS_SIM_OPSIM_HH
+
+#include <set>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace lts::sim
+{
+
+/**
+ * An observable outcome: the value returned by each read (indexed by
+ * event id; -1 for non-reads) followed by the final value of each
+ * location. Write values are (writer event id + 1); 0 is the initial
+ * value.
+ */
+using Signature = std::vector<int>;
+
+/** Project an axiomatic execution onto a comparable Signature. */
+Signature observableSignature(const litmus::LitmusTest &test,
+                              const litmus::Outcome &outcome);
+
+/** Exhaustive interleaving exploration under sequential consistency. */
+std::set<Signature> scOutcomes(const litmus::LitmusTest &test);
+
+/** Exhaustive exploration of the x86-TSO store-buffer machine. */
+std::set<Signature> tsoOutcomes(const litmus::LitmusTest &test);
+
+} // namespace lts::sim
+
+#endif // LTS_SIM_OPSIM_HH

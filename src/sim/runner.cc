@@ -1,0 +1,150 @@
+#include "sim/runner.hh"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace lts::sim
+{
+
+using litmus::EventType;
+using litmus::LitmusTest;
+
+namespace
+{
+
+/** Mutable machine state for one random execution. */
+struct RunState
+{
+    std::vector<int> pc;
+    std::vector<std::vector<std::pair<int, int>>> buffers; // (loc, value)
+    std::vector<int> memory;
+    std::vector<int> reads;
+};
+
+/** One scheduler action: drain thread t's buffer, or step thread t. */
+struct Action
+{
+    int thread;
+    bool drain;
+};
+
+} // namespace
+
+RunStats
+runRandom(const LitmusTest &test, const RunnerOptions &options)
+{
+    if (test.depMatrix().any())
+        throw std::invalid_argument(
+            "the randomized runner does not model dependencies");
+
+    std::vector<std::vector<int>> thread_events(test.numThreads);
+    for (const auto &e : test.events)
+        thread_events[e.tid].push_back(e.id);
+
+    std::mt19937_64 rng(options.seed);
+    RunStats stats;
+
+    for (uint64_t run = 0; run < options.schedules; run++) {
+        RunState st;
+        st.pc.assign(test.numThreads, 0);
+        st.buffers.resize(test.numThreads);
+        for (auto &b : st.buffers)
+            b.clear();
+        st.memory.assign(test.numLocs, 0);
+        st.reads.assign(test.size(), -1);
+
+        for (;;) {
+            // Collect enabled actions.
+            std::vector<Action> actions;
+            std::vector<uint64_t> weights;
+            for (int t = 0; t < test.numThreads; t++) {
+                if (options.tso && !st.buffers[t].empty()) {
+                    actions.push_back(Action{t, true});
+                    weights.push_back(
+                        static_cast<uint64_t>(100 - options.stress) + 1);
+                }
+                if (st.pc[t] >=
+                    static_cast<int>(thread_events[t].size())) {
+                    continue;
+                }
+                int id = thread_events[t][st.pc[t]];
+                const auto &e = test.events[id];
+                // Fences and RMW reads stall on non-empty buffers.
+                bool needs_empty =
+                    e.type == EventType::Fence ||
+                    (e.isRead() && test.rmw.row(id).any());
+                if (options.tso && needs_empty && !st.buffers[t].empty())
+                    continue;
+                actions.push_back(Action{t, false});
+                weights.push_back(101);
+            }
+            if (actions.empty())
+                break;
+
+            // Weighted choice.
+            uint64_t total = 0;
+            for (uint64_t w : weights)
+                total += w;
+            uint64_t pick = rng() % total;
+            size_t chosen = 0;
+            for (; chosen < actions.size(); chosen++) {
+                if (pick < weights[chosen])
+                    break;
+                pick -= weights[chosen];
+            }
+            const Action &act = actions[chosen];
+
+            if (act.drain) {
+                auto entry = st.buffers[act.thread].front();
+                st.buffers[act.thread].erase(
+                    st.buffers[act.thread].begin());
+                st.memory[entry.first] = entry.second;
+                continue;
+            }
+
+            int id = thread_events[act.thread][st.pc[act.thread]];
+            const auto &e = test.events[id];
+            st.pc[act.thread]++;
+            switch (e.type) {
+              case EventType::Fence:
+                break; // buffer already empty by enabledness
+              case EventType::Read: {
+                int paired = -1;
+                for (size_t j = 0; j < test.size(); j++) {
+                    if (test.rmw.test(id, j))
+                        paired = static_cast<int>(j);
+                }
+                if (paired >= 0) {
+                    st.reads[id] = st.memory[e.loc];
+                    st.memory[test.events[paired].loc] = paired + 1;
+                    st.pc[act.thread]++;
+                    break;
+                }
+                int value = st.memory[e.loc];
+                for (const auto &entry : st.buffers[act.thread]) {
+                    if (entry.first == e.loc)
+                        value = entry.second;
+                }
+                st.reads[id] = value;
+                break;
+              }
+              case EventType::Write:
+                if (options.tso)
+                    st.buffers[act.thread].emplace_back(e.loc, id + 1);
+                else
+                    st.memory[e.loc] = id + 1;
+                break;
+            }
+        }
+
+        Signature sig = st.reads;
+        for (int loc = 0; loc < test.numLocs; loc++)
+            sig.push_back(st.memory[loc]);
+        stats.histogram[sig]++;
+        stats.runs++;
+    }
+    return stats;
+}
+
+} // namespace lts::sim

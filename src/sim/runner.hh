@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Randomized litmus-test runner.
+ *
+ * The paper's context (Section 2.1) is black-box testing: suites are run
+ * billions of times on real machines, where rare outcomes may appear
+ * "once every billion executions" and external stressors are applied to
+ * make weak behaviors more likely (Sorensen & Donaldson 2016). This
+ * module provides that consumer side in-process: instead of the
+ * exhaustive exploration of sim/opsim.hh, it runs the x86-TSO
+ * store-buffer machine (or the SC machine) under randomly chosen
+ * schedules and reports an outcome histogram.
+ *
+ * The stress knob biases the scheduler toward keeping store buffers full
+ * (delaying drains), which is exactly the kind of perturbation that
+ * makes relaxed outcomes like SB's (0,0) more frequent — letting the
+ * repo demonstrate why stressors matter for suite effectiveness.
+ */
+
+#ifndef LTS_SIM_RUNNER_HH
+#define LTS_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/opsim.hh"
+
+namespace lts::sim
+{
+
+/** Randomized-run configuration. */
+struct RunnerOptions
+{
+    uint64_t schedules = 1000; ///< number of random executions
+    uint64_t seed = 1;
+    /**
+     * 0..100: probability weight shifted from buffer drains to
+     * instruction execution. 0 = uniform choice among enabled actions;
+     * higher values starve drains, keeping buffers full longer.
+     */
+    int stress = 0;
+    bool tso = true; ///< false = SC interleaving machine
+};
+
+/** Histogram of observed outcomes over the random runs. */
+struct RunStats
+{
+    std::map<Signature, uint64_t> histogram;
+    uint64_t runs = 0;
+
+    /** Number of distinct outcomes observed. */
+    size_t distinct() const { return histogram.size(); }
+
+    /** Observation count for one outcome (0 if never seen). */
+    uint64_t
+    count(const Signature &sig) const
+    {
+        auto it = histogram.find(sig);
+        return it == histogram.end() ? 0 : it->second;
+    }
+};
+
+/** Run @p test under random schedules and collect outcomes. */
+RunStats runRandom(const litmus::LitmusTest &test,
+                   const RunnerOptions &options);
+
+} // namespace lts::sim
+
+#endif // LTS_SIM_RUNNER_HH

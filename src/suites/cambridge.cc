@@ -1,0 +1,273 @@
+#include "suites/cambridge.hh"
+
+namespace lts::suites
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::TestBuilder;
+
+namespace
+{
+
+constexpr MemOrder kSync = MemOrder::SeqCst;   // Power sync
+constexpr MemOrder kLwsync = MemOrder::AcqRel; // Power lwsync
+
+/**
+ * MP with a configurable producer fence and a consumer ordered either by
+ * a fence or by an address dependency.
+ */
+LitmusTest
+mpVariant(const std::string &name, MemOrder producer_fence,
+          bool consumer_fence, MemOrder consumer_fence_kind, bool addr_dep)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    if (producer_fence != MemOrder::Plain)
+        b.fence(t0, producer_fence);
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y");
+    if (consumer_fence)
+        b.fence(t1, consumer_fence_kind);
+    int rd = b.read(t1, "x");
+    if (addr_dep)
+        b.addrDepend(rf, rd);
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build(name);
+}
+
+LitmusTest
+sbSyncs()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, kSync);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, kSync);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    return b.build("SB+syncs");
+}
+
+LitmusTest
+sbLwsyncs()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, kLwsync);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, kLwsync);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    return b.build("SB+lwsyncs");
+}
+
+LitmusTest
+lbDeps(bool addr, const std::string &name)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w0 = b.write(t0, "y");
+    if (addr)
+        b.addrDepend(r0, w0);
+    else
+        b.dataDepend(r0, w0);
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    if (addr)
+        b.addrDepend(r1, w1);
+    else
+        b.dataDepend(r1, w1);
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build(name);
+}
+
+LitmusTest
+lbPlain()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w0 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build("LB");
+}
+
+/**
+ * PPOAA: MP whose consumer orders the two loads with an address
+ * dependency; the producer fence is the parameter the paper discusses —
+ * the Cambridge summary presents it with a full sync, but lwsync
+ * suffices, so only the lwsync variant is minimal.
+ */
+LitmusTest
+ppoaa(MemOrder producer_fence, const std::string &name)
+{
+    return mpVariant(name, producer_fence, false, MemOrder::Plain, true);
+}
+
+/**
+ * lb+deps+ww: LB where thread 0's dependency targets an intermediate
+ * write and the write to the observed location follows it in program
+ * order. The addr->po extension of the Power cc0 relation preserves the
+ * load-to-second-write order for an address dependency but NOT for a
+ * data dependency, so the addr flavor is forbidden while the data flavor
+ * is allowed (the lb+addrs+ww discussion of Section 6.2).
+ */
+LitmusTest
+lbDepWw(bool addr, const std::string &name)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int wmid = b.write(t0, "z");
+    if (addr)
+        b.addrDepend(r0, wmid);
+    else
+        b.dataDepend(r0, wmid);
+    int w0 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    b.dataDepend(r1, w1);
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build(name);
+}
+
+/** WRC with lwsync in the middle thread and addr in the reader. */
+LitmusTest
+wrcLwsyncAddr()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1x = b.read(t1, "x");
+    b.fence(t1, kLwsync);
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2y = b.read(t2, "y");
+    int r2x = b.read(t2, "x");
+    b.addrDepend(r2y, r2x);
+    b.readsFrom(wx, r1x);
+    b.readsFrom(wy, r2y);
+    b.readsInitial(r2x);
+    return b.build("WRC+lwsync+addr");
+}
+
+LitmusTest
+iriwSyncs()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2x = b.read(t2, "x");
+    b.fence(t2, kSync);
+    int r2y = b.read(t2, "y");
+    int t3 = b.newThread();
+    int r3y = b.read(t3, "y");
+    b.fence(t3, kSync);
+    int r3x = b.read(t3, "x");
+    b.readsFrom(wx, r2x);
+    b.readsInitial(r2y);
+    b.readsFrom(wy, r3y);
+    b.readsInitial(r3x);
+    return b.build("IRIW+syncs");
+}
+
+LitmusTest
+iriwLwsyncs()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2x = b.read(t2, "x");
+    b.fence(t2, kLwsync);
+    int r2y = b.read(t2, "y");
+    int t3 = b.newThread();
+    int r3y = b.read(t3, "y");
+    b.fence(t3, kLwsync);
+    int r3x = b.read(t3, "x");
+    b.readsFrom(wx, r2x);
+    b.readsInitial(r2y);
+    b.readsFrom(wy, r3y);
+    b.readsInitial(r3x);
+    return b.build("IRIW+lwsyncs");
+}
+
+} // namespace
+
+std::vector<CatalogEntry>
+cambridgeSuite()
+{
+    std::vector<CatalogEntry> out;
+    auto add = [&](LitmusTest t, bool forbidden, const std::string &note) {
+        out.push_back(CatalogEntry{std::move(t), forbidden, note});
+    };
+
+    add(mpVariant("MP", MemOrder::Plain, false, MemOrder::Plain, false),
+        false, "plain MP is allowed on Power");
+    add(mpVariant("MP+syncs", kSync, true, kSync, false), true,
+        "fully fenced MP");
+    add(mpVariant("MP+lwsyncs", kLwsync, true, kLwsync, false), true,
+        "lwsync suffices for MP");
+    add(mpVariant("MP+lwsync+po", kLwsync, false, MemOrder::Plain, false),
+        false, "unordered consumer loads break MP");
+    // In this formalization PPOAA+lwsync coincides with MP+lwsync+addr,
+    // so the catalog keeps one entry per canonical test.
+    add(ppoaa(kSync, "PPOAA"), true,
+        "as published: full sync; NOT minimal (Section 6.2)");
+    add(ppoaa(kLwsync, "PPOAA+lwsync"), true,
+        "the minimal lwsync variant (= MP+lwsync+addr), in power-union");
+    add(sbSyncs(), true, "SB needs full syncs");
+    add(sbLwsyncs(), false, "lwsync cannot restore SB");
+    add(lbPlain(), false, "plain LB is allowed on Power");
+    add(lbDeps(true, "LB+addrs"), true, "address dependencies forbid LB");
+    add(lbDeps(false, "LB+datas"), true, "data dependencies forbid LB");
+    add(lbDepWw(true, "LB+addr+po+ww"), true,
+        "addr;po is in cc0: still forbidden");
+    add(lbDepWw(false, "LB+data+po+ww"), false,
+        "data;po is NOT preserved: allowed (addr vs data strength)");
+    add(wrcLwsyncAddr(), true, "WRC, cumulativity through lwsync");
+    add(iriwSyncs(), true, "IRIW restored by syncs");
+    add(iriwLwsyncs(), false, "lwsync is not cumulative enough for IRIW");
+
+    return out;
+}
+
+std::vector<LitmusTest>
+cambridgeForbidden()
+{
+    std::vector<LitmusTest> out;
+    for (auto &entry : cambridgeSuite()) {
+        if (entry.expectForbidden)
+            out.push_back(entry.test);
+    }
+    return out;
+}
+
+} // namespace lts::suites

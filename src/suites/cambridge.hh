@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A subset of the "Cambridge" Power/ARM litmus-test summary
+ * (Sarkar et al. 2011) used as the Section 6.2 baseline, including the
+ * tests the paper's text singles out:
+ *
+ *  - PPOAA in its published full-sync form (NOT minimal, per the paper)
+ *    and its lwsync form (minimal, present in power-union);
+ *  - lb+addrs+ww in both the address- and data-dependency flavors,
+ *    exhibiting the strength difference between addr and data this
+ *    formalization preserves;
+ *  - the classic fenced/dependency-ordered shapes (MP+syncs, MP+lwsyncs,
+ *    MP+lwsync+addr, SB+syncs, LB+addrs, WRC+lwsync+addr, IRIW+syncs)
+ *    plus their too-weak ALLOWED variants.
+ */
+
+#ifndef LTS_SUITES_CAMBRIDGE_HH
+#define LTS_SUITES_CAMBRIDGE_HH
+
+#include "suites/owens.hh"
+
+namespace lts::suites
+{
+
+/** The encoded Cambridge subset for Power. */
+std::vector<CatalogEntry> cambridgeSuite();
+
+/** Only the forbidden-outcome tests. */
+std::vector<litmus::LitmusTest> cambridgeForbidden();
+
+} // namespace lts::suites
+
+#endif // LTS_SUITES_CAMBRIDGE_HH

@@ -1,0 +1,509 @@
+#include "suites/owens.hh"
+
+namespace lts::suites
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::TestBuilder;
+
+namespace
+{
+
+constexpr MemOrder kPlainFence = MemOrder::Plain; // x86 mfence
+
+/** MP: the message-passing test of Figure 1 (without annotations). */
+LitmusTest
+mp()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y");
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build("MP");
+}
+
+LitmusTest
+lb()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w0 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build("LB");
+}
+
+LitmusTest
+testS()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx2 = b.write(t0, "x");
+    int wy = b.write(t0, "y");
+    int t1 = b.newThread();
+    int ry = b.read(t1, "y");
+    int wx1 = b.write(t1, "x");
+    b.readsFrom(wy, ry);
+    b.coOrder(wx1, wx2);
+    return b.build("S");
+}
+
+LitmusTest
+twoPlusTwoW()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx1 = b.write(t0, "x");
+    int wy2 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int wy1 = b.write(t1, "y");
+    int wx2 = b.write(t1, "x");
+    b.coOrder(wx2, wx1);
+    b.coOrder(wy2, wy1);
+    return b.build("2+2W");
+}
+
+LitmusTest
+sb(bool with_fences, const std::string &name)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    if (with_fences)
+        b.fence(t0, kPlainFence);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    if (with_fences)
+        b.fence(t1, kPlainFence);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    return b.build(name);
+}
+
+LitmusTest
+iriw(bool with_fences, const std::string &name)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2x = b.read(t2, "x");
+    if (with_fences)
+        b.fence(t2, kPlainFence);
+    int r2y = b.read(t2, "y");
+    int t3 = b.newThread();
+    int r3y = b.read(t3, "y");
+    if (with_fences)
+        b.fence(t3, kPlainFence);
+    int r3x = b.read(t3, "x");
+    b.readsFrom(wx, r2x);
+    b.readsInitial(r2y);
+    b.readsFrom(wy, r3y);
+    b.readsInitial(r3x);
+    return b.build(name);
+}
+
+/** n5 (a.k.a. CoLB): load-buffering through one location (Figure 10). */
+LitmusTest
+n5()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "x");
+    int w2 = b.write(t1, "x");
+    b.readsFrom(w2, r0);
+    b.readsFrom(w1, r1);
+    b.coOrder(w1, w2);
+    return b.build("n5/CoLB");
+}
+
+/** n6 (Owens et al.): store forwarding; the outcome is ALLOWED. */
+LitmusTest
+n6()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx1 = b.write(t0, "x");
+    int r1 = b.read(t0, "x");
+    int r2 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    int wx2 = b.write(t1, "x");
+    b.readsFrom(wx1, r1);
+    b.readsInitial(r2);
+    b.coOrder(wx2, wx1);
+    return b.build("n6");
+}
+
+/** iwp2.6 (CoIRIW): coherence seen consistently by all readers. */
+LitmusTest
+coIriw()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int w2 = b.write(t1, "x");
+    int t2 = b.newThread();
+    int r2a = b.read(t2, "x");
+    int r2b = b.read(t2, "x");
+    int t3 = b.newThread();
+    int r3a = b.read(t3, "x");
+    int r3b = b.read(t3, "x");
+    // Readers observe the two stores in opposite orders.
+    b.readsFrom(w1, r2a);
+    b.readsFrom(w2, r2b);
+    b.readsFrom(w2, r3a);
+    b.readsFrom(w1, r3b);
+    b.coOrder(w1, w2);
+    return b.build("iwp2.6/CoIRIW");
+}
+
+/** RWC+mfence: read-to-write causality with the required fence. */
+LitmusTest
+rwcMfence()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1x = b.read(t1, "x");
+    int r1y = b.read(t1, "y");
+    int t2 = b.newThread();
+    b.write(t2, "y");
+    b.fence(t2, kPlainFence);
+    int r2x = b.read(t2, "x");
+    b.readsFrom(wx, r1x);
+    b.readsInitial(r1y);
+    b.readsInitial(r2x);
+    return b.build("RWC+mfence");
+}
+
+/** amd10: doubled store-buffering with fences; contains SB+mfences. */
+LitmusTest
+amd10()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, kPlainFence);
+    int r0y = b.read(t0, "y");
+    int r0x = b.read(t0, "x");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, kPlainFence);
+    int r1x = b.read(t1, "x");
+    int r1y = b.read(t1, "y");
+    b.readsInitial(r0y);
+    b.readsInitial(r1x);
+    b.readsFrom(0, r0x);
+    b.readsFrom(4, r1y);
+    return b.build("amd10");
+}
+
+/** iwp2.7/amd7: IRIW with fenced readers; contains plain IRIW. */
+LitmusTest
+iwp27()
+{
+    LitmusTest t = iriw(true, "iwp2.7/amd7");
+    return t;
+}
+
+/**
+ * iwp2.8.a: write-to-read causality (reconstructed as the fence-free WRC
+ * shape, which TSO forbids outright).
+ */
+LitmusTest
+iwp28a()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1x = b.read(t1, "x");
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2y = b.read(t2, "y");
+    int r2x = b.read(t2, "x");
+    b.readsFrom(wx, r1x);
+    b.readsFrom(wy, r2y);
+    b.readsInitial(r2x);
+    return b.build("iwp2.8.a/WRC");
+}
+
+/**
+ * iwp2.8.b: message passing with a redundant trailing fence
+ * (reconstructed: size 5, contains MP per Table 4).
+ */
+LitmusTest
+iwp28b()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y");
+    b.fence(t1, kPlainFence);
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build("iwp2.8.b");
+}
+
+/**
+ * n4 (reconstructed as R+mfence: the R shape needs one fence on the
+ * store/load thread under TSO; size 6 per Table 4).
+ */
+LitmusTest
+n4()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx1 = b.write(t0, "x");
+    int wy1 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int wy2 = b.write(t1, "y");
+    b.fence(t1, kPlainFence);
+    int rx = b.read(t1, "x");
+    b.readsInitial(rx);
+    b.coOrder(wy1, wy2);
+    (void)wx1;
+    return b.build("n4/R+mfence");
+}
+
+/**
+ * n3: IRIW with fences plus an extra coherent reload in one reader
+ * (reconstructed: size 9, contains amd6/IRIW per Table 4).
+ */
+LitmusTest
+n3()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "y");
+    int t2 = b.newThread();
+    int r2x = b.read(t2, "x");
+    b.fence(t2, kPlainFence);
+    int r2y = b.read(t2, "y");
+    int t3 = b.newThread();
+    int r3y = b.read(t3, "y");
+    b.fence(t3, kPlainFence);
+    int r3x = b.read(t3, "x");
+    int r3x2 = b.read(t3, "x");
+    b.readsFrom(wx, r2x);
+    b.readsInitial(r2y);
+    b.readsFrom(wy, r3y);
+    b.readsInitial(r3x);
+    b.readsInitial(r3x2);
+    return b.build("n3");
+}
+
+/** n1: intra-thread store forwarding (ALLOWED outcome). */
+LitmusTest
+n1()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int rx = b.read(t0, "x");
+    int ry = b.read(t0, "y");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "y");
+    int rwy = b.read(t1, "y");
+    int rwx = b.read(t1, "x");
+    b.readsFrom(wx, rx);
+    b.readsInitial(ry);
+    b.readsFrom(wy, rwy);
+    b.readsInitial(rwx);
+    return b.build("n1");
+}
+
+/** iwp2.4: loads may be reordered with older stores (ALLOWED = SB). */
+LitmusTest
+iwp24()
+{
+    LitmusTest t = sb(false, "iwp2.4/amd4/SB");
+    return t;
+}
+
+/** iwp2.3.b: intra-processor forwarding is visible (ALLOWED). */
+LitmusTest
+iwp23b()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int rx = b.read(t0, "x");
+    int t1 = b.newThread();
+    int wy = b.write(t1, "x");
+    int ry = b.read(t1, "x");
+    b.readsFrom(wx, rx);
+    b.readsFrom(wy, ry);
+    b.coOrder(wx, wy);
+    return b.build("iwp2.3.b");
+}
+
+/** amd3: reads may see older values of other locations (ALLOWED). */
+LitmusTest
+amd3()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, kPlainFence);
+    int wy0 = b.write(t0, "y");
+    int t1 = b.newThread();
+    int ry = b.read(t1, "y");
+    int rx = b.read(t1, "x");
+    b.readsFrom(wy0, ry);
+    b.readsFrom(0, rx);
+    return b.build("amd3");
+}
+
+/** n2: 2+2W variant with forwarding reads (ALLOWED outcome). */
+LitmusTest
+n2()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx1 = b.write(t0, "x");
+    int wy2 = b.write(t0, "y");
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    int wy1 = b.write(t1, "y");
+    int wx2 = b.write(t1, "x");
+    int r1 = b.read(t1, "x");
+    b.readsFrom(wy2, r0);
+    b.readsFrom(wx2, r1);
+    b.coOrder(wx1, wx2);
+    b.coOrder(wy1, wy2);
+    return b.build("n2");
+}
+
+/** n7: a reader observing two remote stores in coherence order
+ * (ALLOWED: the observation is consistent with co). */
+LitmusTest
+n7()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "x");
+    int r2 = b.read(t1, "x");
+    int t2 = b.newThread();
+    int wx2 = b.write(t2, "x");
+    b.readsFrom(wx1, r1);
+    b.readsFrom(wx2, r2);
+    b.coOrder(wx1, wx2);
+    return b.build("n7");
+}
+
+/** SB with only one thread fenced: the outcome stays ALLOWED. */
+LitmusTest
+sb_one_sided()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, kPlainFence);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    return b.build("SB+mfence+po");
+}
+
+/** n8: SB with one forwarded reload (ALLOWED). */
+LitmusTest
+n8()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int wx = b.write(t0, "x");
+    int rx = b.read(t0, "x");
+    int ry = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    int rxx = b.read(t1, "x");
+    b.readsFrom(wx, rx);
+    b.readsInitial(ry);
+    b.readsInitial(rxx);
+    return b.build("n8");
+}
+
+} // namespace
+
+std::vector<CatalogEntry>
+owensSuite()
+{
+    std::vector<CatalogEntry> out;
+    auto add = [&](LitmusTest t, bool forbidden, const std::string &note) {
+        out.push_back(CatalogEntry{std::move(t), forbidden, note});
+    };
+
+    // --- 15 forbidden-outcome tests (the Table 4 comparison set) -----
+    add(mp(), true, "message passing (Figure 1 shape)");
+    add(lb(), true, "load buffering");
+    add(testS(), true, "S");
+    add(twoPlusTwoW(), true, "2+2W");
+    add(n5(), true, "n5/CoLB; contains CoRW (Figure 10)");
+    add(iwp28b(), true, "reconstructed; contains MP");
+    add(coIriw(), true, "iwp2.6/CoIRIW; coherence order is global");
+    add(sb(true, "amd5/SB+mfences"), true, "store buffering with fences");
+    add(iriw(false, "amd6/IRIW"), true, "IRIW (TSO is multi-copy atomic)");
+    add(n4(), true, "reconstructed SB+mfences variant");
+    add(iwp28a(), true, "reconstructed WRC+mfence shape");
+    add(rwcMfence(), true, "read-to-write causality + mfence");
+    add(amd10(), true, "contains amd5/SB+mfences");
+    add(iwp27(), true, "iwp2.7/amd7; contains amd6/IRIW");
+    add(n3(), true, "reconstructed; contains amd6/IRIW");
+
+    // --- allowed-outcome tests -----------------------------------------
+    add(iwp24(), false, "SB: the canonical allowed TSO relaxation");
+    add(sb_one_sided(), false, "one fence is not enough for SB");
+    add(n6(), false, "store forwarding beats coherence ordering");
+    add(n1(), false, "intra-thread forwarding");
+    add(iwp23b(), false, "forwarding visible before coherence");
+    add(amd3(), false, "fenced MP still allows stale other-loc reads");
+    add(n2(), false, "2+2W with forwarded reloads");
+    add(n7(), false, "coherent cross reads");
+    add(n8(), false, "SB with forwarded reload");
+
+    return out;
+}
+
+std::vector<LitmusTest>
+owensForbidden()
+{
+    std::vector<LitmusTest> out;
+    for (auto &entry : owensSuite()) {
+        if (entry.expectForbidden)
+            out.push_back(entry.test);
+    }
+    return out;
+}
+
+} // namespace lts::suites

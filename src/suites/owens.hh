@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Owens et al. x86-TSO litmus test suite (Section 6.1 / Table 4).
+ *
+ * Owens, Sarkar & Sewell ("A Better x86 Memory Model: x86-TSO", 2009)
+ * collected 24 tests from Intel/AMD manuals, academic papers, and their
+ * own analysis; 15 specify forbidden outcomes. The paper compares its
+ * synthesized TSO suites against this baseline.
+ *
+ * Tests whose exact shape is fixed by the literature (MP, SB, LB, S,
+ * 2+2W, SB+mfences, IRIW, IRIW+mfences, RWC+mfence, n5/CoLB, n6,
+ * iwp2.6/CoIRIW, store-forwarding tests) are transcribed directly.
+ * A few of the historical "n" and "iwp" entries are reconstructed to
+ * match the size and containment relationships reported in Table 4
+ * (which test contains which minimal core); each such entry is marked
+ * reconstructed in its note.
+ */
+
+#ifndef LTS_SUITES_OWENS_HH
+#define LTS_SUITES_OWENS_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace lts::suites
+{
+
+/** One baseline-suite entry. */
+struct CatalogEntry
+{
+    litmus::LitmusTest test;
+    bool expectForbidden; ///< the listed outcome is forbidden under TSO
+    std::string note;
+};
+
+/** The full 24-test Owens suite (15 forbidden-outcome entries). */
+std::vector<CatalogEntry> owensSuite();
+
+/** Only the forbidden-outcome tests (the comparison set of Table 4). */
+std::vector<litmus::LitmusTest> owensForbidden();
+
+} // namespace lts::suites
+
+#endif // LTS_SUITES_OWENS_HH

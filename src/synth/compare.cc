@@ -1,0 +1,181 @@
+#include "synth/compare.hh"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "litmus/canon.hh"
+
+namespace lts::synth
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+
+namespace
+{
+
+/** Is super's annotation at least as strong as sub's? */
+bool
+strongEnough(MemOrder sub, MemOrder super)
+{
+    return sub == super || litmus::isWeaker(sub, super);
+}
+
+/**
+ * Backtracking embedder: map sub's events (in id order) to super events
+ * such that threads follow @p thread_map, per-thread order is preserved,
+ * and types/annotations/locations are compatible.
+ */
+bool
+embed(const LitmusTest &sub, const LitmusTest &super,
+      const std::vector<int> &thread_map)
+{
+    size_t ns = sub.size();
+    std::vector<int> mapping(ns, -1);
+    // loc_map[sub_loc] = super_loc; super_loc_used for injectivity.
+    std::vector<int> loc_map(sub.numLocs, -1);
+    std::vector<bool> super_loc_used(super.numLocs, false);
+    // Next usable position within each super thread.
+    std::vector<std::vector<int>> super_thread_events(super.numThreads);
+    for (const auto &e : super.events)
+        super_thread_events[e.tid].push_back(e.id);
+
+    std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+        if (i == ns) {
+            // Verify dependencies and rmw pairing on the full mapping.
+            for (size_t a = 0; a < ns; a++) {
+                for (size_t b = 0; b < ns; b++) {
+                    if (sub.addrDep.test(a, b) &&
+                        !super.addrDep.test(mapping[a], mapping[b]))
+                        return false;
+                    if (sub.dataDep.test(a, b) &&
+                        !super.dataDep.test(mapping[a], mapping[b]))
+                        return false;
+                    if (sub.ctrlDep.test(a, b) &&
+                        !super.ctrlDep.test(mapping[a], mapping[b]))
+                        return false;
+                    if (sub.rmw.test(a, b) &&
+                        !super.rmw.test(mapping[a], mapping[b]))
+                        return false;
+                }
+            }
+            return true;
+        }
+        const auto &e = sub.events[i];
+        int super_tid = thread_map[e.tid];
+        // Candidates: events of the mapped super thread after the last
+        // event already used by this sub thread.
+        int min_pos = 0;
+        for (size_t j = 0; j < i; j++) {
+            if (sub.events[j].tid == e.tid) {
+                // Find position of mapping[j] within the super thread.
+                const auto &ste = super_thread_events[super_tid];
+                auto it = std::find(ste.begin(), ste.end(), mapping[j]);
+                min_pos = std::max(
+                    min_pos, static_cast<int>(it - ste.begin()) + 1);
+            }
+        }
+        const auto &ste = super_thread_events[super_tid];
+        for (size_t pos = min_pos; pos < ste.size(); pos++) {
+            const auto &se = super.events[ste[pos]];
+            if (se.type != e.type)
+                continue;
+            if (!strongEnough(e.order, se.order))
+                continue;
+            int saved_loc_map = -2;
+            if (e.isMemory()) {
+                if (loc_map[e.loc] >= 0) {
+                    if (loc_map[e.loc] != se.loc)
+                        continue;
+                } else if (super_loc_used[se.loc]) {
+                    continue; // injectivity of the location mapping
+                } else {
+                    saved_loc_map = e.loc;
+                    loc_map[e.loc] = se.loc;
+                    super_loc_used[se.loc] = true;
+                }
+            }
+            mapping[i] = ste[pos];
+            if (rec(i + 1))
+                return true;
+            mapping[i] = -1;
+            if (saved_loc_map >= 0) {
+                super_loc_used[loc_map[saved_loc_map]] = false;
+                loc_map[saved_loc_map] = -1;
+            }
+        }
+        return false;
+    };
+    return rec(0);
+}
+
+} // namespace
+
+bool
+isSubtest(const LitmusTest &sub, const LitmusTest &super)
+{
+    if (sub.size() > super.size() || sub.numThreads > super.numThreads ||
+        sub.numLocs > super.numLocs) {
+        return false;
+    }
+    // Injective thread maps: choose distinct super threads for sub's.
+    std::vector<int> all_threads(super.numThreads);
+    std::iota(all_threads.begin(), all_threads.end(), 0);
+    std::vector<int> chosen(sub.numThreads);
+    std::vector<bool> used(super.numThreads, false);
+    std::function<bool(int)> pick = [&](int t) -> bool {
+        if (t == sub.numThreads)
+            return embed(sub, super, chosen);
+        for (int s = 0; s < super.numThreads; s++) {
+            if (used[s])
+                continue;
+            used[s] = true;
+            chosen[t] = s;
+            if (pick(t + 1))
+                return true;
+            used[s] = false;
+        }
+        return false;
+    };
+    return pick(0);
+}
+
+std::vector<ContainmentResult>
+compareSuites(const std::vector<LitmusTest> &baseline,
+              const std::vector<LitmusTest> &suite_tests)
+{
+    std::vector<ContainmentResult> out;
+    std::vector<std::string> suite_keys;
+    for (const auto &t : suite_tests) {
+        suite_keys.push_back(litmus::staticSerialize(
+            litmus::canonicalize(t, litmus::CanonMode::Exact)));
+    }
+    for (const auto &b : baseline) {
+        ContainmentResult r;
+        r.baselineName = b.name;
+        std::string key = litmus::staticSerialize(
+            litmus::canonicalize(b, litmus::CanonMode::Exact));
+        for (size_t i = 0; i < suite_tests.size(); i++) {
+            if (suite_keys[i] == key) {
+                r.inSuite = true;
+                r.subsumed = true;
+                r.subsumedBy = suite_tests[i].name;
+                break;
+            }
+        }
+        if (!r.inSuite) {
+            for (const auto &t : suite_tests) {
+                if (isSubtest(t, b)) {
+                    r.subsumed = true;
+                    r.subsumedBy = t.name;
+                    break;
+                }
+            }
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace lts::synth

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Suite comparison: subsumption analysis (Table 4 / Figure 10).
+ *
+ * The paper's key comparison claim is that every test in a baseline
+ * suite (e.g. Owens et al.'s x86-TSO tests) either appears in the
+ * synthesized suite or *contains as a subtest* a test that does — i.e.
+ * the baseline test carries extra instructions or stronger-than-needed
+ * synchronization around a minimal core. These utilities decide
+ * containment and produce the per-size comparison rows.
+ */
+
+#ifndef LTS_SYNTH_COMPARE_HH
+#define LTS_SYNTH_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace lts::synth
+{
+
+/**
+ * True iff @p sub embeds into @p super: an injective, program-order-
+ * preserving mapping of sub's threads/events into super's such that
+ * event types match, location classes are respected, super's ordering
+ * annotations are at least as strong, super carries at least sub's
+ * dependencies, and rmw pairing matches.
+ */
+bool isSubtest(const litmus::LitmusTest &sub, const litmus::LitmusTest &super);
+
+/** Result of comparing one baseline test against a synthesized suite. */
+struct ContainmentResult
+{
+    std::string baselineName;
+    bool inSuite = false;        ///< exactly present (canonically)
+    bool subsumed = false;       ///< contains a suite test as a subtest
+    std::string subsumedBy;      ///< name of the contained suite test
+};
+
+/** Compare each baseline test against @p suite_tests. */
+std::vector<ContainmentResult>
+compareSuites(const std::vector<litmus::LitmusTest> &baseline,
+              const std::vector<litmus::LitmusTest> &suite_tests);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_COMPARE_HH

@@ -1,0 +1,184 @@
+#include "synth/executor.hh"
+
+#include <algorithm>
+
+#include "mm/convert.hh"
+#include "rel/eval.hh"
+
+namespace lts::synth
+{
+
+using litmus::LitmusTest;
+using litmus::Outcome;
+
+namespace
+{
+
+/** Enumerate all strict total orders (as permutations) of @p items. */
+std::vector<std::vector<int>>
+permutations(std::vector<int> items)
+{
+    std::vector<std::vector<int>> out;
+    std::sort(items.begin(), items.end());
+    do {
+        out.push_back(items);
+    } while (std::next_permutation(items.begin(), items.end()));
+    return out;
+}
+
+} // namespace
+
+std::vector<Outcome>
+allOutcomes(const LitmusTest &test)
+{
+    size_t n = test.size();
+
+    // Per-read rf choices: -1 (initial) or any same-location write.
+    std::vector<int> reads;
+    std::vector<std::vector<int>> rf_choices;
+    for (const auto &e : test.events) {
+        if (!e.isRead())
+            continue;
+        reads.push_back(e.id);
+        std::vector<int> sources = {-1};
+        for (const auto &w : test.events) {
+            if (w.isWrite() && w.loc == e.loc)
+                sources.push_back(w.id);
+        }
+        rf_choices.push_back(sources);
+    }
+
+    // Per-location co orders.
+    std::vector<std::vector<std::vector<int>>> co_choices;
+    for (int loc = 0; loc < test.numLocs; loc++) {
+        std::vector<int> writes;
+        for (const auto &e : test.events) {
+            if (e.isWrite() && e.loc == loc)
+                writes.push_back(e.id);
+        }
+        co_choices.push_back(permutations(writes));
+    }
+
+    std::vector<Outcome> out;
+    // Iterate the cross product with an odometer.
+    std::vector<size_t> rf_idx(reads.size(), 0);
+    for (;;) {
+        std::vector<size_t> co_idx(test.numLocs, 0);
+        for (;;) {
+            Outcome o(n);
+            for (size_t r = 0; r < reads.size(); r++) {
+                int src = rf_choices[r][rf_idx[r]];
+                if (src >= 0)
+                    o.rf.set(src, reads[r]);
+            }
+            for (int loc = 0; loc < test.numLocs; loc++) {
+                const auto &order = co_choices[loc][co_idx[loc]];
+                for (size_t i = 0; i < order.size(); i++) {
+                    for (size_t j = i + 1; j < order.size(); j++)
+                        o.co.set(order[i], order[j]);
+                }
+            }
+            out.push_back(std::move(o));
+
+            // Advance the co odometer.
+            size_t pos = 0;
+            while (pos < co_idx.size()) {
+                if (++co_idx[pos] < co_choices[pos].size())
+                    break;
+                co_idx[pos] = 0;
+                pos++;
+            }
+            if (pos == co_idx.size())
+                break;
+        }
+        // Advance the rf odometer.
+        size_t pos = 0;
+        while (pos < rf_idx.size()) {
+            if (++rf_idx[pos] < rf_choices[pos].size())
+                break;
+            rf_idx[pos] = 0;
+            pos++;
+        }
+        if (pos == rf_idx.size())
+            break;
+    }
+    return out;
+}
+
+std::vector<std::vector<std::pair<int, int>>>
+scAssignments(const mm::Model &model, const LitmusTest &test)
+{
+    std::vector<std::vector<std::pair<int, int>>> out = {{}};
+    if (!model.features().scOrder)
+        return out;
+    std::vector<int> sc_fences;
+    for (const auto &e : test.events) {
+        if (e.isFence() && e.order == litmus::MemOrder::SeqCst)
+            sc_fences.push_back(e.id);
+    }
+    if (sc_fences.empty() || sc_fences.size() > 4)
+        return out;
+    out.clear();
+    for (const auto &perm : permutations(sc_fences)) {
+        std::vector<std::pair<int, int>> edges;
+        for (size_t i = 0; i < perm.size(); i++) {
+            for (size_t j = i + 1; j < perm.size(); j++)
+                edges.emplace_back(perm[i], perm[j]);
+        }
+        out.push_back(edges);
+    }
+    return out;
+}
+
+bool
+isLegal(const mm::Model &model, const LitmusTest &test,
+        const Outcome &outcome)
+{
+    auto sc_candidates = scAssignments(model, test);
+    size_t n = test.size();
+    for (const auto &sc : sc_candidates) {
+        rel::Instance inst = mm::toInstance(model, test, outcome, sc);
+        rel::Evaluator ev(inst);
+        if (ev.formula(model.allAxioms(model.base(), n)))
+            return true;
+    }
+    return false;
+}
+
+std::vector<Outcome>
+legalOutcomes(const mm::Model &model, const LitmusTest &test)
+{
+    std::vector<Outcome> out;
+    for (const auto &o : allOutcomes(test)) {
+        if (isLegal(model, test, o))
+            out.push_back(o);
+    }
+    return out;
+}
+
+std::vector<int>
+observableProjection(const LitmusTest &test, const Outcome &outcome)
+{
+    std::vector<int> proj = test.registerValues(outcome);
+    std::vector<int> finals = test.finalValues(outcome);
+    proj.insert(proj.end(), finals.begin(), finals.end());
+    return proj;
+}
+
+std::vector<Outcome>
+dedupeByObservable(const LitmusTest &test,
+                   const std::vector<Outcome> &outcomes)
+{
+    std::vector<Outcome> out;
+    std::vector<std::vector<int>> seen;
+    for (const auto &o : outcomes) {
+        auto proj = observableProjection(test, o);
+        if (std::find(seen.begin(), seen.end(), proj) == seen.end()) {
+            seen.push_back(proj);
+            out.push_back(o);
+        }
+    }
+    return out;
+}
+
+} // namespace lts::synth

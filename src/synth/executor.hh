@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exhaustive execution enumeration for a fixed litmus test under a model.
+ *
+ * Given the static part of a test, enumerate every execution candidate —
+ * an rf choice per read (any same-location write, or the initial value),
+ * a coherence total order per location, and (for models with an explicit
+ * sc relation) an order over SC fences — and classify each as legal or
+ * illegal by evaluating the model's axioms. This is how the paper's
+ * "Legal:"/"Illegal:" outcome lines (Figures 1, 2, 7, 18) are computed,
+ * and how the operational simulators are cross-checked against the
+ * axiomatic models.
+ */
+
+#ifndef LTS_SYNTH_EXECUTOR_HH
+#define LTS_SYNTH_EXECUTOR_HH
+
+#include <vector>
+
+#include "litmus/test.hh"
+#include "mm/model.hh"
+
+namespace lts::synth
+{
+
+/** All execution candidates of @p test (well-formed rf/co combinations). */
+std::vector<litmus::Outcome> allOutcomes(const litmus::LitmusTest &test);
+
+/**
+ * Candidate sc-order assignments for a test under a model: the single
+ * empty assignment when the model has no explicit sc relation (or the
+ * test no SC fences), otherwise the transitive edge lists of every
+ * total order over the test's SC fences.
+ */
+std::vector<std::vector<std::pair<int, int>>>
+scAssignments(const mm::Model &model, const litmus::LitmusTest &test);
+
+/**
+ * The outcomes of @p test the model deems legal. For models with an sc
+ * order the check is existential over sc assignments.
+ */
+std::vector<litmus::Outcome> legalOutcomes(const mm::Model &model,
+                                           const litmus::LitmusTest &test);
+
+/** True iff @p outcome is legal under @p model. */
+bool isLegal(const mm::Model &model, const litmus::LitmusTest &test,
+             const litmus::Outcome &outcome);
+
+/**
+ * Observable projection of an outcome: register values per read plus the
+ * final value per location. Two executions with equal projections are
+ * the same *outcome* in the paper's Section 4.2 sense.
+ */
+std::vector<int> observableProjection(const litmus::LitmusTest &test,
+                                      const litmus::Outcome &outcome);
+
+/** Deduplicate outcomes by observable projection. */
+std::vector<litmus::Outcome>
+dedupeByObservable(const litmus::LitmusTest &test,
+                   const std::vector<litmus::Outcome> &outcomes);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_EXECUTOR_HH

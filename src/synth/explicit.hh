@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Explicit (non-SAT) enumeration engine.
+ *
+ * A second, independent implementation of the synthesis loop: enumerate
+ * every litmus-test program up to a size bound directly (thread shapes,
+ * event types, locations, annotations, dependencies, rmw pairing), then
+ * every execution of each program, and evaluate the same minimality
+ * formula concretely. It serves two purposes:
+ *
+ *  - the "All Progs" baseline of Figure 13a (how fast the raw test space
+ *    grows compared to the synthesized suites), and
+ *  - an oracle for the SAT path: for small bounds both engines must
+ *    produce exactly the same canonical suites (tests/synth checks this).
+ */
+
+#ifndef LTS_SYNTH_EXPLICIT_HH
+#define LTS_SYNTH_EXPLICIT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "synth/synthesizer.hh"
+
+namespace lts::synth
+{
+
+/**
+ * Enumerate every well-formed program of exactly @p size events for
+ * @p model, invoking @p fn on each (non-canonicalized; callers
+ * deduplicate). Programs carry no outcome.
+ */
+void forEachProgram(const mm::Model &model, int size,
+                    const std::function<void(const litmus::LitmusTest &)> &fn);
+
+/** Number of *distinct canonical* programs of each size in [min, max]. */
+std::map<int, uint64_t> countAllPrograms(const mm::Model &model, int min_size,
+                                         int max_size,
+                                         litmus::CanonMode mode);
+
+/**
+ * Explicit-engine counterpart of synthesizeAxiom: same Suite output,
+ * produced by brute force instead of SAT.
+ */
+Suite explicitSynthesizeAxiom(const mm::Model &model,
+                              const std::string &axiom_name,
+                              const SynthOptions &options);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_EXPLICIT_HH

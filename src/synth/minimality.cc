@@ -1,0 +1,104 @@
+#include "synth/minimality.hh"
+
+#include "mm/exprs.hh"
+
+namespace lts::synth
+{
+
+using namespace rel;
+using mm::Env;
+using mm::Model;
+
+FormulaPtr
+relaxationConjunct(const Model &model, size_t n)
+{
+    std::vector<FormulaPtr> parts;
+    for (const auto &relax : model.relaxations()) {
+        for (size_t e = 0; e < n; e++) {
+            ExprPtr ev = mm::singleton(e, n);
+            FormulaPtr applies = relax.applies(model.base(), ev, n);
+            Env perturbed = relax.perturb(model.base(), ev, n);
+            parts.push_back(
+                mkImplies(applies, model.allAxiomsRelaxed(perturbed, n)));
+        }
+    }
+    return mkAndAll(parts);
+}
+
+FormulaPtr
+minimalityFormula(const Model &model, const std::string &axiom_name, size_t n)
+{
+    const mm::Axiom &axiom = model.axiom(axiom_name);
+    return mkAndAll({
+        model.wellFormed(n),
+        mkNot(axiom.pred(model, model.base(), n)),
+        relaxationConjunct(model, n),
+    });
+}
+
+FormulaPtr
+minimalityFormulaUnion(const Model &model, size_t n)
+{
+    std::vector<FormulaPtr> violated;
+    for (const auto &axiom : model.axioms())
+        violated.push_back(mkNot(axiom.pred(model, model.base(), n)));
+    return mkAndAll({
+        model.wellFormed(n),
+        mkOrAll(violated),
+        relaxationConjunct(model, n),
+    });
+}
+
+bool
+isMinimalInstance(const Model &model, const std::string &axiom_name,
+                  const rel::Instance &inst)
+{
+    Evaluator ev(inst);
+    return ev.formula(minimalityFormula(model, axiom_name, inst.universe()));
+}
+
+std::vector<std::string>
+minimalAxioms(const Model &model, const litmus::LitmusTest &test)
+{
+    std::vector<std::string> out;
+    if (!test.hasForbidden)
+        return out;
+
+    // Candidate sc orders: with no SC fences (or no sc relation at all)
+    // just the empty order; with exactly two SC fences, both directions.
+    std::vector<std::vector<std::pair<int, int>>> sc_candidates = {{}};
+    if (model.features().scOrder) {
+        std::vector<int> sc_fences;
+        for (const auto &e : test.events) {
+            if (e.isFence() && e.order == litmus::MemOrder::SeqCst)
+                sc_fences.push_back(e.id);
+        }
+        if (sc_fences.size() == 2) {
+            sc_candidates = {
+                {{sc_fences[0], sc_fences[1]}},
+                {{sc_fences[1], sc_fences[0]}},
+            };
+        } else if (sc_fences.size() > 2) {
+            // The lone-sc workaround does not scale past two SC fences
+            // (Section 6.3); such tests are outside the audited space.
+            return out;
+        }
+    }
+
+    for (const auto &axiom : model.axioms()) {
+        bool minimal = false;
+        for (const auto &sc : sc_candidates) {
+            rel::Instance inst =
+                mm::toInstance(model, test, test.forbidden, sc);
+            if (isMinimalInstance(model, axiom.name, inst)) {
+                minimal = true;
+                break;
+            }
+        }
+        if (minimal)
+            out.push_back(axiom.name);
+    }
+    return out;
+}
+
+} // namespace lts::synth

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The litmus-test minimality criterion (Definition 1 / Figure 5c).
+ *
+ * A test (identified with one of its executions, per the paper's
+ * pragmatic outcome-equals-execution reduction) is minimal with respect
+ * to an axiom when:
+ *
+ *   1. the execution is well-formed,
+ *   2. the targeted axiom forbids it (not axiom[no_r]), and
+ *   3. for every relaxation r and event e to which r applies, the entire
+ *      model — with the relations perturbed by r at e — admits it
+ *      (model[r->e]).
+ *
+ * The same formula is used symbolically (SAT synthesis) and concretely
+ * (explicit engine, suite audits), so both paths share one semantics.
+ */
+
+#ifndef LTS_SYNTH_MINIMALITY_HH
+#define LTS_SYNTH_MINIMALITY_HH
+
+#include <string>
+
+#include "mm/convert.hh"
+#include "mm/model.hh"
+#include "rel/eval.hh"
+
+namespace lts::synth
+{
+
+/**
+ * Build the minimality-criterion formula for @p axiom_name of @p model
+ * over a universe of @p n events. Includes well-formedness.
+ */
+rel::FormulaPtr minimalityFormula(const mm::Model &model,
+                                  const std::string &axiom_name, size_t n);
+
+/**
+ * The relaxation-side conjunct alone: every applicable relaxation makes
+ * the whole (relaxed-variant) model pass. Exposed for audits that want
+ * to distinguish "not forbidden" from "not relaxation-tight".
+ */
+rel::FormulaPtr relaxationConjunct(const mm::Model &model, size_t n);
+
+/**
+ * Direct union-suite formula: minimal for *at least one* axiom. Since
+ * the relaxation conjunct is axiom-independent, this is
+ * well-formed ∧ (∨_A ¬A(base)) ∧ conjunct. The paper's footnote 4 notes
+ * that generating the union directly was often slower than merging the
+ * per-axiom suites; bench/ablation_synth reproduces that comparison.
+ */
+rel::FormulaPtr minimalityFormulaUnion(const mm::Model &model, size_t n);
+
+/** Concretely check the criterion on an explicit instance. */
+bool isMinimalInstance(const mm::Model &model, const std::string &axiom_name,
+                       const rel::Instance &inst);
+
+/**
+ * Audit a litmus test with its forbidden outcome against the criterion
+ * for *any* axiom of the model. For models with an explicit sc order the
+ * check is existential over the (lone-edge) sc assignments.
+ * Returns the names of axioms for which the test is minimal.
+ */
+std::vector<std::string> minimalAxioms(const mm::Model &model,
+                                       const litmus::LitmusTest &test);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_MINIMALITY_HH

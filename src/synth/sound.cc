@@ -1,0 +1,382 @@
+#include "synth/sound.hh"
+
+#include <stdexcept>
+
+#include "mm/convert.hh"
+#include "mm/exprs.hh"
+#include "rel/eval.hh"
+#include "synth/executor.hh"
+
+namespace lts::synth
+{
+
+using litmus::EventType;
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::Outcome;
+
+namespace
+{
+
+/** Annotation-set name -> MemOrder. */
+MemOrder
+orderOfSet(const std::string &name)
+{
+    if (name == mm::kAcq)
+        return MemOrder::Acquire;
+    if (name == mm::kRel)
+        return MemOrder::Release;
+    if (name == mm::kAcqRel)
+        return MemOrder::AcqRel;
+    if (name == mm::kSc)
+        return MemOrder::SeqCst;
+    throw std::logic_error("unknown annotation set " + name);
+}
+
+/** Carrier-set name -> EventType. */
+EventType
+typeOfSet(const std::string &name)
+{
+    if (name == mm::kR)
+        return EventType::Read;
+    if (name == mm::kW)
+        return EventType::Write;
+    if (name == mm::kF)
+        return EventType::Fence;
+    throw std::logic_error("unknown carrier set " + name);
+}
+
+/** Copy @p test without event @p victim, renumbering everything. */
+LitmusTest
+removeEvent(const LitmusTest &test, int victim, std::vector<int> &event_map)
+{
+    size_t n = test.size();
+    event_map.assign(n, -1);
+    LitmusTest out;
+    out.name = test.name;
+    out.numLocs = test.numLocs;
+
+    // Renumber events and threads (a thread may disappear entirely).
+    int next = 0;
+    std::vector<int> tid_map(test.numThreads, -1);
+    int next_tid = 0;
+    for (size_t i = 0; i < n; i++) {
+        if (static_cast<int>(i) == victim)
+            continue;
+        event_map[i] = next++;
+        if (tid_map[test.events[i].tid] < 0)
+            tid_map[test.events[i].tid] = next_tid++;
+    }
+    out.numThreads = next_tid;
+    out.events.resize(next);
+    for (size_t i = 0; i < n; i++) {
+        if (event_map[i] < 0)
+            continue;
+        litmus::Event e = test.events[i];
+        e.id = event_map[i];
+        e.tid = tid_map[e.tid];
+        out.events[e.id] = e;
+    }
+
+    size_t m = static_cast<size_t>(next);
+    auto remap = [&](const BitMatrix &in) {
+        BitMatrix mapped(m);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++) {
+                if (in.test(i, j) && event_map[i] >= 0 && event_map[j] >= 0)
+                    mapped.set(event_map[i], event_map[j]);
+            }
+        }
+        return mapped;
+    };
+    out.addrDep = remap(test.addrDep);
+    out.dataDep = remap(test.dataDep);
+    out.ctrlDep = remap(test.ctrlDep);
+    out.rmw = remap(test.rmw);
+    out.forbidden = Outcome(m);
+    out.hasForbidden = false;
+
+    std::string err = out.validate();
+    if (!err.empty())
+        throw std::logic_error("removeEvent produced invalid test: " + err);
+    return out;
+}
+
+std::vector<int>
+identityMap(size_t n)
+{
+    std::vector<int> map(n);
+    for (size_t i = 0; i < n; i++)
+        map[i] = static_cast<int>(i);
+    return map;
+}
+
+} // namespace
+
+std::vector<RelaxedTest>
+applyRelaxations(const mm::Model &model, const LitmusTest &test)
+{
+    std::vector<RelaxedTest> out;
+    size_t n = test.size();
+    for (const auto &relax : model.relaxations()) {
+        for (size_t e = 0; e < n; e++) {
+            const litmus::Event &ev = test.events[e];
+            switch (relax.tag) {
+              case mm::RTag::RI: {
+                RelaxedTest r;
+                r.relaxation = relax.name;
+                r.event = static_cast<int>(e);
+                r.test = removeEvent(test, static_cast<int>(e), r.eventMap);
+                out.push_back(std::move(r));
+                break;
+              }
+              case mm::RTag::RD: {
+                bool has_dep = false;
+                for (size_t j = 0; j < n; j++) {
+                    if (test.addrDep.test(e, j) || test.dataDep.test(e, j) ||
+                        test.ctrlDep.test(e, j))
+                        has_dep = true;
+                }
+                if (!has_dep)
+                    break;
+                RelaxedTest r;
+                r.relaxation = relax.name;
+                r.event = static_cast<int>(e);
+                r.test = test;
+                r.test.hasForbidden = false;
+                for (size_t j = 0; j < n; j++) {
+                    r.test.addrDep.set(e, j, false);
+                    r.test.dataDep.set(e, j, false);
+                    r.test.ctrlDep.set(e, j, false);
+                }
+                r.eventMap = identityMap(n);
+                out.push_back(std::move(r));
+                break;
+              }
+              case mm::RTag::DRMW: {
+                bool has_rmw = false;
+                for (size_t j = 0; j < n; j++) {
+                    if (test.rmw.test(e, j))
+                        has_rmw = true;
+                }
+                if (!has_rmw)
+                    break;
+                RelaxedTest r;
+                r.relaxation = relax.name;
+                r.event = static_cast<int>(e);
+                r.test = test;
+                r.test.hasForbidden = false;
+                for (size_t j = 0; j < n; j++)
+                    r.test.rmw.set(e, j, false);
+                r.eventMap = identityMap(n);
+                out.push_back(std::move(r));
+                break;
+              }
+              case mm::RTag::DMO:
+              case mm::RTag::DF: {
+                if (!relax.demoteFrom)
+                    break;
+                if (ev.type != typeOfSet(relax.demoteCarrier))
+                    break;
+                if (ev.order != orderOfSet(*relax.demoteFrom))
+                    break;
+                RelaxedTest r;
+                r.relaxation = relax.name;
+                r.event = static_cast<int>(e);
+                r.test = test;
+                r.test.hasForbidden = false;
+                r.test.events[e].order =
+                    relax.demoteTo ? orderOfSet(*relax.demoteTo)
+                                   : MemOrder::Plain;
+                r.eventMap = identityMap(n);
+                out.push_back(std::move(r));
+                break;
+              }
+              case mm::RTag::DS: {
+                if (!model.features().scopes)
+                    break;
+                bool sync_op = ev.isFence() || ev.order != MemOrder::Plain;
+                bool fence_sc =
+                    ev.isFence() && ev.order == MemOrder::SeqCst;
+                if (!sync_op || fence_sc ||
+                    ev.scope != litmus::Scope::System)
+                    break;
+                RelaxedTest r;
+                r.relaxation = relax.name;
+                r.event = static_cast<int>(e);
+                r.test = test;
+                r.test.hasForbidden = false;
+                r.test.events[e].scope = litmus::Scope::WorkGroup;
+                r.eventMap = identityMap(n);
+                out.push_back(std::move(r));
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** The co-maximal write of @p loc in @p outcome, or -1. */
+int
+coLast(const LitmusTest &test, const Outcome &outcome, int loc)
+{
+    int last = -1;
+    for (size_t i = 0; i < test.size(); i++) {
+        const auto &e = test.events[i];
+        if (!e.isWrite() || e.loc != loc)
+            continue;
+        bool is_last = true;
+        for (size_t j = 0; j < test.size(); j++) {
+            if (outcome.co.test(i, j))
+                is_last = false;
+        }
+        if (is_last)
+            last = static_cast<int>(i);
+    }
+    return last;
+}
+
+} // namespace
+
+bool
+outcomeObservable(const mm::Model &model, const LitmusTest &test,
+                  const RelaxedTest &relaxed)
+{
+    const LitmusTest &rt = relaxed.test;
+    size_t n = test.size();
+
+    // Build the projected outcome constraints:
+    //  - for each surviving read whose rf source survives, the candidate
+    //    must read from that mapped write; a surviving read that read
+    //    the initial value must still read the initial value; a read
+    //    whose source was removed is unconstrained (Figure 3d);
+    //  - for each location whose original co-final write survives, the
+    //    candidate's co-final write must be the mapped one.
+    std::vector<int> want_rf(rt.size(), -2); // -2 free, -1 initial, else id
+    for (size_t j = 0; j < n; j++) {
+        if (!test.events[j].isRead() || relaxed.eventMap[j] < 0)
+            continue;
+        int source = -1;
+        for (size_t i = 0; i < n; i++) {
+            if (test.forbidden.rf.test(i, j))
+                source = static_cast<int>(i);
+        }
+        int mapped_read = relaxed.eventMap[j];
+        if (source < 0)
+            want_rf[mapped_read] = -1;
+        else if (relaxed.eventMap[source] >= 0)
+            want_rf[mapped_read] = relaxed.eventMap[source];
+        // else: source removed -> unconstrained
+    }
+    std::vector<int> want_final(test.numLocs, -2);
+    for (int loc = 0; loc < test.numLocs; loc++) {
+        int last = coLast(test, test.forbidden, loc);
+        if (last >= 0 && relaxed.eventMap[last] >= 0)
+            want_final[loc] = relaxed.eventMap[last];
+    }
+
+    for (const auto &candidate : allOutcomes(rt)) {
+        bool match = true;
+        for (size_t j = 0; j < rt.size() && match; j++) {
+            if (want_rf[j] == -2 || !rt.events[j].isRead())
+                continue;
+            int got = -1;
+            for (size_t i = 0; i < rt.size(); i++) {
+                if (candidate.rf.test(i, j))
+                    got = static_cast<int>(i);
+            }
+            if (got != want_rf[j])
+                match = false;
+        }
+        for (int loc = 0; loc < test.numLocs && match; loc++) {
+            if (want_final[loc] == -2)
+                continue;
+            if (coLast(rt, candidate, loc) != want_final[loc])
+                match = false;
+        }
+        if (!match)
+            continue;
+        if (isLegal(model, rt, candidate))
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+soundMinimalAxioms(const mm::Model &model, const LitmusTest &test)
+{
+    std::vector<std::string> out;
+    if (!test.hasForbidden)
+        return out;
+
+    // The relaxation side is axiom-independent; compute it once.
+    bool all_relaxed_observable = true;
+    for (const auto &relaxed : applyRelaxations(model, test)) {
+        if (!outcomeObservable(model, test, relaxed)) {
+            all_relaxed_observable = false;
+            break;
+        }
+    }
+    if (!all_relaxed_observable)
+        return out;
+
+    // Base side, per axiom: every execution (co completion beyond the
+    // observable finals, and every sc assignment) that produces the
+    // outcome must violate the axiom.
+    std::vector<int> want_rf(test.size(), -1);
+    for (size_t j = 0; j < test.size(); j++) {
+        for (size_t i = 0; i < test.size(); i++) {
+            if (test.forbidden.rf.test(i, j))
+                want_rf[j] = static_cast<int>(i);
+        }
+    }
+    std::vector<Outcome> producing;
+    for (const auto &candidate : allOutcomes(test)) {
+        bool match = true;
+        for (size_t j = 0; j < test.size() && match; j++) {
+            if (!test.events[j].isRead())
+                continue;
+            int got = -1;
+            for (size_t i = 0; i < test.size(); i++) {
+                if (candidate.rf.test(i, j))
+                    got = static_cast<int>(i);
+            }
+            if (got != want_rf[j])
+                match = false;
+        }
+        for (int loc = 0; loc < test.numLocs && match; loc++) {
+            if (coLast(test, candidate, loc) !=
+                coLast(test, test.forbidden, loc))
+                match = false;
+        }
+        if (match)
+            producing.push_back(candidate);
+    }
+
+    auto sc_candidates = scAssignments(model, test);
+    for (const auto &axiom : model.axioms()) {
+        bool always_forbidden = true;
+        for (const auto &o : producing) {
+            for (const auto &sc : sc_candidates) {
+                rel::Instance inst = mm::toInstance(model, test, o, sc);
+                rel::Evaluator ev(inst);
+                if (ev.formula(
+                        axiom.pred(model, model.base(), test.size()))) {
+                    always_forbidden = false;
+                    break;
+                }
+            }
+            if (!always_forbidden)
+                break;
+        }
+        if (always_forbidden)
+            out.push_back(axiom.name);
+    }
+    return out;
+}
+
+} // namespace lts::synth

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The sound (Figure 5b) minimality criterion.
+ *
+ * The paper's practical formulation (Figure 5c) identifies outcomes with
+ * executions, which removes a higher-order exists-forall quantification
+ * at the cost of false negatives: a relaxed test may produce the outcome
+ * only through a *different* execution (different co / sc choices), as
+ * in the SB + FenceSC discussion of Figure 18. The paper leaves the full
+ * resolution as future work and patches SCC with the lone-sc workaround.
+ *
+ * This module implements the sound semantics directly, in the explicit
+ * engine's style: for every applicable (relaxation, instruction) pair it
+ * *applies the relaxation to the litmus test itself* and searches the
+ * relaxed test's executions for one that (a) the full model deems legal
+ * and (b) produces the original forbidden outcome, projected onto the
+ * surviving events (reads whose sourcing store was removed are
+ * unconstrained, per the Figure 3d / CoRW discussion). Being an
+ * execution search per relaxation application, it is exponential in the
+ * test size and meant for small bounds and audits — exactly the regime
+ * the paper's experiments inhabit.
+ */
+
+#ifndef LTS_SYNTH_SOUND_HH
+#define LTS_SYNTH_SOUND_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "mm/model.hh"
+
+namespace lts::synth
+{
+
+/** One concrete relaxation application: a transformed litmus test. */
+struct RelaxedTest
+{
+    std::string relaxation; ///< e.g. "RI", "DMO(acq->rlx)"
+    int event;              ///< the targeted instruction (original id)
+    litmus::LitmusTest test;
+    /** Original event id -> id in the relaxed test (-1 if removed). */
+    std::vector<int> eventMap;
+};
+
+/**
+ * All relaxation applications of @p model's relaxation set to @p test,
+ * derived structurally (RI deletes the event; DMO/DF demote the
+ * annotation along the model's chains; RD strips outgoing dependencies;
+ * DRMW unpairs the rmw).
+ */
+std::vector<RelaxedTest> applyRelaxations(const mm::Model &model,
+                                          const litmus::LitmusTest &test);
+
+/**
+ * Does some model-legal execution of @p relaxed produce @p test's
+ * forbidden outcome (projected onto surviving events)?
+ */
+bool outcomeObservable(const mm::Model &model,
+                       const litmus::LitmusTest &test,
+                       const RelaxedTest &relaxed);
+
+/**
+ * Sound minimality audit: axioms for which @p test (with its forbidden
+ * outcome) is minimal under the exists-forall semantics of Figure 5b.
+ * A superset of minimalAxioms() by construction.
+ */
+std::vector<std::string> soundMinimalAxioms(const mm::Model &model,
+                                            const litmus::LitmusTest &test);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_SOUND_HH

@@ -1,0 +1,141 @@
+#include "synth/synthesizer.hh"
+
+#include <functional>
+#include <set>
+
+#include "common/timer.hh"
+#include "litmus/canon.hh"
+#include "mm/convert.hh"
+#include "rel/encoder.hh"
+#include "synth/minimality.hh"
+
+namespace lts::synth
+{
+
+using litmus::LitmusTest;
+
+namespace
+{
+
+/** Shared enumeration loop; @p formula_for builds the per-size query. */
+Suite
+runSynthesis(const mm::Model &model, const std::string &label,
+             const std::function<rel::FormulaPtr(size_t)> &formula_for,
+             const SynthOptions &options)
+{
+    Suite suite;
+    suite.model = model.name();
+    suite.axiom = label;
+
+    std::set<std::string> seen; // canonical (or raw) serializations
+
+    for (int size = options.minSize; size <= options.maxSize; size++) {
+        Timer timer;
+        int found_this_size = 0;
+
+        rel::RelSolver solver(model.vocab(), size);
+        if (options.conflictBudget)
+            solver.satSolver().setConflictBudget(options.conflictBudget);
+        solver.addFact(formula_for(static_cast<size_t>(size)));
+
+        std::vector<int> block_vars;
+        if (options.blockStaticOnly)
+            block_vars = model.staticVarIds();
+
+        bool more = solver.solve();
+        while (more) {
+            if (solver.satSolver().budgetExhausted()) {
+                suite.truncated = true;
+                break;
+            }
+            suite.rawInstances++;
+            LitmusTest test = mm::fromInstance(model, solver.instance());
+            LitmusTest canon = options.useCanon
+                                   ? litmus::canonicalize(test,
+                                                          options.canonMode)
+                                   : test;
+            std::string key = litmus::staticSerialize(canon);
+            if (!seen.count(key)) {
+                seen.insert(key);
+                canon.name = model.name() + "/" + label + "#" +
+                             std::to_string(suite.tests.size());
+                suite.tests.push_back(canon);
+                found_this_size++;
+                if (options.maxTestsPerSize &&
+                    found_this_size >= options.maxTestsPerSize) {
+                    suite.truncated = true;
+                    break;
+                }
+            }
+            more = solver.blockAndContinue(block_vars);
+        }
+        if (!more && solver.satSolver().budgetExhausted())
+            suite.truncated = true;
+
+        suite.testsBySize[size] = found_this_size;
+        suite.secondsBySize[size] = timer.seconds();
+    }
+    return suite;
+}
+
+} // namespace
+
+Suite
+synthesizeAxiom(const mm::Model &model, const std::string &axiom_name,
+                const SynthOptions &options)
+{
+    return runSynthesis(
+        model, axiom_name,
+        [&](size_t n) { return minimalityFormula(model, axiom_name, n); },
+        options);
+}
+
+Suite
+synthesizeUnionDirect(const mm::Model &model, const SynthOptions &options)
+{
+    return runSynthesis(
+        model, "union-direct",
+        [&](size_t n) { return minimalityFormulaUnion(model, n); },
+        options);
+}
+
+Suite
+unionSuites(const std::vector<Suite> &suites, const SynthOptions &options)
+{
+    Suite u;
+    u.axiom = "union";
+    std::set<std::string> seen;
+    for (const auto &s : suites) {
+        if (u.model.empty())
+            u.model = s.model;
+        u.rawInstances += s.rawInstances;
+        u.truncated = u.truncated || s.truncated;
+        for (const auto &test : s.tests) {
+            LitmusTest canon = options.useCanon
+                                   ? litmus::canonicalize(test,
+                                                          options.canonMode)
+                                   : test;
+            std::string key = litmus::staticSerialize(canon);
+            if (seen.count(key))
+                continue;
+            seen.insert(key);
+            u.tests.push_back(test);
+            u.testsBySize[static_cast<int>(test.size())]++;
+        }
+        for (auto [size, secs] : s.secondsBySize)
+            u.secondsBySize[size] += secs;
+    }
+    return u;
+}
+
+std::vector<Suite>
+synthesizeAll(const mm::Model &model, const SynthOptions &options)
+{
+    std::vector<Suite> suites;
+    for (const auto &axiom : model.axioms())
+        suites.push_back(synthesizeAxiom(model, axiom.name, options));
+    suites.push_back(unionSuites(suites, options));
+    return suites;
+}
+
+} // namespace lts::synth

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SAT-based litmus test suite synthesis (Section 5 of the paper).
+ *
+ * For each axiom of a model and each exact test size, the synthesizer
+ * asserts the minimality-criterion formula into the relational solver and
+ * enumerates every satisfying instance, blocking on the *static* part of
+ * each found test so each program is produced once regardless of how many
+ * witness executions it has. Instances are read back as litmus tests,
+ * canonicalized (Section 5.1), and deduplicated; per-axiom suites union
+ * into the per-model suite of Section 5.2.
+ */
+
+#ifndef LTS_SYNTH_SYNTHESIZER_HH
+#define LTS_SYNTH_SYNTHESIZER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "litmus/canon.hh"
+#include "litmus/test.hh"
+#include "mm/model.hh"
+
+namespace lts::synth
+{
+
+/** Synthesis knobs; defaults mirror the paper's methodology. */
+struct SynthOptions
+{
+    int minSize = 2;           ///< smallest test size (instructions)
+    int maxSize = 4;           ///< largest test size
+    litmus::CanonMode canonMode = litmus::CanonMode::Paper;
+    bool blockStaticOnly = true;  ///< ablation: block full instances instead
+    bool useCanon = true;         ///< ablation: disable symmetry reduction
+    uint64_t conflictBudget = 0;  ///< SAT conflict cap per size (0 = off)
+    int maxTestsPerSize = 0;      ///< safety cap (0 = off)
+};
+
+/** A synthesized suite plus bookkeeping for the runtime figures. */
+struct Suite
+{
+    std::string model;
+    std::string axiom; ///< axiom name, or "union"
+    std::vector<litmus::LitmusTest> tests;
+    std::map<int, int> testsBySize;    ///< size -> #tests
+    std::map<int, double> secondsBySize;
+    uint64_t rawInstances = 0; ///< SAT models before canonicalization
+    bool truncated = false;    ///< a budget or cap was hit
+
+    double
+    totalSeconds() const
+    {
+        double s = 0;
+        for (auto [k, v] : secondsBySize)
+            s += v;
+        return s;
+    }
+};
+
+/** Synthesize the suite for one axiom. */
+Suite synthesizeAxiom(const mm::Model &model, const std::string &axiom_name,
+                      const SynthOptions &options);
+
+/**
+ * Synthesize per-axiom suites and their union (tests minimal for at
+ * least one axiom, counted once — Section 5.2). The union suite is the
+ * last element, named "union".
+ */
+std::vector<Suite> synthesizeAll(const mm::Model &model,
+                                 const SynthOptions &options);
+
+/** Merge suites into a union suite, deduplicating canonically. */
+Suite unionSuites(const std::vector<Suite> &suites,
+                  const SynthOptions &options);
+
+/**
+ * Generate the union suite with a single direct query per size (the
+ * disjunctive criterion of minimality.hh) instead of merging per-axiom
+ * runs. Produces the same test set; the paper's footnote 4 observes the
+ * direct query is often slower, which bench/ablation_synth measures.
+ */
+Suite synthesizeUnionDirect(const mm::Model &model,
+                            const SynthOptions &options);
+
+} // namespace lts::synth
+
+#endif // LTS_SYNTH_SYNTHESIZER_HH

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for Bitset and BitMatrix: the containers backing the
+ * concrete relational evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.hh"
+
+namespace lts
+{
+namespace
+{
+
+TEST(BitsetTest, StartsEmpty)
+{
+    Bitset b(70);
+    EXPECT_EQ(b.size(), 70u);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+}
+
+TEST(BitsetTest, SetTestReset)
+{
+    Bitset b(130);
+    b.set(0);
+    b.set(63);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 4u);
+    b.reset(63);
+    EXPECT_FALSE(b.test(63));
+    EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitsetTest, SetOperations)
+{
+    Bitset a(10), b(10);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+
+    Bitset u = a;
+    u |= b;
+    EXPECT_TRUE(u.test(1) && u.test(2) && u.test(3));
+    EXPECT_EQ(u.count(), 3u);
+
+    Bitset i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+
+    Bitset d = a;
+    d -= b;
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitsetTest, SubsetAndEquality)
+{
+    Bitset a(8), b(8);
+    a.set(3);
+    b.set(3);
+    b.set(5);
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+    EXPECT_NE(a, b);
+    a.set(5);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.isSubsetOf(b));
+}
+
+TEST(BitsetTest, FirstSet)
+{
+    Bitset b(100);
+    EXPECT_EQ(b.firstSet(), 100u);
+    b.set(77);
+    EXPECT_EQ(b.firstSet(), 77u);
+    b.set(5);
+    EXPECT_EQ(b.firstSet(), 5u);
+}
+
+TEST(BitsetTest, HashDiffersForDifferentContents)
+{
+    Bitset a(64), b(64);
+    a.set(0);
+    b.set(1);
+    EXPECT_NE(a.hash(), b.hash());
+    Bitset c(64);
+    c.set(0);
+    EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(BitsetTest, ClearZeroesEverything)
+{
+    Bitset a(128);
+    for (size_t i = 0; i < 128; i += 7)
+        a.set(i);
+    a.clear();
+    EXPECT_TRUE(a.none());
+}
+
+TEST(BitMatrixTest, IdentityAndFull)
+{
+    auto id = BitMatrix::identity(4);
+    EXPECT_EQ(id.count(), 4u);
+    EXPECT_TRUE(id.test(2, 2));
+    EXPECT_FALSE(id.test(2, 3));
+
+    auto full = BitMatrix::full(4);
+    EXPECT_EQ(full.count(), 16u);
+}
+
+TEST(BitMatrixTest, ComposeIsRelationalJoin)
+{
+    BitMatrix a(3), b(3);
+    a.set(0, 1);
+    b.set(1, 2);
+    auto c = a.compose(b);
+    EXPECT_TRUE(c.test(0, 2));
+    EXPECT_EQ(c.count(), 1u);
+}
+
+TEST(BitMatrixTest, ComposeWithIdentityIsIdentityOp)
+{
+    BitMatrix a(5);
+    a.set(0, 3);
+    a.set(4, 1);
+    auto id = BitMatrix::identity(5);
+    EXPECT_EQ(a.compose(id), a);
+    EXPECT_EQ(id.compose(a), a);
+}
+
+TEST(BitMatrixTest, Transpose)
+{
+    BitMatrix a(3);
+    a.set(0, 2);
+    a.set(1, 0);
+    auto t = a.transpose();
+    EXPECT_TRUE(t.test(2, 0));
+    EXPECT_TRUE(t.test(0, 1));
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_EQ(t.transpose(), a);
+}
+
+TEST(BitMatrixTest, TransitiveClosureChain)
+{
+    BitMatrix a(4);
+    a.set(0, 1);
+    a.set(1, 2);
+    a.set(2, 3);
+    auto c = a.transitiveClosure();
+    EXPECT_TRUE(c.test(0, 3));
+    EXPECT_TRUE(c.test(0, 2));
+    EXPECT_TRUE(c.test(1, 3));
+    EXPECT_FALSE(c.test(3, 0));
+    EXPECT_EQ(c.count(), 6u);
+}
+
+TEST(BitMatrixTest, ReflexiveTransitiveClosureAddsIdentity)
+{
+    BitMatrix a(3);
+    a.set(0, 1);
+    auto c = a.reflexiveTransitiveClosure();
+    EXPECT_TRUE(c.test(0, 0));
+    EXPECT_TRUE(c.test(1, 1));
+    EXPECT_TRUE(c.test(2, 2));
+    EXPECT_TRUE(c.test(0, 1));
+    EXPECT_EQ(c.count(), 4u);
+}
+
+TEST(BitMatrixTest, AcyclicityDetection)
+{
+    BitMatrix dag(3);
+    dag.set(0, 1);
+    dag.set(1, 2);
+    dag.set(0, 2);
+    EXPECT_TRUE(dag.isAcyclic());
+
+    BitMatrix cyc = dag;
+    cyc.set(2, 0);
+    EXPECT_FALSE(cyc.isAcyclic());
+
+    BitMatrix self(2);
+    self.set(1, 1);
+    EXPECT_FALSE(self.isAcyclic());
+    EXPECT_FALSE(self.isIrreflexive());
+    EXPECT_TRUE(dag.isIrreflexive());
+}
+
+TEST(BitMatrixTest, SetDifferenceAndSubset)
+{
+    BitMatrix a(3), b(3);
+    a.set(0, 1);
+    a.set(1, 2);
+    b.set(1, 2);
+    EXPECT_TRUE(b.isSubsetOf(a));
+    a -= b;
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_TRUE(a.test(0, 1));
+}
+
+TEST(BitMatrixTest, HashMatchesContent)
+{
+    BitMatrix a(4), b(4);
+    a.set(1, 2);
+    b.set(1, 2);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.set(2, 1);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+} // namespace
+} // namespace lts

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the hashing helpers and the wall-clock timer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/hash.hh"
+#include "common/timer.hh"
+
+namespace lts
+{
+namespace
+{
+
+TEST(HashTest, MixerIsDeterministicAndSpreads)
+{
+    EXPECT_EQ(hashMix(42), hashMix(42));
+    std::set<uint64_t> values;
+    for (uint64_t i = 0; i < 1000; i++)
+        values.insert(hashMix(i));
+    EXPECT_EQ(values.size(), 1000u); // no collisions on tiny inputs
+}
+
+TEST(HashTest, CombineOrderMatters)
+{
+    uint64_t h1 = hashCombine(hashCombine(hashInit(), 1), 2);
+    uint64_t h2 = hashCombine(hashCombine(hashInit(), 2), 1);
+    EXPECT_NE(h1, h2);
+}
+
+TEST(HashTest, StringHashingRespectsContentAndLength)
+{
+    uint64_t a = hashCombine(hashInit(), std::string_view("ab"));
+    uint64_t b = hashCombine(hashInit(), std::string_view("ba"));
+    uint64_t c = hashCombine(hashInit(), std::string_view("ab"));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, c);
+    // Length is folded in: "a" then "b" differs from "ab" as one piece
+    // only by boundary, which the length suffix disambiguates.
+    uint64_t split = hashCombine(hashCombine(hashInit(),
+                                             std::string_view("a")),
+                                 std::string_view("b"));
+    EXPECT_NE(split, a);
+}
+
+TEST(TimerTest, MeasuresElapsedTime)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    double first = t.seconds();
+    EXPECT_GE(first, 0.015);
+    EXPECT_LT(first, 5.0);
+    EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 50.0);
+    t.reset();
+    EXPECT_LT(t.seconds(), first);
+}
+
+} // namespace
+} // namespace lts

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for string helpers and the flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/flags.hh"
+#include "common/strings.hh"
+
+namespace lts
+{
+namespace
+{
+
+TEST(StringsTest, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitDropsEmptyByDefault)
+{
+    auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[1], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyWhenAsked)
+{
+    auto parts = split("a,,c", ',', true);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, JoinRoundTrip)
+{
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, "-"), "x-y-z");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringsTest, TrimAndPad)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(StringsTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-f", "--"));
+}
+
+TEST(FlagsTest, DefaultsAndOverrides)
+{
+    Flags flags;
+    flags.declare("bound", "4", "max instructions");
+    flags.declare("verbose", "false", "chatty output");
+    const char *argv[] = {"prog", "--bound=6", "--verbose"};
+    ASSERT_TRUE(flags.parse(3, const_cast<char **>(argv)));
+    EXPECT_EQ(flags.getInt("bound"), 6);
+    EXPECT_TRUE(flags.getBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSeparatedValue)
+{
+    Flags flags;
+    flags.declare("model", "tso", "model name");
+    const char *argv[] = {"prog", "--model", "power"};
+    ASSERT_TRUE(flags.parse(3, const_cast<char **>(argv)));
+    EXPECT_EQ(flags.get("model"), "power");
+}
+
+TEST(FlagsTest, UnknownFlagRejected)
+{
+    Flags flags;
+    flags.declare("bound", "4", "max instructions");
+    const char *argv[] = {"prog", "--nope=1"};
+    EXPECT_FALSE(flags.parse(2, const_cast<char **>(argv)));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected)
+{
+    Flags flags;
+    flags.declare("bound", "4", "max instructions");
+    const char *argv[] = {"prog", "file1", "--bound=5", "file2"};
+    ASSERT_TRUE(flags.parse(4, const_cast<char **>(argv)));
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "file1");
+    EXPECT_EQ(flags.positional()[1], "file2");
+    EXPECT_EQ(flags.getInt("bound"), 5);
+}
+
+TEST(FlagsTest, UndeclaredAccessThrows)
+{
+    Flags flags;
+    EXPECT_THROW(flags.get("missing"), std::out_of_range);
+}
+
+} // namespace
+} // namespace lts

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Golden regression tests: pin the per-axiom synthesized suite counts of
+ * every model at small bounds, plus determinism of the whole pipeline.
+ * Any change to a model definition, the well-formedness rules, the
+ * relaxation set, or the canonicalizer that shifts these counts must be
+ * deliberate and update this file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "litmus/canon.hh"
+#include "mm/registry.hh"
+#include "synth/synthesizer.hh"
+
+namespace lts
+{
+namespace
+{
+
+using Counts = std::map<std::string, int>;
+
+Counts
+countsAt(const std::string &model_name, int min_size, int max_size)
+{
+    auto model = mm::makeModel(model_name);
+    synth::SynthOptions opt;
+    opt.minSize = min_size;
+    opt.maxSize = max_size;
+    Counts out;
+    for (const auto &suite : synth::synthesizeAll(*model, opt))
+        out[suite.axiom] = static_cast<int>(suite.tests.size());
+    return out;
+}
+
+TEST(GoldenTest, ScSizes2To4)
+{
+    Counts want = {{"sequential_consistency", 11},
+                   {"rmw_atomicity", 1},
+                   {"union", 12}};
+    EXPECT_EQ(countsAt("sc", 2, 4), want);
+}
+
+TEST(GoldenTest, TsoSizes2To5)
+{
+    Counts want = {{"sc_per_loc", 5},
+                   {"rmw_atomicity", 1},
+                   {"causality", 13},
+                   {"union", 16}};
+    EXPECT_EQ(countsAt("tso", 2, 5), want);
+}
+
+TEST(GoldenTest, PowerSizes2To4)
+{
+    Counts want = {{"sc_per_loc", 5},
+                   {"no_thin_air", 28},
+                   {"observation", 0},
+                   {"propagation", 0},
+                   {"union", 33}};
+    EXPECT_EQ(countsAt("power", 2, 4), want);
+}
+
+TEST(GoldenTest, Armv7Sizes2To4)
+{
+    Counts want = {{"sc_per_loc", 5},
+                   {"no_thin_air", 28},
+                   {"observation", 0},
+                   {"propagation", 0},
+                   {"union", 33}};
+    EXPECT_EQ(countsAt("armv7", 2, 4), want);
+}
+
+TEST(GoldenTest, SccSizes2To3)
+{
+    Counts want = {{"sc_per_loc", 5},
+                   {"no_thin_air", 0},
+                   {"rmw_atomicity", 1},
+                   {"causality", 29},
+                   {"union", 35}};
+    EXPECT_EQ(countsAt("scc", 2, 3), want);
+}
+
+TEST(GoldenTest, ScopedSccSizes2To3)
+{
+    Counts want = {{"sc_per_loc", 7},
+                   {"no_thin_air", 0},
+                   {"rmw_atomicity", 2},
+                   {"causality", 53},
+                   {"union", 62}};
+    EXPECT_EQ(countsAt("sscc", 2, 3), want);
+}
+
+TEST(GoldenTest, C11Sizes2To4)
+{
+    Counts want = {{"coherence", 8},
+                   {"rmw_atomicity", 1},
+                   {"seq_cst", 3},
+                   {"union", 12}};
+    EXPECT_EQ(countsAt("c11", 2, 4), want);
+}
+
+TEST(GoldenTest, PipelineIsDeterministic)
+{
+    // Same options twice: identical suites, test for test.
+    auto model = mm::makeModel("tso");
+    synth::SynthOptions opt;
+    opt.minSize = 2;
+    opt.maxSize = 4;
+    auto a = synth::synthesizeAll(*model, opt);
+    auto b = synth::synthesizeAll(*model, opt);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].tests.size(), b[i].tests.size()) << a[i].axiom;
+        for (size_t j = 0; j < a[i].tests.size(); j++) {
+            EXPECT_EQ(litmus::fullSerialize(a[i].tests[j]),
+                      litmus::fullSerialize(b[i].tests[j]));
+        }
+    }
+}
+
+} // namespace
+} // namespace lts

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property tests for the canonicalizer: on randomly generated litmus
+ * tests, every thread permutation of a test must map to the same exact
+ * canonical form, canonical forms must be valid and idempotent, and the
+ * paper-mode canonicalizer must never merge two tests the exact one
+ * keeps apart (it may only fail to merge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "litmus/canon.hh"
+#include "litmus/format.hh"
+#include "litmus/print.hh"
+
+namespace lts::litmus
+{
+namespace
+{
+
+/** Generate a random (structurally valid) litmus test. */
+LitmusTest
+randomTest(std::mt19937 &rng, bool scoped)
+{
+    int threads = 1 + static_cast<int>(rng() % 3);
+    int size = threads + static_cast<int>(rng() % 4);
+    std::vector<int> tids;
+    for (int t = 0; t < threads; t++)
+        tids.push_back(t); // each thread gets at least one event
+    while (static_cast<int>(tids.size()) < size)
+        tids.push_back(static_cast<int>(rng() % threads));
+    std::sort(tids.begin(), tids.end());
+
+    const char *locs[] = {"x", "y", "z"};
+    TestBuilder c;
+    for (int t = 0; t < threads; t++)
+        c.newThread();
+    for (int tid : tids) {
+        int kind = static_cast<int>(rng() % 6);
+        if (kind == 0) {
+            c.fence(tid, rng() % 2 ? MemOrder::SeqCst : MemOrder::AcqRel);
+        } else if (kind <= 2) {
+            MemOrder order =
+                rng() % 3 == 0 ? MemOrder::Acquire : MemOrder::Plain;
+            c.read(tid, locs[rng() % 3], order);
+        } else {
+            MemOrder order =
+                rng() % 3 == 0 ? MemOrder::Release : MemOrder::Plain;
+            c.write(tid, locs[rng() % 3], order);
+        }
+    }
+    if (scoped) {
+        for (int t = 0; t < threads; t++)
+            c.setWorkgroup(t, static_cast<int>(rng() % 2));
+    }
+    return c.build("random");
+}
+
+class CanonPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CanonPropertyTest, PermutationInvarianceAndIdempotence)
+{
+    std::mt19937 rng(GetParam());
+    for (int trial = 0; trial < 60; trial++) {
+        LitmusTest t = randomTest(rng, trial % 3 == 0);
+        ASSERT_EQ(t.validate(), "");
+
+        LitmusTest canon = canonicalize(t, CanonMode::Exact);
+        ASSERT_EQ(canon.validate(), "");
+        std::string key = staticSerialize(canon);
+
+        // Idempotence.
+        EXPECT_EQ(staticSerialize(canonicalize(canon, CanonMode::Exact)),
+                  key);
+
+        // Invariance under every thread permutation.
+        std::vector<int> order(t.numThreads);
+        std::iota(order.begin(), order.end(), 0);
+        do {
+            LitmusTest permuted = permuteThreads(t, order);
+            ASSERT_EQ(permuted.validate(), "");
+            EXPECT_EQ(staticSerialize(
+                          canonicalize(permuted, CanonMode::Exact)),
+                      key)
+                << toString(t) << "\npermuted:\n" << toString(permuted);
+        } while (std::next_permutation(order.begin(), order.end()));
+
+        // Paper mode never merges what exact mode distinguishes: two
+        // random tests with different exact forms must have different
+        // paper forms... only when their paper canonical forms are
+        // themselves valid representatives of their exact classes.
+        LitmusTest u = randomTest(rng, trial % 3 == 0);
+        std::string exact_t = staticSerialize(canonicalize(t, CanonMode::Exact));
+        std::string exact_u = staticSerialize(canonicalize(u, CanonMode::Exact));
+        if (exact_t != exact_u) {
+            EXPECT_NE(staticSerialize(canonicalize(t, CanonMode::Paper)),
+                      staticSerialize(canonicalize(u, CanonMode::Paper)))
+                << toString(t) << "\nvs\n" << toString(u);
+        }
+
+        // Paper-mode canonicalization stays within the symmetry class:
+        // its output has the same exact form as its input.
+        EXPECT_EQ(staticSerialize(canonicalize(
+                      canonicalize(t, CanonMode::Paper), CanonMode::Exact)),
+                  key);
+    }
+}
+
+TEST_P(CanonPropertyTest, FormatRoundTripPreservesCanonicalForm)
+{
+    std::mt19937 rng(GetParam() + 1000);
+    for (int trial = 0; trial < 40; trial++) {
+        LitmusTest t = randomTest(rng, trial % 2 == 0);
+        LitmusTest back = parseLitmus(writeLitmus(t));
+        EXPECT_EQ(staticSerialize(back), staticSerialize(t));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonPropertyTest,
+                         ::testing::Values(7, 17, 27, 37));
+
+} // namespace
+} // namespace lts::litmus

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the litmus interchange format: write/parse round trips on
+ * the named tests and the synthesized suites, plus parser diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "litmus/canon.hh"
+#include "litmus/format.hh"
+
+namespace lts::litmus
+{
+namespace
+{
+
+LitmusTest
+mpRelAcq()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y", MemOrder::Release);
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y", MemOrder::Acquire);
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build("MP+rel+acq");
+}
+
+LitmusTest
+powerishTest()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    b.fence(t0, MemOrder::AcqRel);
+    int w0 = b.write(t0, "y");
+    b.dataDepend(r0, w0);
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    b.addrDepend(r1, w1);
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build("LB+deps+lwsync");
+}
+
+LitmusTest
+rmwCoTest()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "x");
+    b.pairRmw(r, w);
+    int t1 = b.newThread();
+    int w2 = b.write(t1, "x");
+    b.readsInitial(r);
+    b.coOrder(w2, w); // remote store first in coherence
+    return b.build("rmw+co");
+}
+
+TEST(FormatTest, WriteContainsExpectedSyntax)
+{
+    std::string s = writeLitmus(mpRelAcq());
+    EXPECT_NE(s.find("LTS MP+rel+acq"), std::string::npos);
+    EXPECT_NE(s.find("thread 0: St [m0] ; St.rel [m1]"), std::string::npos);
+    EXPECT_NE(s.find("Ld.acq r0 = [m1]"), std::string::npos);
+    EXPECT_NE(s.find("forbidden: rf 1 -> 2 ; init 3"), std::string::npos);
+    EXPECT_NE(s.find("end"), std::string::npos);
+}
+
+TEST(FormatTest, RoundTripPreservesStructureAndOutcome)
+{
+    for (const LitmusTest &t : {mpRelAcq(), powerishTest(), rmwCoTest()}) {
+        LitmusTest back = parseLitmus(writeLitmus(t));
+        EXPECT_EQ(back.name, t.name);
+        EXPECT_EQ(fullSerialize(back), fullSerialize(t)) << t.name;
+    }
+}
+
+TEST(FormatTest, SuiteRoundTrip)
+{
+    std::vector<LitmusTest> suite = {mpRelAcq(), rmwCoTest()};
+    std::ostringstream out;
+    writeLitmusSuite(out, suite);
+    std::istringstream in(out.str());
+    auto back = parseLitmusSuite(in);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(fullSerialize(back[0]), fullSerialize(suite[0]));
+    EXPECT_EQ(fullSerialize(back[1]), fullSerialize(suite[1]));
+}
+
+TEST(FormatTest, ParsesHandWrittenText)
+{
+    std::string text = R"(
+# the classic message-passing shape
+LTS my-mp
+thread 0: St [x] ; St.rel [flag]
+thread 1: Ld.acq r0 = [flag] ; Ld r1 = [x]
+forbidden: rf 1 -> 2 ; init 3
+end
+)";
+    LitmusTest t = parseLitmus(text);
+    EXPECT_EQ(t.name, "my-mp");
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.numThreads, 2);
+    EXPECT_EQ(t.events[1].order, MemOrder::Release);
+    EXPECT_EQ(t.events[2].order, MemOrder::Acquire);
+    EXPECT_TRUE(t.hasForbidden);
+    EXPECT_TRUE(t.forbidden.rf.test(1, 2));
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(FormatTest, ParserDiagnostics)
+{
+    EXPECT_THROW(parseLitmus("LTS a\nthread 0: Hm [x]\nend\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseLitmus("LTS a\nthread 1: St [x]\nend\n"),
+                 std::runtime_error); // threads must start at 0
+    EXPECT_THROW(parseLitmus("LTS a\nthread 0: St [x]\n"),
+                 std::runtime_error); // missing end
+    EXPECT_THROW(parseLitmus("thread 0: St [x]\nend\n"),
+                 std::runtime_error); // content before LTS
+    EXPECT_THROW(parseLitmus("LTS a\nthread 0: Ld [x]\nend\n"),
+                 std::runtime_error); // load without '='
+    EXPECT_THROW(parseLitmus("LTS a\nthread 0: St.zz [x]\nend\n"),
+                 std::runtime_error); // bad annotation
+    EXPECT_THROW(
+        parseLitmus("LTS a\nthread 0: St [x]\nforbidden: zap 1\nend\n"),
+        std::runtime_error); // unknown outcome directive
+}
+
+TEST(FormatTest, CoChainRoundTripsThroughImmediateEdges)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w0 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int w1 = b.write(t1, "x");
+    int t2 = b.newThread();
+    int w2 = b.write(t2, "x");
+    b.coOrder(w2, w1);
+    b.coOrder(w1, w0); // co: w2 < w1 < w0
+    LitmusTest t = b.build("co-chain");
+    LitmusTest back = parseLitmus(writeLitmus(t));
+    EXPECT_EQ(back.forbidden.co, t.forbidden.co);
+    EXPECT_TRUE(back.forbidden.co.test(w2, w0)); // transitivity restored
+}
+
+} // namespace
+} // namespace lts::litmus
+// Appended: scoped-format tests live in their own namespace block so the
+// file's earlier anonymous namespace stays untouched.
+namespace lts::litmus
+{
+namespace
+{
+
+TEST(FormatTest, ScopedRoundTrip)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y", MemOrder::Release);
+    b.setScope(wf, Scope::WorkGroup);
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y", MemOrder::Acquire);
+    b.setScope(rf, Scope::System);
+    b.read(t1, "x");
+    b.setWorkgroup(t0, 0);
+    b.setWorkgroup(t1, 0);
+    b.readsFrom(wf, rf);
+    LitmusTest t = b.build("scoped-mp");
+
+    std::string text = writeLitmus(t);
+    EXPECT_NE(text.find("St.rel@wg [m1]"), std::string::npos);
+    EXPECT_NE(text.find("wg: 0 0"), std::string::npos);
+
+    LitmusTest back = parseLitmus(text);
+    EXPECT_EQ(fullSerialize(back), fullSerialize(t));
+    EXPECT_EQ(back.events[1].scope, Scope::WorkGroup);
+    EXPECT_TRUE(back.hasWorkgroups());
+}
+
+TEST(FormatTest, BadScopeRejected)
+{
+    EXPECT_THROW(parseLitmus("LTS a\nthread 0: St.rel@zz [x]\nend\n"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace lts::litmus

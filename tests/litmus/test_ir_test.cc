@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the litmus-test IR: builder, validation, outcome value
+ * semantics, and printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/print.hh"
+#include "litmus/test.hh"
+
+namespace lts::litmus
+{
+namespace
+{
+
+/** The MP test of Figure 1 with forbidden outcome (r0=1, r1=0). */
+LitmusTest
+buildMp()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w_data = b.write(t0, "x");
+    int w_flag = b.write(t0, "y", MemOrder::Release);
+    int t1 = b.newThread();
+    int r_flag = b.read(t1, "y", MemOrder::Acquire);
+    int r_data = b.read(t1, "x");
+    b.readsFrom(w_flag, r_flag);
+    b.readsInitial(r_data);
+    (void)w_data;
+    return b.build("MP");
+}
+
+TEST(TestBuilderTest, MpShape)
+{
+    LitmusTest mp = buildMp();
+    EXPECT_EQ(mp.size(), 4u);
+    EXPECT_EQ(mp.numThreads, 2);
+    EXPECT_EQ(mp.numLocs, 2);
+    EXPECT_TRUE(mp.hasForbidden);
+    EXPECT_EQ(mp.validate(), "");
+
+    EXPECT_TRUE(mp.events[0].isWrite());
+    EXPECT_EQ(mp.events[1].order, MemOrder::Release);
+    EXPECT_EQ(mp.events[2].order, MemOrder::Acquire);
+    EXPECT_TRUE(mp.events[3].isRead());
+    EXPECT_EQ(mp.events[2].tid, 1);
+}
+
+TEST(TestBuilderTest, ThreadEventsAndPo)
+{
+    LitmusTest mp = buildMp();
+    auto t0 = mp.threadEvents(0);
+    ASSERT_EQ(t0.size(), 2u);
+    EXPECT_EQ(t0[0], 0);
+    EXPECT_EQ(t0[1], 1);
+
+    BitMatrix po = mp.poMatrix();
+    EXPECT_TRUE(po.test(0, 1));
+    EXPECT_TRUE(po.test(2, 3));
+    EXPECT_FALSE(po.test(1, 0));
+    EXPECT_FALSE(po.test(1, 2));
+    EXPECT_EQ(po.count(), 2u);
+}
+
+TEST(TestBuilderTest, SameLocMatrix)
+{
+    LitmusTest mp = buildMp();
+    BitMatrix sl = mp.sameLocMatrix();
+    EXPECT_TRUE(sl.test(0, 3)); // both on x
+    EXPECT_TRUE(sl.test(1, 2)); // both on y
+    EXPECT_FALSE(sl.test(0, 1));
+    EXPECT_TRUE(sl.test(0, 0)); // reflexive on memory events
+}
+
+TEST(TestBuilderTest, OutcomeValues)
+{
+    LitmusTest mp = buildMp();
+    auto regs = mp.registerValues(mp.forbidden);
+    // Event 2 = Ld y (reads the store, value 1); event 3 = Ld x (initial).
+    EXPECT_EQ(regs[2], 1);
+    EXPECT_EQ(regs[3], 0);
+    auto finals = mp.finalValues(mp.forbidden);
+    EXPECT_EQ(finals[0], 1);
+    EXPECT_EQ(finals[1], 1);
+}
+
+TEST(TestBuilderTest, CoRWValueAssignment)
+{
+    // CoRW from Figure 7: Ld r0=[x]; St [x],1 || St [x],2
+    // Forbidden: (r0=2, [x]=2): read observes thread-1's store, which is
+    // co-after thread-0's store.
+    TestBuilder b;
+    int t0 = b.newThread();
+    int ld = b.read(t0, "x");
+    int st1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int st2 = b.write(t1, "x");
+    b.readsFrom(st2, ld);
+    b.coOrder(st1, st2);
+    LitmusTest corw = b.build("CoRW");
+
+    auto wv = corw.writeValues(corw.forbidden);
+    EXPECT_EQ(wv[1], 1); // st1 first in co
+    EXPECT_EQ(wv[2], 2); // st2 second
+    auto regs = corw.registerValues(corw.forbidden);
+    EXPECT_EQ(regs[0], 2);
+    auto finals = corw.finalValues(corw.forbidden);
+    EXPECT_EQ(finals[0], 2);
+}
+
+TEST(TestBuilderTest, CoCompletionRespectsDeclaredOrder)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int w2 = b.write(t1, "x");
+    b.coOrder(w2, w1); // against event order
+    LitmusTest t = b.build("coherence-pair");
+    EXPECT_TRUE(t.forbidden.co.test(w2, w1));
+    EXPECT_FALSE(t.forbidden.co.test(w1, w2));
+}
+
+TEST(TestBuilderTest, InterleavedThreadDeclarationRenumbers)
+{
+    // Events added out of thread order must still produce contiguous
+    // blocks.
+    TestBuilder b;
+    int t0 = b.newThread();
+    int t1 = b.newThread();
+    b.write(t1, "x");
+    b.write(t0, "y");
+    b.read(t1, "y");
+    LitmusTest t = b.build("interleaved");
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.events[0].tid, 0);
+    EXPECT_TRUE(t.events[0].isWrite());
+    EXPECT_EQ(t.events[1].tid, 1);
+    EXPECT_EQ(t.events[2].tid, 1);
+    EXPECT_TRUE(t.events[2].isRead());
+}
+
+TEST(TestBuilderTest, RmwPairing)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "x");
+    b.pairRmw(r, w);
+    LitmusTest t = b.build("rmw");
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_TRUE(t.rmw.test(0, 1));
+}
+
+TEST(TestBuilderTest, DependencyTracking)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "y");
+    int r2 = b.read(t0, "z");
+    b.dataDepend(r, w);
+    b.ctrlDepend(r, r2);
+    b.addrDepend(r, r2);
+    LitmusTest t = b.build("deps");
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_TRUE(t.dataDep.test(0, 1));
+    EXPECT_TRUE(t.ctrlDep.test(0, 2));
+    EXPECT_TRUE(t.addrDep.test(0, 2));
+}
+
+TEST(ValidationTest, RejectsBadRmw)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    b.write(t0, "z");
+    int w2 = b.write(t0, "x");
+    b.pairRmw(r, w2); // not adjacent
+    EXPECT_THROW(b.build("bad"), std::logic_error);
+}
+
+TEST(ValidationTest, RejectsDependencyFromWrite)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w = b.write(t0, "x");
+    int r = b.read(t0, "y");
+    b.dataDepend(w, r);
+    EXPECT_THROW(b.build("bad"), std::logic_error);
+}
+
+TEST(ValidationTest, RejectsCrossThreadDependency)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int t1 = b.newThread();
+    int w = b.write(t1, "y");
+    b.dataDepend(r, w);
+    EXPECT_THROW(b.build("bad"), std::logic_error);
+}
+
+TEST(ValidationTest, RejectsRfLocationMismatch)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r = b.read(t1, "y");
+    b.readsFrom(w, r);
+    EXPECT_THROW(b.build("bad"), std::logic_error);
+}
+
+TEST(ValidationTest, RejectsCyclicCo)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int w2 = b.write(t1, "x");
+    b.coOrder(w1, w2);
+    b.coOrder(w2, w1);
+    EXPECT_THROW(b.build("bad"), std::logic_error);
+}
+
+TEST(PrintTest, MpRendering)
+{
+    LitmusTest mp = buildMp();
+    std::string s = toString(mp);
+    EXPECT_NE(s.find("MP:"), std::string::npos);
+    EXPECT_NE(s.find("Thread 0"), std::string::npos);
+    EXPECT_NE(s.find("Thread 1"), std::string::npos);
+    EXPECT_NE(s.find("St [x], 1"), std::string::npos);
+    EXPECT_NE(s.find("St.rel [y], 1"), std::string::npos);
+    EXPECT_NE(s.find("Ld.acq r0 = [y]"), std::string::npos);
+    EXPECT_NE(s.find("Forbidden: (r0=1, r1=0)"), std::string::npos);
+}
+
+TEST(PrintTest, FinalValuesShownForMultiWriteLocations)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int ld = b.read(t0, "x");
+    int st1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int st2 = b.write(t1, "x");
+    b.readsFrom(st2, ld);
+    b.coOrder(st1, st2);
+    LitmusTest corw = b.build("CoRW");
+    std::string s = outcomeToString(corw, corw.forbidden);
+    EXPECT_EQ(s, "(r0=2, [x]=2)");
+}
+
+TEST(PrintTest, RmwAnnotation)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "x");
+    b.pairRmw(r, w);
+    std::string s = toString(b.build("rmw"));
+    EXPECT_NE(s.find("Ld.rmw"), std::string::npos);
+    EXPECT_NE(s.find("St.rmw"), std::string::npos);
+}
+
+TEST(EventTest, WeakeningLattice)
+{
+    using MO = MemOrder;
+    EXPECT_TRUE(isWeaker(MO::Plain, MO::SeqCst));
+    EXPECT_TRUE(isWeaker(MO::Plain, MO::Acquire));
+    EXPECT_TRUE(isWeaker(MO::Acquire, MO::SeqCst));
+    EXPECT_TRUE(isWeaker(MO::Acquire, MO::AcqRel));
+    EXPECT_TRUE(isWeaker(MO::Release, MO::AcqRel));
+    EXPECT_TRUE(isWeaker(MO::Consume, MO::Acquire));
+    EXPECT_TRUE(isWeaker(MO::AcqRel, MO::SeqCst));
+    EXPECT_FALSE(isWeaker(MO::Acquire, MO::Release));
+    EXPECT_FALSE(isWeaker(MO::Release, MO::Acquire));
+    EXPECT_FALSE(isWeaker(MO::Consume, MO::Release));
+    EXPECT_FALSE(isWeaker(MO::SeqCst, MO::Plain));
+    EXPECT_FALSE(isWeaker(MO::SeqCst, MO::SeqCst));
+}
+
+} // namespace
+} // namespace lts::litmus
+// Appended: printer summary and multi-location rendering coverage.
+namespace lts::litmus
+{
+namespace
+{
+
+TEST(PrintTest, SummaryLine)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int t1 = b.newThread();
+    b.read(t1, "x");
+    b.read(t1, "y");
+    EXPECT_EQ(summary(b.build("s")), "2 thr, 3 ev, 2 locs");
+}
+
+TEST(PrintTest, ManyLocationsUseFallbackNames)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    for (int i = 0; i < 8; i++)
+        b.write(t0, "loc" + std::to_string(i));
+    std::string s = toString(b.build("many"));
+    EXPECT_NE(s.find("[x]"), std::string::npos);
+    EXPECT_NE(s.find("[m7]"), std::string::npos);
+}
+
+TEST(PrintTest, DependencyAnnotationsRendered)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "y");
+    b.addrDepend(r, w);
+    std::string s = toString(b.build("dep"));
+    EXPECT_NE(s.find("[addr->1]"), std::string::npos);
+}
+
+TEST(EventTest, ToStringCoverage)
+{
+    EXPECT_EQ(toString(EventType::Read), "Ld");
+    EXPECT_EQ(toString(EventType::Write), "St");
+    EXPECT_EQ(toString(EventType::Fence), "Fence");
+    EXPECT_EQ(toString(MemOrder::Plain), "");
+    EXPECT_EQ(toString(MemOrder::Consume), "cns");
+    EXPECT_EQ(toString(Scope::WorkGroup), "wg");
+    EXPECT_EQ(toString(Scope::System), "sys");
+    EXPECT_EQ(toString(Scope::WorkItem), "wi");
+    EXPECT_EQ(toString(Scope::Device), "dev");
+}
+
+} // namespace
+} // namespace lts::litmus

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Power model tests: the unrolled ppo fixpoint is validated against an
+ * exact concrete fixpoint computation on random executions, and the
+ * fence/prop machinery is exercised on the classic Power shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "litmus/test.hh"
+#include "mm/convert.hh"
+#include "mm/exprs.hh"
+#include "mm/models.hh"
+#include "rel/eval.hh"
+
+namespace lts::mm
+{
+namespace
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::TestBuilder;
+
+/** Exact ii/ic/ci/cc least fixpoint by bitset iteration. */
+BitMatrix
+exactPpo(const Model &model, const rel::Instance &inst)
+{
+    const Env &env = model.base();
+    size_t n = inst.universe();
+    rel::Evaluator ev(inst);
+
+    BitMatrix dp = ev.matrix(env.get(kAddr) + env.get(kData));
+    BitMatrix rdw = ev.matrix(
+        mkIntersect(poLoc(env), mkJoin(fre(env), rfe(env))));
+    BitMatrix detour = ev.matrix(
+        mkIntersect(poLoc(env), mkJoin(coe(env), rfe(env))));
+    BitMatrix rfi_m = ev.matrix(rfi(env));
+    BitMatrix po_loc = ev.matrix(poLoc(env));
+    BitMatrix ctrl = ev.matrix(env.get(kCtrl));
+    BitMatrix addr_po =
+        ev.matrix(mkJoin(env.get(kAddr), env.get(kPo)));
+
+    BitMatrix ii0 = dp;
+    ii0 |= rdw;
+    ii0 |= rfi_m;
+    BitMatrix ic0(n);
+    BitMatrix ci0 = detour;
+    BitMatrix cc0 = dp;
+    cc0 |= po_loc;
+    cc0 |= ctrl;
+    cc0 |= addr_po;
+
+    BitMatrix ii = ii0, ic = ic0, ci = ci0, cc = cc0;
+    for (;;) {
+        BitMatrix ii2 = ii0, ic2 = ic0, ci2 = ci0, cc2 = cc0;
+        ii2 |= ci;
+        ii2 |= ic.compose(ci);
+        ii2 |= ii.compose(ii);
+        ic2 |= ii;
+        ic2 |= cc;
+        ic2 |= ic.compose(cc);
+        ic2 |= ii.compose(ic);
+        ci2 |= ci.compose(ii);
+        ci2 |= cc.compose(ci);
+        cc2 |= ci;
+        cc2 |= ci.compose(ic);
+        cc2 |= cc.compose(cc);
+        if (ii2 == ii && ic2 == ic && ci2 == ci && cc2 == cc)
+            break;
+        ii = ii2;
+        ic = ic2;
+        ci = ci2;
+        cc = cc2;
+    }
+
+    BitMatrix r_mat(n), w_mat(n);
+    Bitset r_set = ev.set(env.get(kR));
+    Bitset w_set = ev.set(env.get(kW));
+    BitMatrix out(n);
+    for (size_t i = 0; i < n; i++) {
+        for (size_t j = 0; j < n; j++) {
+            if (r_set.test(i) && r_set.test(j) && ii.test(i, j))
+                out.set(i, j);
+            if (r_set.test(i) && w_set.test(j) && ic.test(i, j))
+                out.set(i, j);
+        }
+    }
+    (void)r_mat;
+    (void)w_mat;
+    return out;
+}
+
+class PowerPpoPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PowerPpoPropertyTest, UnrolledPpoMatchesExactFixpoint)
+{
+    auto power = makePower();
+    std::mt19937 rng(GetParam());
+    size_t n = 4 + rng() % 3; // 4..6 events
+
+    for (int trial = 0; trial < 40; trial++) {
+        // Random instance over the Power vocabulary; only rough shape
+        // constraints are needed since both sides see the same relations.
+        rel::Instance inst(power->vocab(), n);
+        auto &r = inst.set(power->vocab().find(kR).id);
+        auto &w = inst.set(power->vocab().find(kW).id);
+        for (size_t i = 0; i < n; i++) {
+            if (rng() & 1)
+                r.set(i);
+            else
+                w.set(i);
+        }
+        auto set_random = [&](const std::string &name, int density) {
+            auto &m = inst.matrix(power->vocab().find(name).id);
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    if (i != j && static_cast<int>(rng() % 100) < density)
+                        m.set(i, j);
+                }
+            }
+        };
+        // po: random order-respecting relation; sloc symmetric-ish.
+        auto &po = inst.matrix(power->vocab().find(kPo).id);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = i + 1; j < n; j++) {
+                if (rng() & 1)
+                    po.set(i, j);
+            }
+        }
+        auto &sloc = inst.matrix(power->vocab().find(kSloc).id);
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = i; j < n; j++) {
+                if (i == j || (rng() % 3) == 0) {
+                    sloc.set(i, j);
+                    sloc.set(j, i);
+                }
+            }
+        }
+        set_random(kRf, 15);
+        set_random(kCo, 15);
+        set_random(kAddr, 10);
+        set_random(kData, 10);
+        set_random(kCtrl, 10);
+
+        BitMatrix want = exactPpo(*power, inst);
+        BitMatrix got =
+            rel::evalMatrix(powerPpo(power->base(), n), inst);
+        ASSERT_EQ(got, want) << "seed " << GetParam() << " trial " << trial
+                             << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerPpoPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(PowerSemanticsTest, MpNeedsCumulativeFence)
+{
+    auto power = makePower();
+    // MP with data dependency on the consumer only: still allowed
+    // (producer stores unordered).
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf_ev = b.read(t1, "y");
+    int rd = b.read(t1, "x");
+    b.addrDepend(rf_ev, rd);
+    b.readsFrom(wf, rf_ev);
+    b.readsInitial(rd);
+    LitmusTest mp = b.build("MP+po+addr");
+
+    rel::Instance inst = toInstance(*power, mp, mp.forbidden);
+    EXPECT_TRUE(rel::evalFormula(
+        power->allAxioms(power->base(), mp.size()), inst));
+}
+
+TEST(PowerSemanticsTest, LwsyncOrdersWriteWrite)
+{
+    auto power = makePower();
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, MemOrder::AcqRel); // lwsync
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf_ev = b.read(t1, "y");
+    int rd = b.read(t1, "x");
+    b.addrDepend(rf_ev, rd);
+    b.readsFrom(wf, rf_ev);
+    b.readsInitial(rd);
+    LitmusTest mp = b.build("MP+lwsync+addr");
+
+    rel::Instance inst = toInstance(*power, mp, mp.forbidden);
+    EXPECT_FALSE(rel::evalFormula(
+        power->allAxioms(power->base(), mp.size()), inst));
+}
+
+TEST(PowerSemanticsTest, LwsyncDoesNotOrderWriteRead)
+{
+    auto power = makePower();
+    // SB with lwsyncs: outcome remains allowed (lwfence excludes W->R).
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, MemOrder::AcqRel);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, MemOrder::AcqRel);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    LitmusTest sb = b.build("SB+lwsyncs");
+    rel::Instance inst = toInstance(*power, sb, sb.forbidden);
+    EXPECT_TRUE(rel::evalFormula(
+        power->allAxioms(power->base(), sb.size()), inst));
+}
+
+TEST(PowerSemanticsTest, SyncOrdersWriteRead)
+{
+    auto power = makePower();
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, MemOrder::SeqCst);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, MemOrder::SeqCst);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    LitmusTest sb = b.build("SB+syncs");
+    rel::Instance inst = toInstance(*power, sb, sb.forbidden);
+    EXPECT_FALSE(rel::evalFormula(
+        power->allAxioms(power->base(), sb.size()), inst));
+}
+
+TEST(ArmSemanticsTest, Armv7MatchesPowerOnDmbShapes)
+{
+    auto arm = makeArmv7();
+    // dmb-fenced SB is forbidden, exactly like sync.
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, MemOrder::SeqCst); // dmb
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, MemOrder::SeqCst);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    LitmusTest sb = b.build("SB+dmbs");
+    rel::Instance inst = toInstance(*arm, sb, sb.forbidden);
+    EXPECT_FALSE(
+        rel::evalFormula(arm->allAxioms(arm->base(), sb.size()), inst));
+}
+
+TEST(ArmSemanticsTest, Armv7HasNoLwsync)
+{
+    auto arm = makeArmv7();
+    EXPECT_FALSE(arm->features().acqRelFence);
+    // No DF relaxation for ARMv7 (dmb has nothing to demote into).
+    for (const auto &r : arm->relaxations())
+        EXPECT_NE(r.tag, RTag::DF);
+    // An AcqRel-annotated fence cannot even be expressed.
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.fence(t0, MemOrder::AcqRel);
+    b.write(t0, "x");
+    LitmusTest t = b.build("lwsync-on-arm");
+    EXPECT_THROW(toInstance(*arm, t, litmus::Outcome(t.size())),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lts::mm

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the scoped SCC model ("sscc") and the DS relaxation — the
+ * Section 3.2 scope-demotion machinery on an OpenCL/HSA-style model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/canon.hh"
+#include "litmus/print.hh"
+#include "mm/convert.hh"
+#include "mm/exprs.hh"
+#include "mm/registry.hh"
+#include "rel/eval.hh"
+#include "synth/minimality.hh"
+#include "synth/sound.hh"
+
+namespace lts::mm
+{
+namespace
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::Scope;
+using litmus::TestBuilder;
+
+/**
+ * Scoped MP: producer and consumer threads either share a workgroup or
+ * not, with the release/acquire pair at the given scope.
+ */
+LitmusTest
+scopedMp(bool same_wg, Scope rel_scope, Scope acq_scope)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y", MemOrder::Release);
+    b.setScope(wf, rel_scope);
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y", MemOrder::Acquire);
+    b.setScope(rf, acq_scope);
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    if (same_wg) {
+        b.setWorkgroup(t0, 0);
+        b.setWorkgroup(t1, 0);
+    }
+    return b.build("MP-scoped");
+}
+
+TEST(ScopedIrTest, WorkgroupsInBuilderAndCanonicalForm)
+{
+    LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+    EXPECT_TRUE(t.hasWorkgroups());
+    EXPECT_EQ(t.workgroupOf(0), t.workgroupOf(1));
+    EXPECT_EQ(t.validate(), "");
+
+    LitmusTest u = scopedMp(false, Scope::WorkGroup, Scope::WorkGroup);
+    EXPECT_FALSE(u.hasWorkgroups());
+    EXPECT_NE(litmus::staticSerialize(t), litmus::staticSerialize(u));
+
+    // Scope annotations are part of test identity.
+    LitmusTest v = scopedMp(true, Scope::System, Scope::WorkGroup);
+    EXPECT_NE(litmus::canonicalHash(t, litmus::CanonMode::Exact),
+              litmus::canonicalHash(v, litmus::CanonMode::Exact));
+}
+
+TEST(ScopedIrTest, SameWgMatrix)
+{
+    LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+    BitMatrix swg = t.sameWgMatrix();
+    EXPECT_TRUE(swg.test(0, 2)); // cross-thread, same workgroup
+    LitmusTest u = scopedMp(false, Scope::WorkGroup, Scope::WorkGroup);
+    EXPECT_FALSE(u.sameWgMatrix().test(0, 2));
+    EXPECT_TRUE(u.sameWgMatrix().test(0, 1)); // same thread
+}
+
+TEST(ScopedIrTest, CanonicalizationMergesWorkgroupSymmetry)
+{
+    // Two tests identical up to thread order and workgroup labels.
+    TestBuilder b1;
+    int a1 = b1.newThread();
+    int b1t = b1.newThread();
+    b1.write(a1, "x");
+    b1.read(b1t, "x");
+    b1.setWorkgroup(a1, 7);
+    b1.setWorkgroup(b1t, 7);
+    LitmusTest t1 = b1.build("g1");
+
+    TestBuilder b2;
+    int a2 = b2.newThread();
+    int b2t = b2.newThread();
+    b2.read(a2, "x");
+    b2.write(b2t, "x");
+    b2.setWorkgroup(a2, 3);
+    b2.setWorkgroup(b2t, 3);
+    LitmusTest t2 = b2.build("g2");
+
+    EXPECT_EQ(litmus::canonicalHash(t1, litmus::CanonMode::Exact),
+              litmus::canonicalHash(t2, litmus::CanonMode::Exact));
+
+}
+
+TEST(ScopedModelTest, ConvertRoundTripsScopesAndWorkgroups)
+{
+    auto sscc = makeModel("sscc");
+    LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::System);
+    rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+    EXPECT_TRUE(rel::evalFormula(sscc->wellFormed(t.size()), inst));
+    LitmusTest back = fromInstance(*sscc, inst);
+    EXPECT_EQ(litmus::fullSerialize(back), litmus::fullSerialize(t));
+    EXPECT_EQ(back.events[1].scope, Scope::WorkGroup);
+    EXPECT_EQ(back.events[2].scope, Scope::System);
+    EXPECT_TRUE(back.hasWorkgroups());
+}
+
+TEST(ScopedModelTest, UnscopedModelsRejectScopedTests)
+{
+    auto scc = makeModel("scc");
+    LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+    EXPECT_THROW(toInstance(*scc, t, t.forbidden), std::invalid_argument);
+}
+
+TEST(ScopedModelTest, WellFormedRequiresScopeOnSyncOps)
+{
+    auto sscc = makeModel("sscc");
+    LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+    rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+    // Strip the release's scope membership: no longer well-formed.
+    inst.set(sscc->vocab().find(kScopeWg).id).reset(1);
+    EXPECT_FALSE(rel::evalFormula(sscc->wellFormed(t.size()), inst));
+}
+
+TEST(ScopedModelTest, WorkgroupScopeSynchronizesOnlyWithinGroup)
+{
+    auto sscc = makeModel("sscc");
+    // Same workgroup + wg-scoped release/acquire: MP outcome forbidden.
+    {
+        LitmusTest t = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+        rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+        EXPECT_FALSE(rel::evalFormula(
+            sscc->allAxioms(sscc->base(), t.size()), inst));
+    }
+    // Different workgroups + wg-scoped pair: synchronization is too
+    // narrow, the outcome is ALLOWED.
+    {
+        LitmusTest t = scopedMp(false, Scope::WorkGroup, Scope::WorkGroup);
+        rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+        EXPECT_TRUE(rel::evalFormula(
+            sscc->allAxioms(sscc->base(), t.size()), inst));
+    }
+    // Different workgroups + system scope on both: forbidden again.
+    {
+        LitmusTest t = scopedMp(false, Scope::System, Scope::System);
+        rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+        EXPECT_FALSE(rel::evalFormula(
+            sscc->allAxioms(sscc->base(), t.size()), inst));
+    }
+    // Mixed: one narrow end breaks cross-workgroup synchronization.
+    {
+        LitmusTest t = scopedMp(false, Scope::System, Scope::WorkGroup);
+        rel::Instance inst = toInstance(*sscc, t, t.forbidden);
+        EXPECT_TRUE(rel::evalFormula(
+            sscc->allAxioms(sscc->base(), t.size()), inst));
+    }
+}
+
+TEST(ScopedModelTest, DsMinimalityCrossWorkgroupMp)
+{
+    auto sscc = makeModel("sscc");
+    // Cross-workgroup MP with system scopes: DS on either end makes the
+    // outcome observable, so the test is minimal (DS is what enforces
+    // "no wider scope than needed").
+    LitmusTest minimal = scopedMp(false, Scope::System, Scope::System);
+    auto axioms = synth::minimalAxioms(*sscc, minimal);
+    EXPECT_TRUE(std::find(axioms.begin(), axioms.end(), "causality") !=
+                axioms.end());
+
+    // Same-workgroup MP with *system* scopes is over-synchronized: DS
+    // demotes either scope to workgroup and the outcome stays forbidden.
+    LitmusTest wide = scopedMp(true, Scope::System, Scope::System);
+    EXPECT_TRUE(synth::minimalAxioms(*sscc, wide).empty());
+
+    // Same-workgroup MP with workgroup scopes is the minimal variant.
+    LitmusTest tight = scopedMp(true, Scope::WorkGroup, Scope::WorkGroup);
+    auto tight_axioms = synth::minimalAxioms(*sscc, tight);
+    EXPECT_TRUE(std::find(tight_axioms.begin(), tight_axioms.end(),
+                          "causality") != tight_axioms.end());
+}
+
+TEST(ScopedModelTest, SoundEngineAgreesOnDs)
+{
+    auto sscc = makeModel("sscc");
+    LitmusTest minimal = scopedMp(false, Scope::System, Scope::System);
+    auto sound = synth::soundMinimalAxioms(*sscc, minimal);
+    EXPECT_TRUE(std::find(sound.begin(), sound.end(), "causality") !=
+                sound.end());
+
+    LitmusTest wide = scopedMp(true, Scope::System, Scope::System);
+    EXPECT_TRUE(synth::soundMinimalAxioms(*sscc, wide).empty());
+
+    // applyRelaxations produces DS applications exactly for the
+    // system-scoped sync ops.
+    int ds = 0;
+    for (const auto &r : synth::applyRelaxations(*sscc, minimal)) {
+        if (r.relaxation == "DS(sys->wg)") {
+            ds++;
+            EXPECT_EQ(r.test.events[r.event].scope, Scope::WorkGroup);
+        }
+    }
+    EXPECT_EQ(ds, 2);
+}
+
+} // namespace
+} // namespace lts::mm

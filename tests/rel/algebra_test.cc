@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Property tests for relational-algebra laws under the concrete
+ * evaluator: associativity/identity of join, closure fixpoint laws,
+ * transpose distribution, restriction/product identities — the algebra
+ * every memory-model definition silently relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rel/eval.hh"
+
+namespace lts::rel
+{
+namespace
+{
+
+struct RandomWorld
+{
+    Vocabulary vocab;
+    ExprPtr a, b, c;
+    ExprPtr s, t;
+    Instance inst;
+
+    explicit RandomWorld(std::mt19937 &rng, size_t n)
+        : a(vocab.declare("a", 2)), b(vocab.declare("b", 2)),
+          c(vocab.declare("c", 2)), s(vocab.declare("s", 1)),
+          t(vocab.declare("t", 1)), inst(vocab, n)
+    {
+        for (int id = 0; id < 3; id++) {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    if (rng() % 3 == 0)
+                        inst.matrix(id).set(i, j);
+                }
+            }
+        }
+        for (int id = 3; id < 5; id++) {
+            for (size_t i = 0; i < n; i++) {
+                if (rng() & 1)
+                    inst.set(id).set(i);
+            }
+        }
+    }
+};
+
+class AlgebraTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AlgebraTest, LawsHoldOnRandomInstances)
+{
+    std::mt19937 rng(GetParam());
+    for (int trial = 0; trial < 25; trial++) {
+        size_t n = 2 + rng() % 5;
+        RandomWorld w(rng, n);
+        const auto &inst = w.inst;
+        auto eq = [&](const ExprPtr &x, const ExprPtr &y) {
+            return evalMatrix(x, inst) == evalMatrix(y, inst);
+        };
+        auto eqs = [&](const ExprPtr &x, const ExprPtr &y) {
+            return evalSet(x, inst) == evalSet(y, inst);
+        };
+
+        // Join: associative, identity, annihilator.
+        EXPECT_TRUE(eq(mkJoin(mkJoin(w.a, w.b), w.c),
+                       mkJoin(w.a, mkJoin(w.b, w.c))));
+        EXPECT_TRUE(eq(mkJoin(w.a, mkIden()), w.a));
+        EXPECT_TRUE(eq(mkJoin(mkIden(), w.a), w.a));
+        EXPECT_TRUE(eq(mkJoin(w.a, mkNone(2)), mkNone(2)));
+
+        // Join distributes over union.
+        EXPECT_TRUE(eq(mkJoin(w.a, w.b + w.c),
+                       mkJoin(w.a, w.b) + mkJoin(w.a, w.c)));
+
+        // Transpose: involution, anti-distribution over join.
+        EXPECT_TRUE(eq(mkTranspose(mkTranspose(w.a)), w.a));
+        EXPECT_TRUE(eq(mkTranspose(mkJoin(w.a, w.b)),
+                       mkJoin(mkTranspose(w.b), mkTranspose(w.a))));
+        EXPECT_TRUE(eq(mkTranspose(w.a + w.b),
+                       mkTranspose(w.a) + mkTranspose(w.b)));
+
+        // Closure: fixpoint, idempotence, containment.
+        ExprPtr ca = mkClosure(w.a);
+        EXPECT_TRUE(eq(mkClosure(ca), ca));
+        EXPECT_TRUE(eq(ca, w.a + mkJoin(w.a, ca)));
+        EXPECT_TRUE(evalFormula(mkSubset(w.a, ca), inst));
+        EXPECT_TRUE(evalFormula(
+            mkSubset(mkJoin(ca, ca), ca), inst)); // transitive
+        // Reflexive closure = closure + iden.
+        EXPECT_TRUE(eq(mkRClosure(w.a), ca + mkIden()));
+
+        // De Morgan via difference on the full relation.
+        ExprPtr full = mkProduct(mkUniv(), mkUniv());
+        EXPECT_TRUE(eq(full - (w.a + w.b), (full - w.a) & (full - w.b)));
+        EXPECT_TRUE(eq(full - (w.a & w.b), (full - w.a) + (full - w.b)));
+
+        // Restrictions as intersections with products.
+        EXPECT_TRUE(eq(mkDomRestrict(w.s, w.a),
+                       w.a & mkProduct(w.s, mkUniv())));
+        EXPECT_TRUE(eq(mkRanRestrict(w.a, w.t),
+                       w.a & mkProduct(mkUniv(), w.t)));
+        EXPECT_TRUE(eq(mkDomRestrict(w.s, mkRanRestrict(w.a, w.t)),
+                       w.a & mkProduct(w.s, w.t)));
+
+        // Join with sets: image/preimage through product.
+        EXPECT_TRUE(eqs(mkJoin(w.s, mkProduct(w.s, w.t)),
+                        evalSet(w.s, inst).any()
+                            ? w.t
+                            : mkNone(1)));
+
+        // some/no duality and lone/one consistency.
+        EXPECT_NE(evalFormula(mkSome(w.a), inst),
+                  evalFormula(mkNo(w.a), inst));
+        if (evalFormula(mkOne(w.a), inst)) {
+            EXPECT_TRUE(evalFormula(mkLone(w.a), inst));
+        }
+
+        // Acyclicity of a relation implies acyclicity of any subset.
+        if (evalFormula(mkAcyclic(w.a + w.b), inst)) {
+            EXPECT_TRUE(evalFormula(mkAcyclic(w.a), inst));
+            EXPECT_TRUE(evalFormula(mkAcyclic(w.b), inst));
+        }
+        // acyclic[r] === irreflexive[^r].
+        EXPECT_EQ(evalFormula(mkAcyclic(w.a), inst),
+                  evalFormula(mkIrreflexive(mkClosure(w.a)), inst));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(AlgebraTest, EmptyUniverseishEdgeCases)
+{
+    // Universe of one atom: closure, iden, products degenerate sanely.
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    Instance inst(vocab, 1);
+    EXPECT_TRUE(evalFormula(mkAcyclic(r), inst));
+    inst.matrix(0).set(0, 0);
+    EXPECT_FALSE(evalFormula(mkAcyclic(r), inst));
+    EXPECT_FALSE(evalFormula(mkIrreflexive(r), inst));
+    EXPECT_TRUE(evalFormula(mkEqual(mkClosure(r), r), inst));
+    EXPECT_TRUE(evalFormula(mkOne(r), inst));
+}
+
+} // namespace
+} // namespace lts::rel

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the relational expression/formula AST and its concrete
+ * evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rel/eval.hh"
+
+namespace lts::rel
+{
+namespace
+{
+
+/** Fixture with a small vocabulary bound to hand-picked contents. */
+class EvalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        r = vocab.declare("r", 2);
+        s = vocab.declare("s", 2);
+        a = vocab.declare("a", 1);
+        b = vocab.declare("b", 1);
+        inst = Instance(vocab, n);
+
+        // r: 0->1, 1->2 ; s: 0->2, 2->2
+        inst.matrix(0).set(0, 1);
+        inst.matrix(0).set(1, 2);
+        inst.matrix(1).set(0, 2);
+        inst.matrix(1).set(2, 2);
+        // a = {0, 1}; b = {1, 3}
+        inst.set(2).set(0);
+        inst.set(2).set(1);
+        inst.set(3).set(1);
+        inst.set(3).set(3);
+    }
+
+    static constexpr size_t n = 4;
+    Vocabulary vocab;
+    ExprPtr r, s, a, b;
+    Instance inst;
+};
+
+TEST_F(EvalTest, VarLookup)
+{
+    EXPECT_TRUE(evalMatrix(r, inst).test(0, 1));
+    EXPECT_FALSE(evalMatrix(r, inst).test(1, 0));
+    EXPECT_TRUE(evalSet(a, inst).test(0));
+    EXPECT_FALSE(evalSet(a, inst).test(3));
+}
+
+TEST_F(EvalTest, UnionIntersectDiff)
+{
+    auto u = evalMatrix(r + s, inst);
+    EXPECT_EQ(u.count(), 4u);
+    auto i = evalMatrix(r & s, inst);
+    EXPECT_EQ(i.count(), 0u);
+    auto d = evalMatrix((r + s) - s, inst);
+    EXPECT_EQ(d, evalMatrix(r, inst));
+
+    auto su = evalSet(a + b, inst);
+    EXPECT_EQ(su.count(), 3u);
+    auto si = evalSet(a & b, inst);
+    EXPECT_EQ(si.count(), 1u);
+    EXPECT_TRUE(si.test(1));
+}
+
+TEST_F(EvalTest, JoinComposition)
+{
+    // r.r relates 0->2 only.
+    auto rr = evalMatrix(r / r, inst);
+    EXPECT_EQ(rr.count(), 1u);
+    EXPECT_TRUE(rr.test(0, 2));
+}
+
+TEST_F(EvalTest, JoinSetRelIsImage)
+{
+    // a.r = image of {0,1} under r = {1,2}.
+    auto img = evalSet(a / r, inst);
+    EXPECT_EQ(img.count(), 2u);
+    EXPECT_TRUE(img.test(1));
+    EXPECT_TRUE(img.test(2));
+}
+
+TEST_F(EvalTest, JoinRelSetIsPreimage)
+{
+    // r.b = atoms whose r-successor is in {1,3} = {0}.
+    auto pre = evalSet(r / b, inst);
+    EXPECT_EQ(pre.count(), 1u);
+    EXPECT_TRUE(pre.test(0));
+}
+
+TEST_F(EvalTest, TransposeAndClosure)
+{
+    auto t = evalMatrix(mkTranspose(r), inst);
+    EXPECT_TRUE(t.test(1, 0));
+    EXPECT_TRUE(t.test(2, 1));
+
+    auto c = evalMatrix(mkClosure(r), inst);
+    EXPECT_TRUE(c.test(0, 2));
+    EXPECT_EQ(c.count(), 3u);
+
+    auto rc = evalMatrix(mkRClosure(r), inst);
+    EXPECT_EQ(rc.count(), 3u + n);
+}
+
+TEST_F(EvalTest, ProductAndRestriction)
+{
+    auto p = evalMatrix(mkProduct(a, b), inst);
+    EXPECT_EQ(p.count(), 4u); // {0,1} x {1,3}
+    EXPECT_TRUE(p.test(0, 3));
+
+    auto dom = evalMatrix(mkDomRestrict(a, r), inst);
+    EXPECT_EQ(dom.count(), 2u); // both r edges start in {0,1}
+
+    auto ran = evalMatrix(mkRanRestrict(r, b), inst);
+    EXPECT_EQ(ran.count(), 1u); // only 0->1 ends in {1,3}
+    EXPECT_TRUE(ran.test(0, 1));
+}
+
+TEST_F(EvalTest, IdenUnivNone)
+{
+    EXPECT_EQ(evalMatrix(mkIden(), inst).count(), n);
+    EXPECT_EQ(evalSet(mkUniv(), inst).count(), n);
+    EXPECT_EQ(evalSet(mkNone(1), inst).count(), 0u);
+    EXPECT_EQ(evalMatrix(mkNone(2), inst).count(), 0u);
+}
+
+TEST_F(EvalTest, ConstExpr)
+{
+    Bitset cs(n);
+    cs.set(2);
+    EXPECT_TRUE(evalSet(mkConst(cs), inst).test(2));
+
+    BitMatrix cm(n);
+    cm.set(3, 0);
+    EXPECT_TRUE(evalMatrix(mkConst(cm), inst).test(3, 0));
+}
+
+TEST_F(EvalTest, SubsetEqualFormulas)
+{
+    EXPECT_TRUE(evalFormula(mkSubset(r, r + s), inst));
+    EXPECT_FALSE(evalFormula(mkSubset(r + s, r), inst));
+    EXPECT_TRUE(evalFormula(mkEqual(r, r), inst));
+    EXPECT_FALSE(evalFormula(mkEqual(r, s), inst));
+    EXPECT_TRUE(evalFormula(mkSubset(a & b, a), inst));
+}
+
+TEST_F(EvalTest, MultiplicityFormulas)
+{
+    EXPECT_TRUE(evalFormula(mkSome(r), inst));
+    EXPECT_FALSE(evalFormula(mkNo(r), inst));
+    EXPECT_TRUE(evalFormula(mkNo(r & s), inst));
+    EXPECT_TRUE(evalFormula(mkLone(r & s), inst));
+    EXPECT_TRUE(evalFormula(mkLone(r / r), inst));
+    EXPECT_TRUE(evalFormula(mkOne(r / r), inst));
+    EXPECT_FALSE(evalFormula(mkOne(r), inst));
+}
+
+TEST_F(EvalTest, AcyclicIrreflexive)
+{
+    EXPECT_TRUE(evalFormula(mkAcyclic(r), inst));
+    EXPECT_FALSE(evalFormula(mkAcyclic(s), inst)); // s has 2->2
+    EXPECT_FALSE(evalFormula(mkIrreflexive(s), inst));
+    EXPECT_TRUE(evalFormula(mkIrreflexive(r), inst));
+}
+
+TEST_F(EvalTest, TotalOrderFormula)
+{
+    // Build a strict total order 0<1<2<3 and check Total holds on univ.
+    Vocabulary v2;
+    ExprPtr lt = v2.declare("lt", 2);
+    Instance i2(v2, 4);
+    for (size_t i = 0; i < 4; i++) {
+        for (size_t j = i + 1; j < 4; j++)
+            i2.matrix(0).set(i, j);
+    }
+    EXPECT_TRUE(evalFormula(mkTotal(lt, mkUniv()), i2));
+
+    // Remove one pair: no longer total.
+    i2.matrix(0).set(0, 3, false);
+    EXPECT_FALSE(evalFormula(mkTotal(lt, mkUniv()), i2));
+}
+
+TEST_F(EvalTest, TotalOrderConfinedToSet)
+{
+    Vocabulary v2;
+    ExprPtr lt = v2.declare("lt", 2);
+    ExprPtr set = v2.declare("set", 1);
+    Instance i2(v2, 4);
+    // Order only {1, 2}: 1<2, and membership {1,2}.
+    i2.matrix(0).set(1, 2);
+    i2.set(1).set(1);
+    i2.set(1).set(2);
+    EXPECT_TRUE(evalFormula(mkTotal(lt, set), i2));
+    // An edge out of the set breaks confinement.
+    i2.matrix(0).set(0, 1);
+    EXPECT_FALSE(evalFormula(mkTotal(lt, set), i2));
+}
+
+TEST_F(EvalTest, Connectives)
+{
+    auto t = mkTrue();
+    auto f = mkFalse();
+    EXPECT_TRUE(evalFormula(t && t, inst));
+    EXPECT_FALSE(evalFormula(t && f, inst));
+    EXPECT_TRUE(evalFormula(t || f, inst));
+    EXPECT_TRUE(evalFormula(!f, inst));
+    EXPECT_TRUE(evalFormula(mkImplies(f, f), inst));
+    EXPECT_FALSE(evalFormula(mkImplies(t, f), inst));
+    EXPECT_TRUE(evalFormula(mkIff(f, f), inst));
+    EXPECT_FALSE(evalFormula(mkIff(t, f), inst));
+}
+
+TEST_F(EvalTest, ArityChecksThrow)
+{
+    EXPECT_THROW(mkUnion(r, a), std::invalid_argument);
+    EXPECT_THROW(mkTranspose(a), std::invalid_argument);
+    EXPECT_THROW(mkProduct(r, a), std::invalid_argument);
+    EXPECT_THROW(mkJoin(a, b), std::invalid_argument);
+    EXPECT_THROW(mkAcyclic(a), std::invalid_argument);
+    EXPECT_THROW(mkSubset(a, r), std::invalid_argument);
+    EXPECT_THROW(mkDomRestrict(r, r), std::invalid_argument);
+}
+
+TEST_F(EvalTest, VocabularyLookupAndRedeclare)
+{
+    EXPECT_TRUE(vocab.contains("rf") == false);
+    EXPECT_EQ(vocab.find("r").arity, 2);
+    EXPECT_EQ(vocab.expr("a")->varId, 2);
+    EXPECT_THROW(vocab.find("zzz"), std::out_of_range);
+    Vocabulary v2;
+    v2.declare("x", 1);
+    EXPECT_THROW(v2.declare("x", 2), std::invalid_argument);
+}
+
+TEST_F(EvalTest, ToStringSmoke)
+{
+    auto e = mkDomRestrict(a, mkClosure(r + s));
+    EXPECT_EQ(e->toString(), "(a <: ^(r + s))");
+    auto f = mkAcyclic(r) && mkNo(s);
+    EXPECT_NE(f->toString().find("acyclic[r]"), std::string::npos);
+}
+
+// The "fr" construction used throughout the paper:
+//   fr = (Read <: address.~address :> Write) - ~rf.*~co
+// Exercised here on a tiny hand-built execution.
+TEST(PaperExprTest, FromReadsDefinition)
+{
+    Vocabulary vocab;
+    ExprPtr read = vocab.declare("Read", 1);
+    ExprPtr write = vocab.declare("Write", 1);
+    ExprPtr same_addr = vocab.declare("sameAddr", 2);
+    ExprPtr rf = vocab.declare("rf", 2);
+    ExprPtr co = vocab.declare("co", 2);
+
+    // Universe: w0 (init-like store), w1 (later store), r2 (read).
+    Instance inst(vocab, 3);
+    inst.set(1).set(0);
+    inst.set(1).set(1);
+    inst.set(0).set(2);
+    for (size_t i = 0; i < 3; i++) {
+        for (size_t j = 0; j < 3; j++)
+            inst.matrix(2).set(i, j); // all same address
+    }
+    inst.matrix(3).set(0, 2); // r2 reads from w0
+    inst.matrix(4).set(0, 1); // co: w0 -> w1
+
+    ExprPtr fr =
+        mkDiff(mkRanRestrict(mkDomRestrict(read, same_addr), write),
+               mkJoin(mkTranspose(rf), mkRClosure(mkTranspose(co))));
+    auto m = evalMatrix(fr, inst);
+    // r2 read w0 which is co-before w1, so fr relates r2 -> w1 only.
+    EXPECT_TRUE(m.test(2, 1));
+    EXPECT_FALSE(m.test(2, 0));
+    EXPECT_EQ(m.count(), 1u);
+}
+
+} // namespace
+} // namespace lts::rel

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the DIMACS reader/writer, including a round trip through the
+ * solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hh"
+#include "sat/solver.hh"
+
+namespace lts::sat
+{
+namespace
+{
+
+TEST(DimacsTest, ParseSimple)
+{
+    Cnf cnf = parseDimacsString("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(cnf.numVars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    ASSERT_EQ(cnf.clauses[0].size(), 2u);
+    EXPECT_EQ(cnf.clauses[0][0], Lit::pos(0));
+    EXPECT_EQ(cnf.clauses[0][1], Lit::neg(1));
+}
+
+TEST(DimacsTest, ParseMultiLineClause)
+{
+    Cnf cnf = parseDimacsString("p cnf 2 1\n1\n2 0\n");
+    ASSERT_EQ(cnf.clauses.size(), 1u);
+    EXPECT_EQ(cnf.clauses[0].size(), 2u);
+}
+
+TEST(DimacsTest, RejectsBadHeader)
+{
+    EXPECT_THROW(parseDimacsString("p sat 3 2\n1 0\n"), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsOutOfRangeLiteral)
+{
+    EXPECT_THROW(parseDimacsString("p cnf 2 1\n3 0\n"), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsUnterminatedClause)
+{
+    EXPECT_THROW(parseDimacsString("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsClauseCountMismatch)
+{
+    EXPECT_THROW(parseDimacsString("p cnf 2 2\n1 0\n"), std::runtime_error);
+}
+
+TEST(DimacsTest, WriteThenParseRoundTrips)
+{
+    Cnf cnf;
+    cnf.numVars = 4;
+    cnf.clauses.push_back({Lit::pos(0), Lit::neg(3)});
+    cnf.clauses.push_back({Lit::neg(1), Lit::pos(2), Lit::pos(3)});
+
+    std::ostringstream out;
+    writeDimacs(out, cnf);
+    Cnf parsed = parseDimacsString(out.str());
+    EXPECT_EQ(parsed.numVars, cnf.numVars);
+    ASSERT_EQ(parsed.clauses.size(), cnf.clauses.size());
+    for (size_t i = 0; i < cnf.clauses.size(); i++)
+        EXPECT_EQ(parsed.clauses[i], cnf.clauses[i]);
+}
+
+TEST(DimacsTest, SolveParsedFormula)
+{
+    // (a | b) & (~a | b) & (~b | c) forces b and c true.
+    Cnf cnf = parseDimacsString("p cnf 3 3\n1 2 0\n-1 2 0\n-2 3 0\n");
+    Solver s;
+    for (int i = 0; i < cnf.numVars; i++)
+        s.newVar();
+    for (const auto &clause : cnf.clauses)
+        ASSERT_TRUE(s.addClause(clause));
+    ASSERT_TRUE(s.solve());
+    EXPECT_TRUE(s.modelValue(Var(1)));
+    EXPECT_TRUE(s.modelValue(Var(2)));
+}
+
+} // namespace
+} // namespace lts::sat

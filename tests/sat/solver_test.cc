@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT solver.
+ *
+ * Besides hand-built formulas, a reference brute-force evaluator checks
+ * the solver against exhaustive enumeration on randomly generated small
+ * CNFs: SAT/UNSAT answers must agree, and every returned model must
+ * actually satisfy the formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace lts::sat
+{
+namespace
+{
+
+/** Evaluate @p cnf under assignment bits of @p assignment. */
+bool
+evaluate(const std::vector<Clause> &cnf, uint32_t assignment)
+{
+    for (const auto &clause : cnf) {
+        bool sat = false;
+        for (Lit l : clause) {
+            bool v = (assignment >> l.var()) & 1;
+            if (l.sign() ? !v : v) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+/** Brute-force satisfiability over @p num_vars variables. */
+bool
+bruteForceSat(const std::vector<Clause> &cnf, int num_vars)
+{
+    for (uint32_t a = 0; a < (uint32_t(1) << num_vars); a++) {
+        if (evaluate(cnf, a))
+            return true;
+    }
+    return false;
+}
+
+TEST(SolverTest, EmptyFormulaIsSat)
+{
+    Solver s;
+    EXPECT_TRUE(s.solve());
+}
+
+TEST(SolverTest, SingleUnit)
+{
+    Solver s;
+    Var a = s.newVar();
+    ASSERT_TRUE(s.addClause({Lit::pos(a)}));
+    ASSERT_TRUE(s.solve());
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(SolverTest, ContradictoryUnitsAreUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause({Lit::pos(a)}));
+    EXPECT_FALSE(s.addClause({Lit::neg(a)}));
+    EXPECT_FALSE(s.solve());
+    EXPECT_TRUE(s.inConflict());
+}
+
+TEST(SolverTest, TautologicalClauseIgnored)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause({Lit::pos(a), Lit::neg(a)}));
+    EXPECT_EQ(s.numClauses(), 0);
+    EXPECT_TRUE(s.solve());
+}
+
+TEST(SolverTest, DuplicateLiteralsDeduped)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    EXPECT_TRUE(s.addClause({Lit::pos(a), Lit::pos(a), Lit::pos(b)}));
+    EXPECT_TRUE(s.solve());
+}
+
+TEST(SolverTest, ImplicationChainPropagates)
+{
+    Solver s;
+    std::vector<Var> v;
+    for (int i = 0; i < 20; i++)
+        v.push_back(s.newVar());
+    for (int i = 0; i + 1 < 20; i++)
+        ASSERT_TRUE(s.addClause({Lit::neg(v[i]), Lit::pos(v[i + 1])}));
+    ASSERT_TRUE(s.addClause({Lit::pos(v[0])}));
+    ASSERT_TRUE(s.solve());
+    for (int i = 0; i < 20; i++)
+        EXPECT_TRUE(s.modelValue(v[i])) << "var " << i;
+}
+
+TEST(SolverTest, XorChainSat)
+{
+    // x0 xor x1 xor ... == 1, expressed clause-wise pairwise.
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    Var c = s.newVar();
+    // a xor b = c
+    ASSERT_TRUE(s.addClause({Lit::neg(a), Lit::neg(b), Lit::neg(c)}));
+    ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b), Lit::neg(c)}));
+    ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::neg(b), Lit::pos(c)}));
+    ASSERT_TRUE(s.addClause({Lit::neg(a), Lit::pos(b), Lit::pos(c)}));
+    ASSERT_TRUE(s.addClause({Lit::pos(c)}));
+    ASSERT_TRUE(s.solve());
+    EXPECT_EQ(s.modelValue(a) != s.modelValue(b), s.modelValue(c));
+}
+
+/** Encode the pigeonhole principle PHP(n+1, n): unsatisfiable. */
+void
+addPigeonhole(Solver &s, int holes)
+{
+    int pigeons = holes + 1;
+    std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++) {
+        for (int h = 0; h < holes; h++)
+            at[p][h] = s.newVar();
+    }
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(Lit::pos(at[p][h]));
+        ASSERT_TRUE(s.addClause(c));
+    }
+    for (int h = 0; h < holes; h++) {
+        for (int p1 = 0; p1 < pigeons; p1++) {
+            for (int p2 = p1 + 1; p2 < pigeons; p2++) {
+                s.addClause({Lit::neg(at[p1][h]), Lit::neg(at[p2][h])});
+            }
+        }
+    }
+}
+
+TEST(SolverTest, PigeonholeUnsat)
+{
+    for (int holes = 2; holes <= 6; holes++) {
+        Solver s;
+        addPigeonhole(s, holes);
+        EXPECT_FALSE(s.solve()) << "PHP with " << holes << " holes";
+    }
+}
+
+TEST(SolverTest, PigeonholeExactFitSat)
+{
+    // n pigeons in n holes is satisfiable.
+    int n = 5;
+    Solver s;
+    std::vector<std::vector<Var>> at(n, std::vector<Var>(n));
+    for (int p = 0; p < n; p++) {
+        for (int h = 0; h < n; h++)
+            at[p][h] = s.newVar();
+    }
+    for (int p = 0; p < n; p++) {
+        Clause c;
+        for (int h = 0; h < n; h++)
+            c.push_back(Lit::pos(at[p][h]));
+        ASSERT_TRUE(s.addClause(c));
+    }
+    for (int h = 0; h < n; h++) {
+        for (int p1 = 0; p1 < n; p1++) {
+            for (int p2 = p1 + 1; p2 < n; p2++)
+                s.addClause({Lit::neg(at[p1][h]), Lit::neg(at[p2][h])});
+        }
+    }
+    EXPECT_TRUE(s.solve());
+}
+
+TEST(SolverTest, AssumptionsRestrictAndRelease)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b)}));
+
+    EXPECT_TRUE(s.solve({Lit::neg(a)}));
+    EXPECT_TRUE(s.modelValue(b));
+
+    EXPECT_TRUE(s.solve({Lit::neg(b)}));
+    EXPECT_TRUE(s.modelValue(a));
+
+    EXPECT_FALSE(s.solve({Lit::neg(a), Lit::neg(b)}));
+    // The solver is still usable and satisfiable without assumptions.
+    EXPECT_TRUE(s.solve());
+}
+
+TEST(SolverTest, ConflictAssumptionsReported)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({Lit::pos(a)}));
+    (void)b;
+    ASSERT_FALSE(s.solve({Lit::neg(a)}));
+    const auto &confl = s.conflictAssumptions();
+    ASSERT_FALSE(confl.empty());
+    EXPECT_TRUE(std::find(confl.begin(), confl.end(), Lit::pos(a)) !=
+                confl.end());
+}
+
+TEST(SolverTest, IncrementalBlockingEnumeratesAllModels)
+{
+    // 3 free variables -> 8 models; block each model as found.
+    Solver s;
+    std::vector<Var> vars = {s.newVar(), s.newVar(), s.newVar()};
+    int models = 0;
+    while (s.solve()) {
+        models++;
+        ASSERT_LE(models, 8);
+        Clause blocking;
+        for (Var v : vars)
+            blocking.push_back(Lit(v, s.modelValue(v)));
+        if (!s.addClause(blocking))
+            break;
+    }
+    EXPECT_EQ(models, 8);
+}
+
+TEST(SolverTest, RandomCnfAgainstBruteForce)
+{
+    std::mt19937 rng(12345);
+    int sat_count = 0;
+    int unsat_count = 0;
+    for (int iter = 0; iter < 300; iter++) {
+        int num_vars = 4 + static_cast<int>(rng() % 6);   // 4..9
+        int num_clauses = 5 + static_cast<int>(rng() % 36); // 5..40
+        std::vector<Clause> cnf;
+        for (int c = 0; c < num_clauses; c++) {
+            int len = 1 + static_cast<int>(rng() % 3);
+            Clause clause;
+            for (int l = 0; l < len; l++) {
+                Var v = static_cast<Var>(rng() % num_vars);
+                clause.push_back(Lit(v, rng() & 1));
+            }
+            cnf.push_back(clause);
+        }
+
+        Solver s;
+        for (int v = 0; v < num_vars; v++)
+            s.newVar();
+        bool trivially_unsat = false;
+        for (const auto &clause : cnf) {
+            if (!s.addClause(clause)) {
+                trivially_unsat = true;
+                break;
+            }
+        }
+        bool got = !trivially_unsat && s.solve();
+        bool want = bruteForceSat(cnf, num_vars);
+        ASSERT_EQ(got, want) << "iteration " << iter;
+        if (got) {
+            sat_count++;
+            uint32_t assignment = 0;
+            for (int v = 0; v < num_vars; v++) {
+                if (s.modelValue(static_cast<Var>(v)))
+                    assignment |= uint32_t(1) << v;
+            }
+            ASSERT_TRUE(evaluate(cnf, assignment))
+                << "solver returned a non-model on iteration " << iter;
+        } else {
+            unsat_count++;
+        }
+    }
+    // The distribution should include both kinds, or the test is too weak.
+    EXPECT_GT(sat_count, 20);
+    EXPECT_GT(unsat_count, 20);
+}
+
+TEST(SolverTest, RandomCnfUnderAssumptionsAgainstBruteForce)
+{
+    std::mt19937 rng(999);
+    for (int iter = 0; iter < 150; iter++) {
+        int num_vars = 5 + static_cast<int>(rng() % 4);
+        int num_clauses = 8 + static_cast<int>(rng() % 25);
+        std::vector<Clause> cnf;
+        for (int c = 0; c < num_clauses; c++) {
+            int len = 2 + static_cast<int>(rng() % 2);
+            Clause clause;
+            for (int l = 0; l < len; l++)
+                clause.push_back(Lit(static_cast<Var>(rng() % num_vars),
+                                     rng() & 1));
+            cnf.push_back(clause);
+        }
+        std::vector<Lit> assumptions;
+        int num_assumps = static_cast<int>(rng() % 3);
+        for (int a = 0; a < num_assumps; a++)
+            assumptions.push_back(
+                Lit(static_cast<Var>(rng() % num_vars), rng() & 1));
+
+        Solver s;
+        for (int v = 0; v < num_vars; v++)
+            s.newVar();
+        bool trivially_unsat = false;
+        for (const auto &clause : cnf) {
+            if (!s.addClause(clause))
+                trivially_unsat = true;
+        }
+
+        std::vector<Clause> cnf_with_assumps = cnf;
+        for (Lit a : assumptions)
+            cnf_with_assumps.push_back({a});
+        bool want = bruteForceSat(cnf_with_assumps, num_vars);
+        bool got = !trivially_unsat ? s.solve(assumptions) : false;
+        if (trivially_unsat)
+            ASSERT_FALSE(bruteForceSat(cnf, num_vars));
+        else
+            ASSERT_EQ(got, want) << "iteration " << iter;
+    }
+}
+
+TEST(SolverTest, ReusableAfterUnsatAssumptions)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b)}));
+    ASSERT_FALSE(s.solve({Lit::neg(a), Lit::neg(b)}));
+    ASSERT_TRUE(s.solve({Lit::pos(a)}));
+    ASSERT_TRUE(s.addClause({Lit::neg(a)}));
+    ASSERT_TRUE(s.solve());
+    EXPECT_TRUE(s.modelValue(b));
+    EXPECT_FALSE(s.modelValue(a));
+}
+
+TEST(SolverTest, StatsAreTracked)
+{
+    Solver s;
+    addPigeonhole(s, 5);
+    ASSERT_FALSE(s.solve());
+    EXPECT_GT(s.stats().conflicts, 0u);
+    EXPECT_GT(s.stats().propagations, 0u);
+    EXPECT_GT(s.stats().decisions, 0u);
+}
+
+TEST(SolverTest, ConflictBudgetStopsSearch)
+{
+    Solver s;
+    addPigeonhole(s, 9); // hard enough to take > 5 conflicts
+    s.setConflictBudget(5);
+    EXPECT_FALSE(s.solve());
+    EXPECT_TRUE(s.budgetExhausted());
+    s.setConflictBudget(0);
+    EXPECT_FALSE(s.solve());
+    EXPECT_FALSE(s.budgetExhausted());
+}
+
+TEST(LitTest, EncodingRoundTrips)
+{
+    Lit p = Lit::pos(7);
+    EXPECT_EQ(p.var(), 7);
+    EXPECT_FALSE(p.sign());
+    Lit n = ~p;
+    EXPECT_EQ(n.var(), 7);
+    EXPECT_TRUE(n.sign());
+    EXPECT_EQ(~n, p);
+    EXPECT_EQ(Lit::fromCode(p.index()), p);
+    EXPECT_EQ(p.toString(), "x7");
+    EXPECT_EQ(n.toString(), "~x7");
+    EXPECT_FALSE(Lit().valid());
+}
+
+} // namespace
+} // namespace lts::sat

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the randomized runner: soundness against the exhaustive
+ * explorer (it can only observe reachable outcomes), determinism by
+ * seed, and the stressor effect on relaxed-outcome frequency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace lts::sim
+{
+namespace
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::TestBuilder;
+
+LitmusTest
+sb()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.read(t1, "x");
+    return b.build("SB");
+}
+
+LitmusTest
+mp()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.write(t0, "y");
+    int t1 = b.newThread();
+    b.read(t1, "y");
+    b.read(t1, "x");
+    return b.build("MP");
+}
+
+TEST(RunnerTest, ObservedOutcomesAreReachable)
+{
+    for (const LitmusTest &t : {sb(), mp()}) {
+        auto exhaustive = tsoOutcomes(t);
+        RunnerOptions opt;
+        opt.schedules = 2000;
+        opt.seed = 42;
+        RunStats stats = runRandom(t, opt);
+        EXPECT_EQ(stats.runs, 2000u);
+        uint64_t total = 0;
+        for (const auto &[sig, count] : stats.histogram) {
+            EXPECT_TRUE(exhaustive.count(sig)) << t.name;
+            total += count;
+        }
+        EXPECT_EQ(total, stats.runs);
+    }
+}
+
+TEST(RunnerTest, EnoughSchedulesCoverEverything)
+{
+    // Small tests: 5000 random schedules should reach the full set.
+    LitmusTest t = sb();
+    RunnerOptions opt;
+    opt.schedules = 5000;
+    opt.seed = 7;
+    RunStats stats = runRandom(t, opt);
+    EXPECT_EQ(stats.distinct(), tsoOutcomes(t).size());
+}
+
+TEST(RunnerTest, DeterministicBySeed)
+{
+    RunnerOptions opt;
+    opt.schedules = 500;
+    opt.seed = 99;
+    RunStats a = runRandom(sb(), opt);
+    RunStats b = runRandom(sb(), opt);
+    EXPECT_EQ(a.histogram, b.histogram);
+    opt.seed = 100;
+    RunStats c = runRandom(sb(), opt);
+    EXPECT_NE(a.histogram, c.histogram); // overwhelmingly likely
+}
+
+TEST(RunnerTest, ScMachineNeverShowsRelaxedOutcomes)
+{
+    LitmusTest t = sb();
+    RunnerOptions opt;
+    opt.schedules = 3000;
+    opt.tso = false;
+    RunStats stats = runRandom(t, opt);
+    auto sc_set = scOutcomes(t);
+    for (const auto &[sig, count] : stats.histogram)
+        EXPECT_TRUE(sc_set.count(sig));
+}
+
+TEST(RunnerTest, StressIncreasesRelaxedOutcomeFrequency)
+{
+    // SB's (0,0): both reads must execute before either buffer drains.
+    // The stressed scheduler starves drains, so the relaxed outcome
+    // becomes much more common — the stressor effect of Section 2.1.
+    LitmusTest t = sb();
+    Signature relaxed = {-1, 0, -1, 0, 1, 3}; // r(y)=0, r(x)=0, finals
+    RunnerOptions calm;
+    calm.schedules = 4000;
+    calm.seed = 11;
+    calm.stress = 0;
+    RunnerOptions stressed = calm;
+    stressed.stress = 95;
+
+    uint64_t calm_hits = runRandom(t, calm).count(relaxed);
+    uint64_t stressed_hits = runRandom(t, stressed).count(relaxed);
+    EXPECT_GT(stressed_hits, calm_hits * 2)
+        << "calm=" << calm_hits << " stressed=" << stressed_hits;
+}
+
+TEST(RunnerTest, RmwStallsStillTerminate)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int r = b.read(t0, "y");
+    int w = b.write(t0, "y");
+    b.pairRmw(r, w);
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    LitmusTest t = b.build("st+rmw");
+    RunnerOptions opt;
+    opt.schedules = 500;
+    RunStats stats = runRandom(t, opt);
+    EXPECT_EQ(stats.runs, 500u);
+    for (const auto &[sig, count] : stats.histogram)
+        EXPECT_TRUE(tsoOutcomes(t).count(sig));
+}
+
+TEST(RunnerTest, DependenciesRejected)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "y");
+    b.dataDepend(r, w);
+    LitmusTest t = b.build("dep");
+    EXPECT_THROW(runRandom(t, RunnerOptions{}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lts::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cross-cutting catalog checks: every baseline-suite entry round-trips
+ * through the interchange format, converts to a well-formed instance of
+ * its model, and (for the Owens suite) agrees with the store-buffer
+ * machine on the observability of its declared outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/canon.hh"
+#include "litmus/format.hh"
+#include "mm/convert.hh"
+#include "mm/registry.hh"
+#include "rel/eval.hh"
+#include "sim/opsim.hh"
+#include "suites/cambridge.hh"
+#include "suites/owens.hh"
+
+namespace lts::suites
+{
+namespace
+{
+
+TEST(CatalogRoundTripTest, OwensThroughFormat)
+{
+    for (const auto &e : owensSuite()) {
+        litmus::LitmusTest back =
+            litmus::parseLitmus(litmus::writeLitmus(e.test));
+        EXPECT_EQ(litmus::fullSerialize(back),
+                  litmus::fullSerialize(e.test))
+            << e.test.name;
+        EXPECT_EQ(back.name, e.test.name);
+    }
+}
+
+TEST(CatalogRoundTripTest, CambridgeThroughFormat)
+{
+    for (const auto &e : cambridgeSuite()) {
+        litmus::LitmusTest back =
+            litmus::parseLitmus(litmus::writeLitmus(e.test));
+        EXPECT_EQ(litmus::fullSerialize(back),
+                  litmus::fullSerialize(e.test))
+            << e.test.name;
+    }
+}
+
+TEST(CatalogRoundTripTest, OwensInstancesAreWellFormedUnderTso)
+{
+    auto tso = mm::makeModel("tso");
+    for (const auto &e : owensSuite()) {
+        rel::Instance inst = mm::toInstance(*tso, e.test, e.test.forbidden);
+        EXPECT_TRUE(rel::evalFormula(tso->wellFormed(e.test.size()), inst))
+            << e.test.name;
+    }
+}
+
+TEST(CatalogRoundTripTest, CambridgeInstancesAreWellFormedUnderPower)
+{
+    auto power = mm::makeModel("power");
+    for (const auto &e : cambridgeSuite()) {
+        rel::Instance inst =
+            mm::toInstance(*power, e.test, e.test.forbidden);
+        EXPECT_TRUE(
+            rel::evalFormula(power->wellFormed(e.test.size()), inst))
+            << e.test.name;
+    }
+}
+
+TEST(CatalogRoundTripTest, OwensOutcomesMatchStoreBufferMachine)
+{
+    // The machine observes an entry's outcome iff the entry is one of
+    // the documented ALLOWED tests.
+    for (const auto &e : owensSuite()) {
+        auto sig = sim::observableSignature(e.test, e.test.forbidden);
+        bool observed = sim::tsoOutcomes(e.test).count(sig) > 0;
+        EXPECT_EQ(observed, !e.expectForbidden) << e.test.name;
+    }
+}
+
+TEST(CatalogRoundTripTest, CanonicalFormsAreDistinct)
+{
+    // No two catalog entries collapse to the same canonical test (each
+    // entry earns its place in the suite).
+    std::set<std::string> keys;
+    for (const auto &e : owensSuite()) {
+        std::string key = litmus::staticSerialize(
+            litmus::canonicalize(e.test, litmus::CanonMode::Exact));
+        EXPECT_TRUE(keys.insert(key).second)
+            << "duplicate canonical form: " << e.test.name;
+    }
+    keys.clear();
+    for (const auto &e : cambridgeSuite()) {
+        std::string key = litmus::staticSerialize(
+            litmus::canonicalize(e.test, litmus::CanonMode::Exact));
+        EXPECT_TRUE(keys.insert(key).second)
+            << "duplicate canonical form: " << e.test.name;
+    }
+}
+
+} // namespace
+} // namespace lts::suites

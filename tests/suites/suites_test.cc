@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Baseline-suite tests: the Owens and Cambridge catalogs are structurally
+ * valid, their legality expectations hold under the corresponding
+ * axiomatic models, and the minimality split matches Table 4 / §6.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mm/registry.hh"
+#include "suites/cambridge.hh"
+#include "suites/owens.hh"
+#include "synth/executor.hh"
+#include "synth/minimality.hh"
+
+namespace lts::suites
+{
+namespace
+{
+
+TEST(OwensSuiteTest, HasTwentyFourTestsFifteenForbidden)
+{
+    auto suite = owensSuite();
+    EXPECT_EQ(suite.size(), 24u);
+    EXPECT_EQ(owensForbidden().size(), 15u);
+}
+
+TEST(OwensSuiteTest, AllTestsValidateAndHaveOutcomes)
+{
+    std::set<std::string> names;
+    for (const auto &e : owensSuite()) {
+        EXPECT_EQ(e.test.validate(), "") << e.test.name;
+        EXPECT_TRUE(e.test.hasForbidden) << e.test.name;
+        EXPECT_TRUE(names.insert(e.test.name).second)
+            << "duplicate name " << e.test.name;
+    }
+}
+
+TEST(OwensSuiteTest, LegalityMatchesExpectations)
+{
+    auto tso = mm::makeModel("tso");
+    for (const auto &e : owensSuite()) {
+        bool legal = synth::isLegal(*tso, e.test, e.test.forbidden);
+        EXPECT_EQ(legal, !e.expectForbidden) << e.test.name;
+    }
+}
+
+TEST(OwensSuiteTest, MinimalitySplitMatchesTable4)
+{
+    // Per Table 4: the "Owens only" tests are non-minimal; the "Both"
+    // tests are minimal for some TSO axiom.
+    auto tso = mm::makeModel("tso");
+    std::set<std::string> expect_minimal = {
+        "MP", "LB", "S", "2+2W", "amd5/SB+mfences", "amd6/IRIW",
+        "n4/R+mfence", "iwp2.8.a/WRC", "RWC+mfence",
+    };
+    std::set<std::string> expect_not_minimal = {
+        "n5/CoLB", "iwp2.8.b", "iwp2.6/CoIRIW", "amd10", "iwp2.7/amd7",
+        "n3",
+    };
+    for (const auto &e : owensSuite()) {
+        if (!e.expectForbidden)
+            continue;
+        bool minimal = !synth::minimalAxioms(*tso, e.test).empty();
+        if (expect_minimal.count(e.test.name))
+            EXPECT_TRUE(minimal) << e.test.name;
+        else if (expect_not_minimal.count(e.test.name))
+            EXPECT_FALSE(minimal) << e.test.name;
+        else
+            ADD_FAILURE() << "unclassified test " << e.test.name;
+    }
+}
+
+TEST(OwensSuiteTest, SizesMatchTable4Rows)
+{
+    std::map<std::string, size_t> sizes;
+    for (const auto &e : owensSuite())
+        sizes[e.test.name] = e.test.size();
+    EXPECT_EQ(sizes["MP"], 4u);
+    EXPECT_EQ(sizes["LB"], 4u);
+    EXPECT_EQ(sizes["S"], 4u);
+    EXPECT_EQ(sizes["2+2W"], 4u);
+    EXPECT_EQ(sizes["n5/CoLB"], 4u);
+    EXPECT_EQ(sizes["iwp2.8.b"], 5u);
+    EXPECT_EQ(sizes["iwp2.6/CoIRIW"], 6u);
+    EXPECT_EQ(sizes["amd5/SB+mfences"], 6u);
+    EXPECT_EQ(sizes["amd6/IRIW"], 6u);
+    EXPECT_EQ(sizes["amd10"], 8u);
+    EXPECT_EQ(sizes["iwp2.7/amd7"], 8u);
+    EXPECT_EQ(sizes["n3"], 9u);
+}
+
+TEST(CambridgeSuiteTest, AllTestsValidate)
+{
+    for (const auto &e : cambridgeSuite()) {
+        EXPECT_EQ(e.test.validate(), "") << e.test.name;
+        EXPECT_TRUE(e.test.hasForbidden) << e.test.name;
+    }
+    EXPECT_GE(cambridgeForbidden().size(), 10u);
+}
+
+TEST(CambridgeSuiteTest, LegalityMatchesExpectationsUnderPower)
+{
+    auto power = mm::makeModel("power");
+    for (const auto &e : cambridgeSuite()) {
+        bool legal = synth::isLegal(*power, e.test, e.test.forbidden);
+        EXPECT_EQ(legal, !e.expectForbidden) << e.test.name;
+    }
+}
+
+TEST(CambridgeSuiteTest, PpoaaSyncVariantIsNotMinimalButLwsyncIs)
+{
+    // The Section 6.2 PPOAA claim.
+    auto power = mm::makeModel("power");
+    const litmus::LitmusTest *ppoaa = nullptr;
+    const litmus::LitmusTest *ppoaa_lwsync = nullptr;
+    auto suite = cambridgeSuite();
+    for (const auto &e : suite) {
+        if (e.test.name == "PPOAA")
+            ppoaa = &e.test;
+        if (e.test.name == "PPOAA+lwsync")
+            ppoaa_lwsync = &e.test;
+    }
+    ASSERT_NE(ppoaa, nullptr);
+    ASSERT_NE(ppoaa_lwsync, nullptr);
+    EXPECT_TRUE(synth::minimalAxioms(*power, *ppoaa).empty());
+    EXPECT_FALSE(synth::minimalAxioms(*power, *ppoaa_lwsync).empty());
+}
+
+TEST(CambridgeSuiteTest, AddrVersusDataStrength)
+{
+    // lb+addrs+ww (Section 6.2): the addr flavor is forbidden, the data
+    // flavor allowed, because cc0 includes addr;po but not data;po.
+    auto power = mm::makeModel("power");
+    const CatalogEntry *addr = nullptr;
+    const CatalogEntry *data = nullptr;
+    auto suite = cambridgeSuite();
+    for (const auto &e : suite) {
+        if (e.test.name == "LB+addr+po+ww")
+            addr = &e;
+        if (e.test.name == "LB+data+po+ww")
+            data = &e;
+    }
+    ASSERT_NE(addr, nullptr);
+    ASSERT_NE(data, nullptr);
+    EXPECT_FALSE(synth::isLegal(*power, addr->test, addr->test.forbidden));
+    EXPECT_TRUE(synth::isLegal(*power, data->test, data->test.forbidden));
+}
+
+TEST(CambridgeSuiteTest, SyncRestoresIriwButLwsyncDoesNot)
+{
+    auto power = mm::makeModel("power");
+    bool saw_sync = false, saw_lwsync = false;
+    for (const auto &e : cambridgeSuite()) {
+        if (e.test.name == "IRIW+syncs") {
+            saw_sync = true;
+            EXPECT_TRUE(e.expectForbidden);
+        }
+        if (e.test.name == "IRIW+lwsyncs") {
+            saw_lwsync = true;
+            EXPECT_FALSE(e.expectForbidden);
+        }
+    }
+    EXPECT_TRUE(saw_sync);
+    EXPECT_TRUE(saw_lwsync);
+}
+
+} // namespace
+} // namespace lts::suites

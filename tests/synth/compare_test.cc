@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Subsumption (subtest) analysis tests — the machinery behind Table 4
+ * and Figure 10.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/compare.hh"
+
+namespace lts::synth
+{
+namespace
+{
+
+using litmus::LitmusTest;
+using litmus::MemOrder;
+using litmus::TestBuilder;
+
+LitmusTest
+corw()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int ld = b.read(t0, "x");
+    int st1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int st2 = b.write(t1, "x");
+    b.readsFrom(st2, ld);
+    b.coOrder(st1, st2);
+    return b.build("CoRW");
+}
+
+LitmusTest
+n5()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w1 = b.write(t0, "x");
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "x");
+    int w2 = b.write(t1, "x");
+    b.readsFrom(w2, r0);
+    b.readsFrom(w1, r1);
+    b.coOrder(w1, w2);
+    return b.build("n5/CoLB");
+}
+
+LitmusTest
+mp(bool with_fence)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y");
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y");
+    if (with_fence)
+        b.fence(t1, MemOrder::Plain);
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build(with_fence ? "MP+fence" : "MP");
+}
+
+TEST(SubtestTest, Figure10N5ContainsCoRW)
+{
+    EXPECT_TRUE(isSubtest(corw(), n5()));
+    EXPECT_FALSE(isSubtest(n5(), corw()));
+}
+
+TEST(SubtestTest, EveryTestContainsItself)
+{
+    EXPECT_TRUE(isSubtest(corw(), corw()));
+    EXPECT_TRUE(isSubtest(mp(false), mp(false)));
+}
+
+TEST(SubtestTest, MpPlusFenceContainsMp)
+{
+    EXPECT_TRUE(isSubtest(mp(false), mp(true)));
+    EXPECT_FALSE(isSubtest(mp(true), mp(false)));
+}
+
+TEST(SubtestTest, LocationStructureMustMatch)
+{
+    // Two reads of one location do not embed into reads of two
+    // different locations.
+    TestBuilder a;
+    int t0 = a.newThread();
+    a.read(t0, "x");
+    a.read(t0, "x");
+    LitmusTest same = a.build("rr-same");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.read(u0, "x");
+    bb.read(u0, "y");
+    LitmusTest diff = bb.build("rr-diff");
+
+    EXPECT_FALSE(isSubtest(same, diff));
+    EXPECT_FALSE(isSubtest(diff, same));
+}
+
+TEST(SubtestTest, OrderMattersWithinThread)
+{
+    TestBuilder a;
+    int t0 = a.newThread();
+    a.read(t0, "x");
+    a.write(t0, "y");
+    LitmusTest rw = a.build("rw");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.write(u0, "y");
+    bb.read(u0, "x");
+    LitmusTest wr = bb.build("wr");
+
+    EXPECT_FALSE(isSubtest(rw, wr));
+}
+
+TEST(SubtestTest, StrongerAnnotationsSubsumeWeaker)
+{
+    // A release write embeds a plain write requirement, not vice versa.
+    TestBuilder a;
+    int t0 = a.newThread();
+    a.write(t0, "x");
+    LitmusTest plain = a.build("w");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.write(u0, "x", MemOrder::Release);
+    LitmusTest rel = bb.build("w-rel");
+
+    EXPECT_TRUE(isSubtest(plain, rel));
+    EXPECT_FALSE(isSubtest(rel, plain));
+}
+
+TEST(SubtestTest, DependenciesMustBePresentInSuper)
+{
+    TestBuilder a;
+    int t0 = a.newThread();
+    int r = a.read(t0, "x");
+    int w = a.write(t0, "y");
+    a.dataDepend(r, w);
+    LitmusTest with_dep = a.build("dep");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.read(u0, "x");
+    bb.write(u0, "y");
+    LitmusTest without = bb.build("nodep");
+
+    EXPECT_FALSE(isSubtest(with_dep, without));
+    EXPECT_TRUE(isSubtest(without, with_dep)); // super may be stronger
+}
+
+TEST(SubtestTest, ThreadMappingIsInjective)
+{
+    // Two single-write threads cannot both map onto one super thread.
+    TestBuilder a;
+    int t0 = a.newThread();
+    a.write(t0, "x");
+    int t1 = a.newThread();
+    a.write(t1, "x");
+    LitmusTest two = a.build("two-threads");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.write(u0, "x");
+    bb.write(u0, "x");
+    LitmusTest one = bb.build("one-thread");
+
+    EXPECT_FALSE(isSubtest(two, one));
+}
+
+TEST(SubtestTest, CrossThreadEmbeddingFindsPermutation)
+{
+    // The sub's threads appear in the super in the opposite order.
+    TestBuilder a;
+    int t0 = a.newThread();
+    a.write(t0, "x");
+    int t1 = a.newThread();
+    a.read(t1, "x");
+    LitmusTest sub = a.build("wr-2t");
+
+    TestBuilder bb;
+    int u0 = bb.newThread();
+    bb.read(u0, "y");
+    bb.read(u0, "x"); // extra event
+    int u1 = bb.newThread();
+    bb.write(u1, "y");
+    LitmusTest super = bb.build("super");
+    // sub's write->read on one location maps to super's y accesses with
+    // threads swapped.
+    EXPECT_TRUE(isSubtest(sub, super));
+}
+
+TEST(CompareSuitesTest, ClassifiesInSuiteAndSubsumed)
+{
+    std::vector<LitmusTest> suite = {corw(), mp(false)};
+    std::vector<LitmusTest> baseline = {n5(), mp(false), mp(true)};
+    auto results = compareSuites(baseline, suite);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_EQ(results[0].baselineName, "n5/CoLB");
+    EXPECT_FALSE(results[0].inSuite);
+    EXPECT_TRUE(results[0].subsumed); // contains CoRW
+
+    EXPECT_TRUE(results[1].inSuite);
+
+    EXPECT_FALSE(results[2].inSuite);
+    EXPECT_TRUE(results[2].subsumed); // MP+fence contains MP
+}
+
+} // namespace
+} // namespace lts::synth

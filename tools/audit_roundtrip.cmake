@@ -1,0 +1,19 @@
+# Generate a suite to a file, then audit it: every synthesized test must
+# report as minimal (0 not-minimal).
+execute_process(
+    COMMAND ${LTSGEN} --model=tso --max-size=4
+            --out=${WORKDIR}/roundtrip.litmus
+    RESULT_VARIABLE gen_result)
+if(NOT gen_result EQUAL 0)
+    message(FATAL_ERROR "ltsgen generation failed: ${gen_result}")
+endif()
+execute_process(
+    COMMAND ${LTSGEN} --model=tso --audit=${WORKDIR}/roundtrip.litmus
+    OUTPUT_VARIABLE audit_output
+    RESULT_VARIABLE audit_result)
+if(NOT audit_result EQUAL 0)
+    message(FATAL_ERROR "ltsgen audit failed: ${audit_result}")
+endif()
+if(NOT audit_output MATCHES "0/[0-9]+ tests are not minimally")
+    message(FATAL_ERROR "audit found non-minimal tests:\n${audit_output}")
+endif()
