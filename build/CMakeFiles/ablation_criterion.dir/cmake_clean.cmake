@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_criterion.dir/bench/ablation_criterion.cc.o"
+  "CMakeFiles/ablation_criterion.dir/bench/ablation_criterion.cc.o.d"
+  "bench/ablation_criterion"
+  "bench/ablation_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

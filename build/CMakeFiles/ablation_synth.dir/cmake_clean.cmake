@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_synth.dir/bench/ablation_synth.cc.o"
+  "CMakeFiles/ablation_synth.dir/bench/ablation_synth.cc.o.d"
+  "bench/ablation_synth"
+  "bench/ablation_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_random_runner.dir/bench/ext_random_runner.cc.o"
+  "CMakeFiles/ext_random_runner.dir/bench/ext_random_runner.cc.o.d"
+  "bench/ext_random_runner"
+  "bench/ext_random_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scoped_ds.dir/bench/ext_scoped_ds.cc.o"
+  "CMakeFiles/ext_scoped_ds.dir/bench/ext_scoped_ds.cc.o.d"
+  "bench/ext_scoped_ds"
+  "bench/ext_scoped_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scoped_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

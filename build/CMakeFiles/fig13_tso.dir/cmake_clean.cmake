@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tso.dir/bench/fig13_tso.cc.o"
+  "CMakeFiles/fig13_tso.dir/bench/fig13_tso.cc.o.d"
+  "bench/fig13_tso"
+  "bench/fig13_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_wwc.dir/bench/fig14_wwc.cc.o"
+  "CMakeFiles/fig14_wwc.dir/bench/fig14_wwc.cc.o.d"
+  "bench/fig14_wwc"
+  "bench/fig14_wwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

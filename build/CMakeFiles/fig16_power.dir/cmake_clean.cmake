@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_power.dir/bench/fig16_power.cc.o"
+  "CMakeFiles/fig16_power.dir/bench/fig16_power.cc.o.d"
+  "bench/fig16_power"
+  "bench/fig16_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_scc.dir/bench/fig20_scc.cc.o"
+  "CMakeFiles/fig20_scc.dir/bench/fig20_scc.cc.o.d"
+  "bench/fig20_scc"
+  "bench/fig20_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_c11.dir/bench/fig21_c11.cc.o"
+  "CMakeFiles/fig21_c11.dir/bench/fig21_c11.cc.o.d"
+  "bench/fig21_c11"
+  "bench/fig21_c11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_c11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

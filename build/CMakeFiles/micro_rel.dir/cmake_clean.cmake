@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rel.dir/bench/micro_rel.cc.o"
+  "CMakeFiles/micro_rel.dir/bench/micro_rel.cc.o.d"
+  "bench/micro_rel"
+  "bench/micro_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sat.dir/bench/micro_sat.cc.o"
+  "CMakeFiles/micro_sat.dir/bench/micro_sat.cc.o.d"
+  "bench/micro_sat"
+  "bench/micro_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_applicability.dir/bench/table2_applicability.cc.o"
+  "CMakeFiles/table2_applicability.dir/bench/table2_applicability.cc.o.d"
+  "bench/table2_applicability"
+  "bench/table2_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_owens.dir/bench/table4_owens.cc.o"
+  "CMakeFiles/table4_owens.dir/bench/table4_owens.cc.o.d"
+  "bench/table4_owens"
+  "bench/table4_owens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_owens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

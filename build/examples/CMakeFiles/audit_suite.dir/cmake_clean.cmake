@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_suite.dir/audit_suite.cc.o"
+  "CMakeFiles/audit_suite.dir/audit_suite.cc.o.d"
+  "audit_suite"
+  "audit_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

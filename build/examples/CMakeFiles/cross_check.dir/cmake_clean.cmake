@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_check.dir/cross_check.cc.o"
+  "CMakeFiles/cross_check.dir/cross_check.cc.o.d"
+  "cross_check"
+  "cross_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/lts_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/lts_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/lts_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lts_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_common.dir/bitset.cc.o"
+  "CMakeFiles/lts_common.dir/bitset.cc.o.d"
+  "CMakeFiles/lts_common.dir/flags.cc.o"
+  "CMakeFiles/lts_common.dir/flags.cc.o.d"
+  "CMakeFiles/lts_common.dir/strings.cc.o"
+  "CMakeFiles/lts_common.dir/strings.cc.o.d"
+  "liblts_common.a"
+  "liblts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

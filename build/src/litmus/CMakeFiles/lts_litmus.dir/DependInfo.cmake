@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/canon.cc" "src/litmus/CMakeFiles/lts_litmus.dir/canon.cc.o" "gcc" "src/litmus/CMakeFiles/lts_litmus.dir/canon.cc.o.d"
+  "/root/repo/src/litmus/event.cc" "src/litmus/CMakeFiles/lts_litmus.dir/event.cc.o" "gcc" "src/litmus/CMakeFiles/lts_litmus.dir/event.cc.o.d"
+  "/root/repo/src/litmus/format.cc" "src/litmus/CMakeFiles/lts_litmus.dir/format.cc.o" "gcc" "src/litmus/CMakeFiles/lts_litmus.dir/format.cc.o.d"
+  "/root/repo/src/litmus/print.cc" "src/litmus/CMakeFiles/lts_litmus.dir/print.cc.o" "gcc" "src/litmus/CMakeFiles/lts_litmus.dir/print.cc.o.d"
+  "/root/repo/src/litmus/test.cc" "src/litmus/CMakeFiles/lts_litmus.dir/test.cc.o" "gcc" "src/litmus/CMakeFiles/lts_litmus.dir/test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_litmus.dir/canon.cc.o"
+  "CMakeFiles/lts_litmus.dir/canon.cc.o.d"
+  "CMakeFiles/lts_litmus.dir/event.cc.o"
+  "CMakeFiles/lts_litmus.dir/event.cc.o.d"
+  "CMakeFiles/lts_litmus.dir/format.cc.o"
+  "CMakeFiles/lts_litmus.dir/format.cc.o.d"
+  "CMakeFiles/lts_litmus.dir/print.cc.o"
+  "CMakeFiles/lts_litmus.dir/print.cc.o.d"
+  "CMakeFiles/lts_litmus.dir/test.cc.o"
+  "CMakeFiles/lts_litmus.dir/test.cc.o.d"
+  "liblts_litmus.a"
+  "liblts_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

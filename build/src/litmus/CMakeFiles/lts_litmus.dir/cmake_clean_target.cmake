@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblts_litmus.a"
+)

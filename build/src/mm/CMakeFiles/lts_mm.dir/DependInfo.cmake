@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/convert.cc" "src/mm/CMakeFiles/lts_mm.dir/convert.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/convert.cc.o.d"
+  "/root/repo/src/mm/exprs.cc" "src/mm/CMakeFiles/lts_mm.dir/exprs.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/exprs.cc.o.d"
+  "/root/repo/src/mm/model.cc" "src/mm/CMakeFiles/lts_mm.dir/model.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/model.cc.o.d"
+  "/root/repo/src/mm/models/c11.cc" "src/mm/CMakeFiles/lts_mm.dir/models/c11.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/c11.cc.o.d"
+  "/root/repo/src/mm/models/power.cc" "src/mm/CMakeFiles/lts_mm.dir/models/power.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/power.cc.o.d"
+  "/root/repo/src/mm/models/sc.cc" "src/mm/CMakeFiles/lts_mm.dir/models/sc.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/sc.cc.o.d"
+  "/root/repo/src/mm/models/scc.cc" "src/mm/CMakeFiles/lts_mm.dir/models/scc.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/scc.cc.o.d"
+  "/root/repo/src/mm/models/sscc.cc" "src/mm/CMakeFiles/lts_mm.dir/models/sscc.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/sscc.cc.o.d"
+  "/root/repo/src/mm/models/tso.cc" "src/mm/CMakeFiles/lts_mm.dir/models/tso.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/models/tso.cc.o.d"
+  "/root/repo/src/mm/registry.cc" "src/mm/CMakeFiles/lts_mm.dir/registry.cc.o" "gcc" "src/mm/CMakeFiles/lts_mm.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rel/CMakeFiles/lts_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

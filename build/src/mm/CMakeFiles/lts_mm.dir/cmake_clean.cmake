@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_mm.dir/convert.cc.o"
+  "CMakeFiles/lts_mm.dir/convert.cc.o.d"
+  "CMakeFiles/lts_mm.dir/exprs.cc.o"
+  "CMakeFiles/lts_mm.dir/exprs.cc.o.d"
+  "CMakeFiles/lts_mm.dir/model.cc.o"
+  "CMakeFiles/lts_mm.dir/model.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/c11.cc.o"
+  "CMakeFiles/lts_mm.dir/models/c11.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/power.cc.o"
+  "CMakeFiles/lts_mm.dir/models/power.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/sc.cc.o"
+  "CMakeFiles/lts_mm.dir/models/sc.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/scc.cc.o"
+  "CMakeFiles/lts_mm.dir/models/scc.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/sscc.cc.o"
+  "CMakeFiles/lts_mm.dir/models/sscc.cc.o.d"
+  "CMakeFiles/lts_mm.dir/models/tso.cc.o"
+  "CMakeFiles/lts_mm.dir/models/tso.cc.o.d"
+  "CMakeFiles/lts_mm.dir/registry.cc.o"
+  "CMakeFiles/lts_mm.dir/registry.cc.o.d"
+  "liblts_mm.a"
+  "liblts_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/encoder.cc" "src/rel/CMakeFiles/lts_rel.dir/encoder.cc.o" "gcc" "src/rel/CMakeFiles/lts_rel.dir/encoder.cc.o.d"
+  "/root/repo/src/rel/eval.cc" "src/rel/CMakeFiles/lts_rel.dir/eval.cc.o" "gcc" "src/rel/CMakeFiles/lts_rel.dir/eval.cc.o.d"
+  "/root/repo/src/rel/expr.cc" "src/rel/CMakeFiles/lts_rel.dir/expr.cc.o" "gcc" "src/rel/CMakeFiles/lts_rel.dir/expr.cc.o.d"
+  "/root/repo/src/rel/formula.cc" "src/rel/CMakeFiles/lts_rel.dir/formula.cc.o" "gcc" "src/rel/CMakeFiles/lts_rel.dir/formula.cc.o.d"
+  "/root/repo/src/rel/gates.cc" "src/rel/CMakeFiles/lts_rel.dir/gates.cc.o" "gcc" "src/rel/CMakeFiles/lts_rel.dir/gates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

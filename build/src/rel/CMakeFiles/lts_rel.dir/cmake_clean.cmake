@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_rel.dir/encoder.cc.o"
+  "CMakeFiles/lts_rel.dir/encoder.cc.o.d"
+  "CMakeFiles/lts_rel.dir/eval.cc.o"
+  "CMakeFiles/lts_rel.dir/eval.cc.o.d"
+  "CMakeFiles/lts_rel.dir/expr.cc.o"
+  "CMakeFiles/lts_rel.dir/expr.cc.o.d"
+  "CMakeFiles/lts_rel.dir/formula.cc.o"
+  "CMakeFiles/lts_rel.dir/formula.cc.o.d"
+  "CMakeFiles/lts_rel.dir/gates.cc.o"
+  "CMakeFiles/lts_rel.dir/gates.cc.o.d"
+  "liblts_rel.a"
+  "liblts_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

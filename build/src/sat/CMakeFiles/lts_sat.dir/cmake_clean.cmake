@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_sat.dir/dimacs.cc.o"
+  "CMakeFiles/lts_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/lts_sat.dir/solver.cc.o"
+  "CMakeFiles/lts_sat.dir/solver.cc.o.d"
+  "liblts_sat.a"
+  "liblts_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/opsim.cc" "src/sim/CMakeFiles/lts_sim.dir/opsim.cc.o" "gcc" "src/sim/CMakeFiles/lts_sim.dir/opsim.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/lts_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/lts_sim.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_sim.dir/opsim.cc.o"
+  "CMakeFiles/lts_sim.dir/opsim.cc.o.d"
+  "CMakeFiles/lts_sim.dir/runner.cc.o"
+  "CMakeFiles/lts_sim.dir/runner.cc.o.d"
+  "liblts_sim.a"
+  "liblts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suites/cambridge.cc" "src/suites/CMakeFiles/lts_suites.dir/cambridge.cc.o" "gcc" "src/suites/CMakeFiles/lts_suites.dir/cambridge.cc.o.d"
+  "/root/repo/src/suites/owens.cc" "src/suites/CMakeFiles/lts_suites.dir/owens.cc.o" "gcc" "src/suites/CMakeFiles/lts_suites.dir/owens.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

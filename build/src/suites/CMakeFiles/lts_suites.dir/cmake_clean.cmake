@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_suites.dir/cambridge.cc.o"
+  "CMakeFiles/lts_suites.dir/cambridge.cc.o.d"
+  "CMakeFiles/lts_suites.dir/owens.cc.o"
+  "CMakeFiles/lts_suites.dir/owens.cc.o.d"
+  "liblts_suites.a"
+  "liblts_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/compare.cc" "src/synth/CMakeFiles/lts_synth.dir/compare.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/compare.cc.o.d"
+  "/root/repo/src/synth/executor.cc" "src/synth/CMakeFiles/lts_synth.dir/executor.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/executor.cc.o.d"
+  "/root/repo/src/synth/explicit.cc" "src/synth/CMakeFiles/lts_synth.dir/explicit.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/explicit.cc.o.d"
+  "/root/repo/src/synth/minimality.cc" "src/synth/CMakeFiles/lts_synth.dir/minimality.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/minimality.cc.o.d"
+  "/root/repo/src/synth/sound.cc" "src/synth/CMakeFiles/lts_synth.dir/sound.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/sound.cc.o.d"
+  "/root/repo/src/synth/synthesizer.cc" "src/synth/CMakeFiles/lts_synth.dir/synthesizer.cc.o" "gcc" "src/synth/CMakeFiles/lts_synth.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/lts_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lts_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_synth.dir/compare.cc.o"
+  "CMakeFiles/lts_synth.dir/compare.cc.o.d"
+  "CMakeFiles/lts_synth.dir/executor.cc.o"
+  "CMakeFiles/lts_synth.dir/executor.cc.o.d"
+  "CMakeFiles/lts_synth.dir/explicit.cc.o"
+  "CMakeFiles/lts_synth.dir/explicit.cc.o.d"
+  "CMakeFiles/lts_synth.dir/minimality.cc.o"
+  "CMakeFiles/lts_synth.dir/minimality.cc.o.d"
+  "CMakeFiles/lts_synth.dir/sound.cc.o"
+  "CMakeFiles/lts_synth.dir/sound.cc.o.d"
+  "CMakeFiles/lts_synth.dir/synthesizer.cc.o"
+  "CMakeFiles/lts_synth.dir/synthesizer.cc.o.d"
+  "liblts_synth.a"
+  "liblts_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/litmus/canon_property_test.cc" "tests/litmus/CMakeFiles/test_litmus.dir/canon_property_test.cc.o" "gcc" "tests/litmus/CMakeFiles/test_litmus.dir/canon_property_test.cc.o.d"
+  "/root/repo/tests/litmus/canon_test.cc" "tests/litmus/CMakeFiles/test_litmus.dir/canon_test.cc.o" "gcc" "tests/litmus/CMakeFiles/test_litmus.dir/canon_test.cc.o.d"
+  "/root/repo/tests/litmus/format_test.cc" "tests/litmus/CMakeFiles/test_litmus.dir/format_test.cc.o" "gcc" "tests/litmus/CMakeFiles/test_litmus.dir/format_test.cc.o.d"
+  "/root/repo/tests/litmus/test_ir_test.cc" "tests/litmus/CMakeFiles/test_litmus.dir/test_ir_test.cc.o" "gcc" "tests/litmus/CMakeFiles/test_litmus.dir/test_ir_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus.dir/canon_property_test.cc.o"
+  "CMakeFiles/test_litmus.dir/canon_property_test.cc.o.d"
+  "CMakeFiles/test_litmus.dir/canon_test.cc.o"
+  "CMakeFiles/test_litmus.dir/canon_test.cc.o.d"
+  "CMakeFiles/test_litmus.dir/format_test.cc.o"
+  "CMakeFiles/test_litmus.dir/format_test.cc.o.d"
+  "CMakeFiles/test_litmus.dir/test_ir_test.cc.o"
+  "CMakeFiles/test_litmus.dir/test_ir_test.cc.o.d"
+  "test_litmus"
+  "test_litmus.pdb"
+  "test_litmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

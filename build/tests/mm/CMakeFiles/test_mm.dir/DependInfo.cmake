@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mm/model_test.cc" "tests/mm/CMakeFiles/test_mm.dir/model_test.cc.o" "gcc" "tests/mm/CMakeFiles/test_mm.dir/model_test.cc.o.d"
+  "/root/repo/tests/mm/power_test.cc" "tests/mm/CMakeFiles/test_mm.dir/power_test.cc.o" "gcc" "tests/mm/CMakeFiles/test_mm.dir/power_test.cc.o.d"
+  "/root/repo/tests/mm/scoped_test.cc" "tests/mm/CMakeFiles/test_mm.dir/scoped_test.cc.o" "gcc" "tests/mm/CMakeFiles/test_mm.dir/scoped_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/lts_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/lts_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lts_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

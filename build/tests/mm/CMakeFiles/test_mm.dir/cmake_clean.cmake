@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm.dir/model_test.cc.o"
+  "CMakeFiles/test_mm.dir/model_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/power_test.cc.o"
+  "CMakeFiles/test_mm.dir/power_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/scoped_test.cc.o"
+  "CMakeFiles/test_mm.dir/scoped_test.cc.o.d"
+  "test_mm"
+  "test_mm.pdb"
+  "test_mm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

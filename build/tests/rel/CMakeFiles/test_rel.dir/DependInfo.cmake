@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rel/algebra_test.cc" "tests/rel/CMakeFiles/test_rel.dir/algebra_test.cc.o" "gcc" "tests/rel/CMakeFiles/test_rel.dir/algebra_test.cc.o.d"
+  "/root/repo/tests/rel/encoder_test.cc" "tests/rel/CMakeFiles/test_rel.dir/encoder_test.cc.o" "gcc" "tests/rel/CMakeFiles/test_rel.dir/encoder_test.cc.o.d"
+  "/root/repo/tests/rel/eval_test.cc" "tests/rel/CMakeFiles/test_rel.dir/eval_test.cc.o" "gcc" "tests/rel/CMakeFiles/test_rel.dir/eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rel/CMakeFiles/lts_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lts_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

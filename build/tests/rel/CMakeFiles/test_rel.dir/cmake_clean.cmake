@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel.dir/algebra_test.cc.o"
+  "CMakeFiles/test_rel.dir/algebra_test.cc.o.d"
+  "CMakeFiles/test_rel.dir/encoder_test.cc.o"
+  "CMakeFiles/test_rel.dir/encoder_test.cc.o.d"
+  "CMakeFiles/test_rel.dir/eval_test.cc.o"
+  "CMakeFiles/test_rel.dir/eval_test.cc.o.d"
+  "test_rel"
+  "test_rel.pdb"
+  "test_rel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat.dir/dimacs_test.cc.o"
+  "CMakeFiles/test_sat.dir/dimacs_test.cc.o.d"
+  "CMakeFiles/test_sat.dir/solver_test.cc.o"
+  "CMakeFiles/test_sat.dir/solver_test.cc.o.d"
+  "test_sat"
+  "test_sat.pdb"
+  "test_sat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

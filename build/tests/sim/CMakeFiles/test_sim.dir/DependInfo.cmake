@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/opsim_test.cc" "tests/sim/CMakeFiles/test_sim.dir/opsim_test.cc.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/opsim_test.cc.o.d"
+  "/root/repo/tests/sim/runner_test.cc" "tests/sim/CMakeFiles/test_sim.dir/runner_test.cc.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lts_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suites.dir/catalog_roundtrip_test.cc.o"
+  "CMakeFiles/test_suites.dir/catalog_roundtrip_test.cc.o.d"
+  "CMakeFiles/test_suites.dir/suites_test.cc.o"
+  "CMakeFiles/test_suites.dir/suites_test.cc.o.d"
+  "test_suites"
+  "test_suites.pdb"
+  "test_suites[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

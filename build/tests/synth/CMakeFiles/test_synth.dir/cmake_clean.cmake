@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/compare_test.cc.o"
+  "CMakeFiles/test_synth.dir/compare_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/minimality_test.cc.o"
+  "CMakeFiles/test_synth.dir/minimality_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/sound_test.cc.o"
+  "CMakeFiles/test_synth.dir/sound_test.cc.o.d"
+  "CMakeFiles/test_synth.dir/synthesizer_test.cc.o"
+  "CMakeFiles/test_synth.dir/synthesizer_test.cc.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

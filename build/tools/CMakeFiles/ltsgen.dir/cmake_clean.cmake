@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltsgen.dir/ltsgen.cc.o"
+  "CMakeFiles/ltsgen.dir/ltsgen.cc.o.d"
+  "ltsgen"
+  "ltsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ltsgen_generate "/root/repo/build/tools/ltsgen" "--model=sc" "--max-size=3" "--stats")
+set_tests_properties(ltsgen_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_pretty "/root/repo/build/tools/ltsgen" "--model=tso" "--max-size=3" "--pretty")
+set_tests_properties(ltsgen_pretty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_axiom "/root/repo/build/tools/ltsgen" "--model=tso" "--axiom=sc_per_loc" "--max-size=3")
+set_tests_properties(ltsgen_axiom PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_scoped "/root/repo/build/tools/ltsgen" "--model=sscc" "--max-size=3" "--canon=exact")
+set_tests_properties(ltsgen_scoped PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_bad_model "/root/repo/build/tools/ltsgen" "--model=itanium")
+set_tests_properties(ltsgen_bad_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_bad_axiom "/root/repo/build/tools/ltsgen" "--model=tso" "--axiom=zap")
+set_tests_properties(ltsgen_bad_axiom PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ltsgen_audit_roundtrip "/usr/bin/cmake" "-DLTSGEN=/root/repo/build/tools/ltsgen" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/audit_roundtrip.cmake")
+set_tests_properties(ltsgen_audit_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
