@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/flags.hh"
+#include "common/timer.hh"
 #include "litmus/canon.hh"
 #include "litmus/print.hh"
 #include "mm/registry.hh"
@@ -36,6 +37,8 @@ main(int argc, char **argv)
     flags.declare("max-size", "5", "largest test size to synthesize");
     flags.declare("all-progs-max", "4",
                   "largest size for explicit all-programs counting");
+    flags.declare("jobs", "0",
+                  "parallel synthesis jobs (0 = all hardware threads)");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -47,8 +50,15 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
+    opt.jobs = flags.getInt("jobs");
+    synth::SynthProgress progress;
+    opt.progress = &progress;
+    Timer wall;
     auto suites = synth::synthesizeAll(*tso, opt);
+    double wall_seconds = wall.seconds();
     const synth::Suite &u = suites.back();
+    bench::printParallelStats(progress, opt.jobs, wall_seconds,
+                              bench::aggregateCpuSeconds(suites));
 
     // ---- Figure 13b: per-axiom counts ---------------------------------
     std::printf("\nFigure 13b: tests per axiom per size bound\n");

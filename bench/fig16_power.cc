@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/flags.hh"
+#include "common/timer.hh"
 #include "litmus/print.hh"
 #include "mm/registry.hh"
 #include "suites/cambridge.hh"
@@ -35,6 +36,8 @@ main(int argc, char **argv)
     Flags flags;
     flags.declare("max-size", "5", "largest synthesized test size");
     flags.declare("arm", "true", "also run the ARMv7 variant");
+    flags.declare("jobs", "0",
+                  "parallel synthesis jobs (0 = all hardware threads)");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -45,7 +48,13 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
+    opt.jobs = flags.getInt("jobs");
+    synth::SynthProgress progress;
+    opt.progress = &progress;
+    Timer wall;
     auto suites = synth::synthesizeAll(*power, opt);
+    bench::printParallelStats(progress, opt.jobs, wall.seconds(),
+                              bench::aggregateCpuSeconds(suites));
 
     std::printf("\nFigure 16b: tests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);

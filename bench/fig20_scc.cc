@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/flags.hh"
+#include "common/timer.hh"
 #include "litmus/canon.hh"
 #include "litmus/print.hh"
 #include "mm/convert.hh"
@@ -56,6 +57,8 @@ main(int argc, char **argv)
     flags.declare("max-size", "4", "largest synthesized test size");
     flags.declare("sb-size", "6",
                   "size at which to look for SB+FenceSCs (0 = skip)");
+    flags.declare("jobs", "0",
+                  "parallel synthesis jobs (0 = all hardware threads)");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -67,7 +70,13 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
+    opt.jobs = flags.getInt("jobs");
+    synth::SynthProgress progress;
+    opt.progress = &progress;
+    Timer wall;
     auto suites = synth::synthesizeAll(*scc, opt);
+    bench::printParallelStats(progress, opt.jobs, wall.seconds(),
+                              bench::aggregateCpuSeconds(suites));
 
     std::printf("\nFigure 20a: tests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);

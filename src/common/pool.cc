@@ -1,0 +1,102 @@
+#include "common/pool.hh"
+
+namespace lts
+{
+
+unsigned
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return static_cast<unsigned>(requested);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned count = threads ? threads : resolveThreads(0);
+    workers.reserve(count);
+    for (unsigned i = 0; i < count; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        allIdle.wait(lock, [this] { return pending == 0; });
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(job));
+        pending++;
+    }
+    nQueued.fetch_add(1, std::memory_order_relaxed);
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    allIdle.wait(lock, [this] { return pending == 0; });
+    if (firstError) {
+        std::exception_ptr e = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+PoolCounters
+ThreadPool::counters() const
+{
+    PoolCounters c;
+    c.queued = nQueued.load(std::memory_order_relaxed);
+    c.running = nRunning.load(std::memory_order_relaxed);
+    c.done = nDone.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            workReady.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and nothing left to drain
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        nRunning.fetch_add(1, std::memory_order_relaxed);
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        nRunning.fetch_sub(1, std::memory_order_relaxed);
+        nDone.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            pending--;
+            if (pending == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace lts

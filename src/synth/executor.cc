@@ -1,7 +1,9 @@
 #include "synth/executor.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "common/hash.hh"
 #include "mm/convert.hh"
 #include "rel/eval.hh"
 
@@ -165,18 +167,34 @@ observableProjection(const LitmusTest &test, const Outcome &outcome)
     return proj;
 }
 
+namespace
+{
+
+/** Hash for observable projections, so dedup is O(1) per outcome. */
+struct ProjectionHash
+{
+    size_t
+    operator()(const std::vector<int> &proj) const
+    {
+        uint64_t h = hashInit();
+        for (int v : proj)
+            h = hashCombine(h, static_cast<uint64_t>(
+                                   static_cast<uint32_t>(v)));
+        return static_cast<size_t>(hashCombine(h, proj.size()));
+    }
+};
+
+} // namespace
+
 std::vector<Outcome>
 dedupeByObservable(const LitmusTest &test,
                    const std::vector<Outcome> &outcomes)
 {
     std::vector<Outcome> out;
-    std::vector<std::vector<int>> seen;
+    std::unordered_set<std::vector<int>, ProjectionHash> seen;
     for (const auto &o : outcomes) {
-        auto proj = observableProjection(test, o);
-        if (std::find(seen.begin(), seen.end(), proj) == seen.end()) {
-            seen.push_back(proj);
+        if (seen.insert(observableProjection(test, o)).second)
             out.push_back(o);
-        }
     }
     return out;
 }

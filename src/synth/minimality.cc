@@ -58,8 +58,11 @@ isMinimalInstance(const Model &model, const std::string &axiom_name,
 }
 
 std::vector<std::string>
-minimalAxioms(const Model &model, const litmus::LitmusTest &test)
+minimalAxioms(const Model &model, const litmus::LitmusTest &test,
+              AuditStatus *status)
 {
+    if (status)
+        *status = AuditStatus::Audited;
     std::vector<std::string> out;
     if (!test.hasForbidden)
         return out;
@@ -81,6 +84,10 @@ minimalAxioms(const Model &model, const litmus::LitmusTest &test)
         } else if (sc_fences.size() > 2) {
             // The lone-sc workaround does not scale past two SC fences
             // (Section 6.3); such tests are outside the audited space.
+            // Report that explicitly so callers can distinguish it from
+            // "audited and minimal for no axiom".
+            if (status)
+                *status = AuditStatus::Unsupported;
             return out;
         }
     }

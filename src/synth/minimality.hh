@@ -55,14 +55,26 @@ rel::FormulaPtr minimalityFormulaUnion(const mm::Model &model, size_t n);
 bool isMinimalInstance(const mm::Model &model, const std::string &axiom_name,
                        const rel::Instance &inst);
 
+/** Whether a minimality audit actually ran to completion. */
+enum class AuditStatus
+{
+    Audited,     ///< the returned axiom list is authoritative
+    Unsupported, ///< test outside the audited space (>2 SC fences);
+                 ///< the empty axiom list is NOT a minimality verdict
+};
+
 /**
  * Audit a litmus test with its forbidden outcome against the criterion
  * for *any* axiom of the model. For models with an explicit sc order the
- * check is existential over the (lone-edge) sc assignments.
+ * check is existential over the (lone-edge) sc assignments; tests with
+ * more than two SC fences are outside that workaround's reach
+ * (Section 6.3) and report AuditStatus::Unsupported through @p status
+ * instead of silently returning an empty list.
  * Returns the names of axioms for which the test is minimal.
  */
 std::vector<std::string> minimalAxioms(const mm::Model &model,
-                                       const litmus::LitmusTest &test);
+                                       const litmus::LitmusTest &test,
+                                       AuditStatus *status = nullptr);
 
 } // namespace lts::synth
 

@@ -1,8 +1,11 @@
 #include "synth/synthesizer.hh"
 
+#include <algorithm>
 #include <functional>
 #include <set>
+#include <utility>
 
+#include "common/pool.hh"
 #include "common/timer.hh"
 #include "litmus/canon.hh"
 #include "mm/convert.hh"
@@ -17,65 +20,186 @@ using litmus::LitmusTest;
 namespace
 {
 
-/** Shared enumeration loop; @p formula_for builds the per-size query. */
+/** One shard of the workload: a labelled per-size query family. */
+struct Track
+{
+    std::string label;
+    std::function<rel::FormulaPtr(size_t)> formulaFor;
+};
+
+/**
+ * Result of one (track, size) job: tests are canonicalized (per the
+ * options), deduplicated within the job, and sorted by their canonical
+ * serialization so merge order never depends on enumeration order.
+ */
+struct SizeJobResult
+{
+    std::vector<LitmusTest> tests;
+    uint64_t rawInstances = 0;
+    bool truncated = false;
+    double seconds = 0;
+};
+
+/** Enumerate one exact size with a private solver. */
+SizeJobResult
+runSizeJob(const mm::Model &model, const Track &track, int size,
+           const SynthOptions &options)
+{
+    Timer timer;
+    SizeJobResult result;
+    std::set<std::string> seen;
+    std::vector<std::pair<std::string, LitmusTest>> keyed;
+
+    rel::RelSolver solver(model.vocab(), static_cast<size_t>(size));
+    if (options.conflictBudget)
+        solver.satSolver().setConflictBudget(options.conflictBudget);
+    solver.addFact(track.formulaFor(static_cast<size_t>(size)));
+
+    std::vector<int> block_vars;
+    if (options.blockStaticOnly)
+        block_vars = model.staticVarIds();
+
+    bool more = solver.solve();
+    while (more) {
+        if (solver.satSolver().budgetExhausted()) {
+            result.truncated = true;
+            break;
+        }
+        result.rawInstances++;
+        LitmusTest test = mm::fromInstance(model, solver.instance());
+        LitmusTest canon =
+            options.useCanon ? litmus::canonicalize(test, options.canonMode)
+                             : test;
+        std::string key = litmus::staticSerialize(canon);
+        if (!seen.count(key)) {
+            seen.insert(key);
+            keyed.emplace_back(std::move(key), std::move(canon));
+            if (options.maxTestsPerSize &&
+                static_cast<int>(keyed.size()) >= options.maxTestsPerSize) {
+                result.truncated = true;
+                break;
+            }
+        }
+        more = solver.blockAndContinue(block_vars);
+    }
+    if (!more && solver.satSolver().budgetExhausted())
+        result.truncated = true;
+
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    result.tests.reserve(keyed.size());
+    for (auto &kv : keyed)
+        result.tests.push_back(std::move(kv.second));
+
+    if (options.progress) {
+        options.progress->conflicts.fetch_add(
+            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
+        options.progress->instances.fetch_add(result.rawInstances,
+                                              std::memory_order_relaxed);
+    }
+    result.seconds = timer.seconds();
+    return result;
+}
+
+/**
+ * Deterministic merge of one track's per-size results into a Suite:
+ * sizes ascending, tests in canonical-key order within each size,
+ * renamed "model/label#i" by final position.
+ */
 Suite
-runSynthesis(const mm::Model &model, const std::string &label,
-             const std::function<rel::FormulaPtr(size_t)> &formula_for,
-             const SynthOptions &options)
+assembleSuite(const mm::Model &model, const std::string &label,
+              const std::vector<SizeJobResult> &by_size, int min_size)
 {
     Suite suite;
     suite.model = model.name();
     suite.axiom = label;
 
-    std::set<std::string> seen; // canonical (or raw) serializations
-
-    for (int size = options.minSize; size <= options.maxSize; size++) {
-        Timer timer;
-        int found_this_size = 0;
-
-        rel::RelSolver solver(model.vocab(), size);
-        if (options.conflictBudget)
-            solver.satSolver().setConflictBudget(options.conflictBudget);
-        solver.addFact(formula_for(static_cast<size_t>(size)));
-
-        std::vector<int> block_vars;
-        if (options.blockStaticOnly)
-            block_vars = model.staticVarIds();
-
-        bool more = solver.solve();
-        while (more) {
-            if (solver.satSolver().budgetExhausted()) {
-                suite.truncated = true;
-                break;
-            }
-            suite.rawInstances++;
-            LitmusTest test = mm::fromInstance(model, solver.instance());
-            LitmusTest canon = options.useCanon
-                                   ? litmus::canonicalize(test,
-                                                          options.canonMode)
-                                   : test;
-            std::string key = litmus::staticSerialize(canon);
-            if (!seen.count(key)) {
-                seen.insert(key);
-                canon.name = model.name() + "/" + label + "#" +
-                             std::to_string(suite.tests.size());
-                suite.tests.push_back(canon);
-                found_this_size++;
-                if (options.maxTestsPerSize &&
-                    found_this_size >= options.maxTestsPerSize) {
-                    suite.truncated = true;
-                    break;
-                }
-            }
-            more = solver.blockAndContinue(block_vars);
+    std::set<std::string> seen;
+    for (size_t si = 0; si < by_size.size(); si++) {
+        const SizeJobResult &r = by_size[si];
+        int size = min_size + static_cast<int>(si);
+        int kept = 0;
+        for (const LitmusTest &test : r.tests) {
+            std::string key = litmus::staticSerialize(test);
+            if (seen.count(key))
+                continue;
+            seen.insert(key);
+            LitmusTest named = test;
+            named.name = model.name() + "/" + label + "#" +
+                         std::to_string(suite.tests.size());
+            suite.tests.push_back(std::move(named));
+            kept++;
         }
-        if (!more && solver.satSolver().budgetExhausted())
-            suite.truncated = true;
-
-        suite.testsBySize[size] = found_this_size;
-        suite.secondsBySize[size] = timer.seconds();
+        suite.rawInstances += r.rawInstances;
+        suite.truncated = suite.truncated || r.truncated;
+        suite.testsBySize[size] = kept;
+        suite.secondsBySize[size] = r.seconds;
     }
     return suite;
+}
+
+/**
+ * Run every (track, size) job — inline for jobs <= 1, on a thread pool
+ * otherwise — and assemble one Suite per track. Each job owns its own
+ * RelSolver, so no SAT or relational state crosses threads; the merge
+ * makes the output independent of scheduling.
+ */
+std::vector<Suite>
+runSynthesisTracks(const mm::Model &model, const std::vector<Track> &tracks,
+                   const SynthOptions &options)
+{
+    int num_sizes = std::max(0, options.maxSize - options.minSize + 1);
+    std::vector<std::vector<SizeJobResult>> results(
+        tracks.size(), std::vector<SizeJobResult>(num_sizes));
+
+    SynthProgress *progress = options.progress;
+    auto run_one = [&](size_t ti, int si) {
+        if (progress)
+            progress->jobsRunning.fetch_add(1, std::memory_order_relaxed);
+        results[ti][si] =
+            runSizeJob(model, tracks[ti], options.minSize + si, options);
+        if (progress) {
+            progress->jobsRunning.fetch_sub(1, std::memory_order_relaxed);
+            progress->jobsDone.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+
+    uint64_t total_jobs =
+        static_cast<uint64_t>(tracks.size()) * num_sizes;
+    if (progress)
+        progress->jobsQueued.fetch_add(total_jobs,
+                                       std::memory_order_relaxed);
+
+    unsigned threads = ThreadPool::resolveThreads(options.jobs);
+    if (options.jobs == 1 || threads <= 1 || total_jobs <= 1) {
+        for (size_t ti = 0; ti < tracks.size(); ti++) {
+            for (int si = 0; si < num_sizes; si++)
+                run_one(ti, si);
+        }
+    } else {
+        ThreadPool pool(threads);
+        for (size_t ti = 0; ti < tracks.size(); ti++) {
+            for (int si = 0; si < num_sizes; si++)
+                pool.submit([&run_one, ti, si] { run_one(ti, si); });
+        }
+        pool.wait();
+    }
+
+    std::vector<Suite> suites;
+    suites.reserve(tracks.size());
+    for (size_t ti = 0; ti < tracks.size(); ti++) {
+        suites.push_back(assembleSuite(model, tracks[ti].label, results[ti],
+                                       options.minSize));
+    }
+    return suites;
+}
+
+Track
+axiomTrack(const mm::Model &model, const std::string &axiom_name)
+{
+    return Track{axiom_name, [&model, axiom_name](size_t n) {
+                     return minimalityFormula(model, axiom_name, n);
+                 }};
 }
 
 } // namespace
@@ -84,19 +208,18 @@ Suite
 synthesizeAxiom(const mm::Model &model, const std::string &axiom_name,
                 const SynthOptions &options)
 {
-    return runSynthesis(
-        model, axiom_name,
-        [&](size_t n) { return minimalityFormula(model, axiom_name, n); },
-        options);
+    std::vector<Track> tracks = {axiomTrack(model, axiom_name)};
+    return runSynthesisTracks(model, tracks, options)[0];
 }
 
 Suite
 synthesizeUnionDirect(const mm::Model &model, const SynthOptions &options)
 {
-    return runSynthesis(
-        model, "union-direct",
-        [&](size_t n) { return minimalityFormulaUnion(model, n); },
-        options);
+    std::vector<Track> tracks = {
+        Track{"union-direct", [&model](size_t n) {
+                  return minimalityFormulaUnion(model, n);
+              }}};
+    return runSynthesisTracks(model, tracks, options)[0];
 }
 
 Suite
@@ -119,8 +242,10 @@ unionSuites(const std::vector<Suite> &suites, const SynthOptions &options)
             if (seen.count(key))
                 continue;
             seen.insert(key);
-            u.tests.push_back(test);
-            u.testsBySize[static_cast<int>(test.size())]++;
+            canon.name = u.model + "/union#" +
+                         std::to_string(u.tests.size());
+            u.testsBySize[static_cast<int>(canon.size())]++;
+            u.tests.push_back(std::move(canon));
         }
         for (auto [size, secs] : s.secondsBySize)
             u.secondsBySize[size] += secs;
@@ -131,9 +256,11 @@ unionSuites(const std::vector<Suite> &suites, const SynthOptions &options)
 std::vector<Suite>
 synthesizeAll(const mm::Model &model, const SynthOptions &options)
 {
-    std::vector<Suite> suites;
+    std::vector<Track> tracks;
+    tracks.reserve(model.axioms().size());
     for (const auto &axiom : model.axioms())
-        suites.push_back(synthesizeAxiom(model, axiom.name, options));
+        tracks.push_back(axiomTrack(model, axiom.name));
+    std::vector<Suite> suites = runSynthesisTracks(model, tracks, options);
     suites.push_back(unionSuites(suites, options));
     return suites;
 }

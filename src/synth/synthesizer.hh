@@ -9,11 +9,19 @@
  * witness executions it has. Instances are read back as litmus tests,
  * canonicalized (Section 5.1), and deduplicated; per-axiom suites union
  * into the per-model suite of Section 5.2.
+ *
+ * Work sharding: each (axiom, size) pair is an independent job with a
+ * private solver (per-size enumeration keeps every CNF self-contained),
+ * so the engine runs jobs on a thread pool when SynthOptions::jobs > 1.
+ * Job results are merged in a fixed order — axiom declaration order,
+ * then size, then canonical serialization — so the output is
+ * byte-identical to a serial run regardless of completion order.
  */
 
 #ifndef LTS_SYNTH_SYNTHESIZER_HH
 #define LTS_SYNTH_SYNTHESIZER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -26,6 +34,20 @@
 namespace lts::synth
 {
 
+/**
+ * Live progress counters for a synthesis run. Safe to read from any
+ * thread while jobs execute; a bench harness can poll or print these
+ * after the run to report scheduling state and aggregate solver work.
+ */
+struct SynthProgress
+{
+    std::atomic<uint64_t> jobsQueued{0};  ///< (axiom, size) jobs submitted
+    std::atomic<uint64_t> jobsRunning{0}; ///< jobs currently executing
+    std::atomic<uint64_t> jobsDone{0};    ///< jobs finished
+    std::atomic<uint64_t> conflicts{0};   ///< SAT conflicts, all jobs
+    std::atomic<uint64_t> instances{0};   ///< SAT models enumerated
+};
+
 /** Synthesis knobs; defaults mirror the paper's methodology. */
 struct SynthOptions
 {
@@ -36,6 +58,17 @@ struct SynthOptions
     bool useCanon = true;         ///< ablation: disable symmetry reduction
     uint64_t conflictBudget = 0;  ///< SAT conflict cap per size (0 = off)
     int maxTestsPerSize = 0;      ///< safety cap (0 = off)
+
+    /**
+     * Worker threads for the sharded engine: one job per (axiom, size)
+     * pair, each with a private solver. 1 runs jobs inline on the
+     * caller thread; 0 uses all hardware threads. Results are merged
+     * deterministically, so output is byte-identical for any value.
+     */
+    int jobs = 1;
+
+    /** Optional live counters, updated by every job. Not owned. */
+    SynthProgress *progress = nullptr;
 };
 
 /** A synthesized suite plus bookkeeping for the runtime figures. */
@@ -71,7 +104,12 @@ Suite synthesizeAxiom(const mm::Model &model, const std::string &axiom_name,
 std::vector<Suite> synthesizeAll(const mm::Model &model,
                                  const SynthOptions &options);
 
-/** Merge suites into a union suite, deduplicating canonically. */
+/**
+ * Merge suites into a union suite, deduplicating canonically. The kept
+ * tests are stored in canonical form (under options.useCanon) and
+ * renumbered "model/union#i" in merge order, so the union never holds
+ * non-canonical duplicates or clashing per-axiom names.
+ */
 Suite unionSuites(const std::vector<Suite> &suites,
                   const SynthOptions &options);
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ThreadPool tests: job completion, counter accounting, exception
+ * propagation, and reuse across wait() rounds. These are the tests the
+ * CI thread-sanitizer job exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/pool.hh"
+
+namespace lts
+{
+namespace
+{
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; i++)
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, CountersAccountForAllJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 37; i++)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    PoolCounters c = pool.counters();
+    EXPECT_EQ(c.queued, 37u);
+    EXPECT_EQ(c.done, 37u);
+    EXPECT_EQ(c.running, 0u);
+    EXPECT_EQ(ran.load(), 37);
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillDrainsQueue)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    // One worker runs the FIFO queue in submission order.
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    for (int i = 0; i < 10; i++)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure does not poison the pool: later rounds still work.
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaitRounds)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 20; i++)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 20);
+    }
+    EXPECT_EQ(pool.counters().done, 100u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsClampsAndDefaults)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+    EXPECT_GE(ThreadPool::resolveThreads(-2), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorWaitsForOutstandingJobs)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; i++)
+            pool.submit([&done] { done.fetch_add(1); });
+        // No wait(): the destructor must drain the queue before joining.
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+} // namespace
+} // namespace lts

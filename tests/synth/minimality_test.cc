@@ -293,5 +293,36 @@ TEST(ExecutorTest, ObservableProjectionDedupes)
     EXPECT_EQ(dedupeByObservable(t2, outcomes2).size(), 3u);
 }
 
+TEST(MinimalityTest, AuditReportsUnsupportedBeyondTwoScFences)
+{
+    // The lone-sc workaround enumerates sc orientations only up to two
+    // SC fences; with three the audit must say "unsupported", not
+    // "minimal for no axiom".
+    auto scc = mm::makeModel("scc");
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0, MemOrder::SeqCst);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1, MemOrder::SeqCst);
+    b.fence(t1, MemOrder::SeqCst);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    LitmusTest three = b.build("SB+3FenceSCs");
+
+    AuditStatus status;
+    auto axioms = minimalAxioms(*scc, three, &status);
+    EXPECT_EQ(status, AuditStatus::Unsupported);
+    EXPECT_TRUE(axioms.empty());
+
+    // A two-fence test audits normally.
+    auto supported = minimalAxioms(*scc, sbFenceSc(), &status);
+    EXPECT_EQ(status, AuditStatus::Audited);
+    EXPECT_FALSE(supported.empty());
+}
+
 } // namespace
 } // namespace lts::synth
