@@ -14,6 +14,7 @@
 
 #include "common/pool.hh"
 #include "common/strings.hh"
+#include "common/timer.hh"
 #include "synth/synthesizer.hh"
 
 namespace lts::bench
@@ -148,6 +149,114 @@ aggregateCpuSeconds(const std::vector<synth::Suite> &suites)
             s += suite.totalSeconds();
     }
     return s;
+}
+
+/** One engine-mode measurement for the BENCH_*.json comparison. */
+struct ModeRun
+{
+    std::string mode; ///< "incremental" or "from-scratch"
+    double wallSeconds = 0;
+    double cpuSeconds = 0;
+    uint64_t jobsQueued = 0;
+    uint64_t jobsDone = 0;
+    uint64_t conflicts = 0;
+    uint64_t instances = 0;
+    std::map<int, uint64_t> instancesBySize; ///< union suite, size -> models
+};
+
+/**
+ * Run synthesizeAll under one engine mode and record the solver-work
+ * and runtime numbers the BENCH_*.json files report. The suites go to
+ * *out when the caller also wants the figure tables.
+ */
+inline ModeRun
+measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
+            std::vector<synth::Suite> *out = nullptr)
+{
+    opt.incremental = incremental;
+    synth::SynthProgress progress;
+    opt.progress = &progress;
+    Timer wall;
+    auto suites = synth::synthesizeAll(model, opt);
+    ModeRun run;
+    run.mode = incremental ? "incremental" : "from-scratch";
+    run.wallSeconds = wall.seconds();
+    run.cpuSeconds = aggregateCpuSeconds(suites);
+    run.jobsQueued = progress.jobsQueued.load();
+    run.jobsDone = progress.jobsDone.load();
+    run.conflicts = progress.conflicts.load();
+    run.instances = progress.instances.load();
+    run.instancesBySize = suites.back().instancesBySize;
+    if (out)
+        *out = std::move(suites);
+    return run;
+}
+
+/** One-line scheduling/solver-work summary for an engine-mode run. */
+inline void
+printModeRun(const ModeRun &run, int jobs)
+{
+    std::printf("%s engine: %u worker(s); %llu/%llu jobs done; "
+                "%llu SAT conflicts; %llu instances enumerated\n",
+                run.mode.c_str(), ThreadPool::resolveThreads(jobs),
+                static_cast<unsigned long long>(run.jobsDone),
+                static_cast<unsigned long long>(run.jobsQueued),
+                static_cast<unsigned long long>(run.conflicts),
+                static_cast<unsigned long long>(run.instances));
+    std::printf("wall-clock %.2fs, aggregate CPU %.2fs (%.2fx)\n",
+                run.wallSeconds, run.cpuSeconds,
+                run.wallSeconds > 0 ? run.cpuSeconds / run.wallSeconds : 0.0);
+}
+
+/**
+ * Write the machine-readable results file (BENCH_<name>.json) consumed
+ * by sweep scripts: one entry per engine mode with wall/CPU seconds,
+ * SAT conflicts, and union-suite instance counts per size.
+ */
+inline void
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::string &model, int min_size, int max_size,
+               const std::vector<ModeRun> &runs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"model\": \"%s\",\n"
+                 "  \"minSize\": %d,\n"
+                 "  \"maxSize\": %d,\n"
+                 "  \"modes\": [\n",
+                 bench.c_str(), model.c_str(), min_size, max_size);
+    for (size_t i = 0; i < runs.size(); i++) {
+        const ModeRun &run = runs[i];
+        std::fprintf(f,
+                     "    {\n"
+                     "      \"mode\": \"%s\",\n"
+                     "      \"wallSeconds\": %.6f,\n"
+                     "      \"cpuSeconds\": %.6f,\n"
+                     "      \"jobsQueued\": %llu,\n"
+                     "      \"conflicts\": %llu,\n"
+                     "      \"instances\": %llu,\n"
+                     "      \"instancesBySize\": {",
+                     run.mode.c_str(), run.wallSeconds, run.cpuSeconds,
+                     static_cast<unsigned long long>(run.jobsQueued),
+                     static_cast<unsigned long long>(run.conflicts),
+                     static_cast<unsigned long long>(run.instances));
+        bool first = true;
+        for (auto [size, count] : run.instancesBySize) {
+            std::fprintf(f, "%s\"%d\": %llu", first ? "" : ", ", size,
+                         static_cast<unsigned long long>(count));
+            first = false;
+        }
+        std::fprintf(f, "}\n    }%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace lts::bench

@@ -26,6 +26,7 @@
 #include "mm/registry.hh"
 #include "suites/owens.hh"
 #include "synth/explicit.hh"
+#include "synth/options.hh"
 #include "synth/synthesizer.hh"
 
 using namespace lts;
@@ -34,11 +35,15 @@ int
 main(int argc, char **argv)
 {
     Flags flags;
+    synth::declareSynthFlags(flags);
     flags.declare("max-size", "5", "largest test size to synthesize");
     flags.declare("all-progs-max", "4",
                   "largest size for explicit all-programs counting");
-    flags.declare("jobs", "0",
-                  "parallel synthesis jobs (0 = all hardware threads)");
+    flags.declare("bench-json", "BENCH_fig13_tso.json",
+                  "machine-readable results file ('' = skip)");
+    flags.declare("compare-modes", "true",
+                  "also run the from-scratch engine and record both in "
+                  "the json file");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -47,18 +52,16 @@ main(int argc, char **argv)
     bench::banner("Figures 11, 12, 13 + TSO portion of Section 6.1");
 
     auto tso = mm::makeModel("tso");
-    synth::SynthOptions opt;
-    opt.minSize = 2;
-    opt.maxSize = max_size;
-    opt.jobs = flags.getInt("jobs");
-    synth::SynthProgress progress;
-    opt.progress = &progress;
-    Timer wall;
-    auto suites = synth::synthesizeAll(*tso, opt);
-    double wall_seconds = wall.seconds();
+    synth::SynthOptions opt = synth::synthOptionsFromFlags(flags);
+    std::vector<synth::Suite> suites;
+    std::vector<bench::ModeRun> runs;
+    runs.push_back(bench::measureMode(*tso, opt, opt.incremental, &suites));
+    bench::printModeRun(runs.back(), opt.jobs);
+    if (flags.getBool("compare-modes")) {
+        runs.push_back(bench::measureMode(*tso, opt, !opt.incremental));
+        bench::printModeRun(runs.back(), opt.jobs);
+    }
     const synth::Suite &u = suites.back();
-    bench::printParallelStats(progress, opt.jobs, wall_seconds,
-                              bench::aggregateCpuSeconds(suites));
 
     // ---- Figure 13b: per-axiom counts ---------------------------------
     std::printf("\nFigure 13b: tests per axiom per size bound\n");
@@ -127,5 +130,10 @@ main(int argc, char **argv)
     std::printf("\nSummary: union=%zu tests, raw SAT instances=%llu\n",
                 u.tests.size(),
                 static_cast<unsigned long long>(u.rawInstances));
+
+    if (!flags.get("bench-json").empty()) {
+        bench::writeBenchJson(flags.get("bench-json"), "fig13_tso", "tso",
+                              opt.minSize, max_size, runs);
+    }
     return 0;
 }

@@ -26,6 +26,7 @@
 #include "synth/compare.hh"
 #include "synth/executor.hh"
 #include "synth/minimality.hh"
+#include "synth/options.hh"
 #include "synth/synthesizer.hh"
 
 using namespace lts;
@@ -34,10 +35,14 @@ int
 main(int argc, char **argv)
 {
     Flags flags;
+    synth::declareSynthFlags(flags);
     flags.declare("max-size", "5", "largest synthesized test size");
     flags.declare("arm", "true", "also run the ARMv7 variant");
-    flags.declare("jobs", "0",
-                  "parallel synthesis jobs (0 = all hardware threads)");
+    flags.declare("bench-json", "BENCH_fig16_power.json",
+                  "machine-readable results file ('' = skip)");
+    flags.declare("compare-modes", "true",
+                  "also run the from-scratch engine and record both in "
+                  "the json file");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -45,16 +50,15 @@ main(int argc, char **argv)
     bench::banner("Figure 16 + Section 6.2: Power (and ARMv7)");
 
     auto power = mm::makeModel("power");
-    synth::SynthOptions opt;
-    opt.minSize = 2;
-    opt.maxSize = max_size;
-    opt.jobs = flags.getInt("jobs");
-    synth::SynthProgress progress;
-    opt.progress = &progress;
-    Timer wall;
-    auto suites = synth::synthesizeAll(*power, opt);
-    bench::printParallelStats(progress, opt.jobs, wall.seconds(),
-                              bench::aggregateCpuSeconds(suites));
+    synth::SynthOptions opt = synth::synthOptionsFromFlags(flags);
+    std::vector<synth::Suite> suites;
+    std::vector<bench::ModeRun> runs;
+    runs.push_back(bench::measureMode(*power, opt, opt.incremental, &suites));
+    bench::printModeRun(runs.back(), opt.jobs);
+    if (flags.getBool("compare-modes")) {
+        runs.push_back(bench::measureMode(*power, opt, !opt.incremental));
+        bench::printModeRun(runs.back(), opt.jobs);
+    }
 
     std::printf("\nFigure 16b: tests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);
@@ -112,6 +116,11 @@ main(int argc, char **argv)
         auto arm = mm::makeModel("armv7");
         auto arm_suites = synth::synthesizeAll(*arm, opt);
         bench::printSuiteTable(arm_suites, 2, max_size);
+    }
+
+    if (!flags.get("bench-json").empty()) {
+        bench::writeBenchJson(flags.get("bench-json"), "fig16_power",
+                              "power", opt.minSize, max_size, runs);
     }
     return 0;
 }

@@ -24,6 +24,7 @@
 #include "mm/registry.hh"
 #include "rel/encoder.hh"
 #include "synth/minimality.hh"
+#include "synth/options.hh"
 #include "synth/synthesizer.hh"
 
 using namespace lts;
@@ -54,11 +55,14 @@ int
 main(int argc, char **argv)
 {
     Flags flags;
-    flags.declare("max-size", "4", "largest synthesized test size");
+    synth::declareSynthFlags(flags);
     flags.declare("sb-size", "6",
                   "size at which to look for SB+FenceSCs (0 = skip)");
-    flags.declare("jobs", "0",
-                  "parallel synthesis jobs (0 = all hardware threads)");
+    flags.declare("bench-json", "BENCH_fig20_scc.json",
+                  "machine-readable results file ('' = skip)");
+    flags.declare("compare-modes", "true",
+                  "also run the from-scratch engine and record both in "
+                  "the json file");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -67,16 +71,15 @@ main(int argc, char **argv)
                   "Consistency");
 
     auto scc = mm::makeModel("scc");
-    synth::SynthOptions opt;
-    opt.minSize = 2;
-    opt.maxSize = max_size;
-    opt.jobs = flags.getInt("jobs");
-    synth::SynthProgress progress;
-    opt.progress = &progress;
-    Timer wall;
-    auto suites = synth::synthesizeAll(*scc, opt);
-    bench::printParallelStats(progress, opt.jobs, wall.seconds(),
-                              bench::aggregateCpuSeconds(suites));
+    synth::SynthOptions opt = synth::synthOptionsFromFlags(flags);
+    std::vector<synth::Suite> suites;
+    std::vector<bench::ModeRun> runs;
+    runs.push_back(bench::measureMode(*scc, opt, opt.incremental, &suites));
+    bench::printModeRun(runs.back(), opt.jobs);
+    if (flags.getBool("compare-modes")) {
+        runs.push_back(bench::measureMode(*scc, opt, !opt.incremental));
+        bench::printModeRun(runs.back(), opt.jobs);
+    }
 
     std::printf("\nFigure 20a: tests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);
@@ -110,10 +113,15 @@ main(int argc, char **argv)
                 solver.addFact(
                     rel::mkEqual(var, rel::mkConst(pin.matrix(id))));
         }
-        bool admitted = solver.solve();
+        bool admitted = solver.solve() == sat::SolveResult::Sat;
         std::printf("SB+FenceSCs %s by the synthesis formula at n=6\n",
                     admitted ? "ADMITTED (as the paper reports)"
                              : "REJECTED (unexpected)");
+    }
+
+    if (!flags.get("bench-json").empty()) {
+        bench::writeBenchJson(flags.get("bench-json"), "fig20_scc", "scc",
+                              opt.minSize, max_size, runs);
     }
     return 0;
 }

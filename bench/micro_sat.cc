@@ -52,7 +52,7 @@ BM_PropagationChain(benchmark::State &state)
         for (int i = 0; i + 1 < n; i++)
             s.addClause({Lit::neg(v[i]), Lit::pos(v[i + 1])});
         s.addClause({Lit::pos(v[0])});
-        bool sat = s.solve();
+        bool sat = s.solve() == SolveResult::Sat;
         benchmark::DoNotOptimize(sat);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -65,7 +65,7 @@ BM_PigeonholeUnsat(benchmark::State &state)
     for (auto _ : state) {
         Solver s;
         addPigeonhole(s, static_cast<int>(state.range(0)));
-        bool sat = s.solve();
+        bool sat = s.solve() == SolveResult::Sat;
         benchmark::DoNotOptimize(sat);
     }
 }
@@ -91,7 +91,7 @@ BM_Random3Sat(benchmark::State &state)
             if (!s.addClause(clause))
                 break;
         }
-        bool sat = s.solve();
+        bool sat = s.solve() == SolveResult::Sat;
         benchmark::DoNotOptimize(sat);
     }
 }
@@ -109,7 +109,7 @@ BM_ModelEnumeration(benchmark::State &state)
         for (int i = 0; i < k; i++)
             vars.push_back(s.newVar());
         int models = 0;
-        while (s.solve()) {
+        while (s.solve() == SolveResult::Sat) {
             models++;
             Clause blocking;
             for (Var v : vars)
@@ -134,7 +134,7 @@ BM_IncrementalAssumptions(benchmark::State &state)
     for (auto _ : state) {
         std::vector<Lit> assumptions = {
             Lit(selectors[i % selectors.size()], (i / 8) & 1)};
-        bool sat = s.solve(assumptions);
+        bool sat = s.solve(assumptions) == SolveResult::Sat;
         benchmark::DoNotOptimize(sat);
         i++;
     }

@@ -16,6 +16,13 @@ Flags::declare(const std::string &name, const std::string &def,
     decls[name] = Decl{def, help};
 }
 
+void
+Flags::declareAll(const std::vector<FlagSpec> &specs)
+{
+    for (const auto &spec : specs)
+        declare(spec.name, spec.def, spec.help);
+}
+
 bool
 Flags::parse(int argc, char **argv)
 {
@@ -90,6 +97,12 @@ double
 Flags::getDouble(const std::string &name) const
 {
     return std::atof(get(name).c_str());
+}
+
+uint64_t
+Flags::getUint64(const std::string &name) const
+{
+    return std::strtoull(get(name).c_str(), nullptr, 10);
 }
 
 std::string

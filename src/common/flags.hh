@@ -9,12 +9,25 @@
 #ifndef LTS_COMMON_FLAGS_HH
 #define LTS_COMMON_FLAGS_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace lts
 {
+
+/**
+ * One row of a flag table: libraries that own a group of knobs (e.g.
+ * synth::SynthOptions) export their flags as a static span of these so
+ * every binary declares the same names, defaults, and help text.
+ */
+struct FlagSpec
+{
+    const char *name;
+    const char *def;
+    const char *help;
+};
 
 /**
  * Declarative flag registry: declare flags with defaults and help text,
@@ -28,6 +41,12 @@ class Flags
                  const std::string &help);
 
     /**
+     * Declare every flag in a table. Re-declaring afterwards overrides
+     * the default, so a binary can specialize a shared table entry.
+     */
+    void declareAll(const std::vector<FlagSpec> &specs);
+
+    /**
      * Parse argv. Returns false (and prints usage) on error or --help.
      * Positional arguments are collected into positional().
      */
@@ -37,6 +56,7 @@ class Flags
     int getInt(const std::string &name) const;
     bool getBool(const std::string &name) const;
     double getDouble(const std::string &name) const;
+    uint64_t getUint64(const std::string &name) const;
 
     const std::vector<std::string> &positional() const { return positionals; }
 

@@ -1,5 +1,6 @@
 #include "rel/encoder.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -406,35 +407,174 @@ Encoder::blockingClause(const sat::Solver &solver,
     return clause;
 }
 
+sat::Clause
+Encoder::blockingClause(const Instance &inst,
+                        const std::vector<int> &var_ids) const
+{
+    std::vector<int> ids = var_ids;
+    if (ids.empty()) {
+        for (size_t id = 0; id < vocab.size(); id++)
+            ids.push_back(static_cast<int>(id));
+    }
+    sat::Clause clause;
+    for (int id : ids) {
+        const VarDecl &d = vocab.decl(id);
+        if (d.arity == 1) {
+            for (size_t i = 0; i < n; i++) {
+                clause.push_back(
+                    sat::Lit(cellVars[id][i], inst.set(id).test(i)));
+            }
+        } else {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    clause.push_back(sat::Lit(cellVars[id][i * n + j],
+                                              inst.matrix(id).test(i, j)));
+                }
+            }
+        }
+    }
+    return clause;
+}
+
 RelSolver::RelSolver(const Vocabulary &vocab, size_t universe_size)
     : builder(solver), enc(vocab, universe_size, builder)
 {
 }
 
 void
-RelSolver::addFact(const FormulaPtr &f)
+RelSolver::addBaseFact(const FormulaPtr &f)
 {
     builder.assertTrue(enc.encodeFormula(f));
 }
 
-bool
-RelSolver::solve()
+FactHandle
+RelSolver::addFact(const FormulaPtr &f)
 {
-    if (exhausted)
-        return false;
-    if (!solver.solve())
-        return false;
-    lastInstance = enc.extract(solver);
-    return true;
+    FactHandle h = solver.newGroup();
+    // Deliberately not assertTrue: the fact's literal goes into a clause
+    // guarded by the layer's activation literal, so an always-false fact
+    // only deadens this layer instead of poisoning the shared solver.
+    sat::Lit flit = builder.lower(enc.encodeFormula(f));
+    solver.addClause(h, {flit});
+    liveFacts.push_back(h);
+    return h;
 }
 
-bool
+void
+RelSolver::retract(FactHandle h)
+{
+    solver.release(h);
+    liveFacts.erase(std::remove(liveFacts.begin(), liveFacts.end(), h),
+                    liveFacts.end());
+}
+
+sat::SolveResult
+RelSolver::solve()
+{
+    return solveUnder(liveFacts);
+}
+
+sat::SolveResult
+RelSolver::solveUnder(const std::vector<FactHandle> &handles)
+{
+    std::vector<sat::Lit> assumptions;
+    assumptions.reserve(handles.size());
+    for (FactHandle h : handles) {
+        assert(!solver.isReleased(h));
+        assumptions.push_back(solver.groupLit(h));
+    }
+    sat::SolveResult res = solver.solve(assumptions);
+    if (res == sat::SolveResult::Sat)
+        lastInstance = enc.extract(solver);
+    return res;
+}
+
+void
+RelSolver::blockModel(const std::vector<int> &var_ids, FactHandle under)
+{
+    // Block from the stored instance, not the raw solver model: after
+    // lexMinimizeInstance the two can disagree, and the documented
+    // contract is "exclude the last *instance*".
+    sat::Clause clause = enc.blockingClause(lastInstance, var_ids);
+    if (under == kNoFact)
+        solver.addClause(std::move(clause));
+    else
+        solver.addClause(under, std::move(clause));
+}
+
+void
+RelSolver::lexMinimizeInstance(const std::vector<int> &fixed_var_ids)
+{
+    const Vocabulary &vocab = enc.vocabulary();
+    size_t n = enc.universe();
+    std::vector<char> fixed(vocab.size(), 0);
+    for (int id : fixed_var_ids)
+        fixed[static_cast<size_t>(id)] = 1;
+
+    std::vector<sat::Lit> assume;
+    for (FactHandle h : liveFacts)
+        assume.push_back(solver.groupLit(h));
+    // Pin the fixed relations at their last-instance values. Lit's sign
+    // flag means "negated", so pinning cell c to value b is Lit(c, !b).
+    for (size_t id = 0; id < vocab.size(); id++) {
+        if (!fixed[id])
+            continue;
+        const VarDecl &d = vocab.decl(static_cast<int>(id));
+        if (d.arity == 1) {
+            for (size_t i = 0; i < n; i++) {
+                assume.push_back(sat::Lit(enc.cellVar(d.id, i),
+                                          !lastInstance.set(d.id).test(i)));
+            }
+        } else {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    assume.push_back(
+                        sat::Lit(enc.cellVar(d.id, i, j),
+                                 !lastInstance.matrix(d.id).test(i, j)));
+                }
+            }
+        }
+    }
+
+    // Greedy lex walk over the free cells. A cell already false in the
+    // best-so-far instance can be pinned false without solving — the
+    // instance itself witnesses feasibility. A true cell costs one
+    // assumption solve: Sat means false works (and the new model becomes
+    // best-so-far), Unsat means the cell is forced true. Witness
+    // relations are sparse, so only a handful of solves happen per call.
+    auto tryCell = [&](sat::Var v, bool val) {
+        if (!val) {
+            assume.push_back(sat::Lit(v, true));
+            return;
+        }
+        assume.push_back(sat::Lit(v, true));
+        if (solver.solve(assume) == sat::SolveResult::Sat)
+            lastInstance = enc.extract(solver);
+        else
+            assume.back() = sat::Lit(v, false);
+    };
+    for (size_t id = 0; id < vocab.size(); id++) {
+        if (fixed[id])
+            continue;
+        const VarDecl &d = vocab.decl(static_cast<int>(id));
+        if (d.arity == 1) {
+            for (size_t i = 0; i < n; i++)
+                tryCell(enc.cellVar(d.id, i), lastInstance.set(d.id).test(i));
+        } else {
+            for (size_t i = 0; i < n; i++) {
+                for (size_t j = 0; j < n; j++) {
+                    tryCell(enc.cellVar(d.id, i, j),
+                            lastInstance.matrix(d.id).test(i, j));
+                }
+            }
+        }
+    }
+}
+
+sat::SolveResult
 RelSolver::blockAndContinue(const std::vector<int> &var_ids)
 {
-    if (!solver.addClause(enc.blockingClause(solver, var_ids))) {
-        exhausted = true;
-        return false;
-    }
+    blockModel(var_ids);
     return solve();
 }
 

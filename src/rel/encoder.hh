@@ -9,9 +9,16 @@
  * formula becomes a single gate literal that can be asserted.
  *
  * RelSolver wraps the whole pipeline: declare a Vocabulary, assert facts,
- * then solve/enumerate instances. Enumeration blocks either the full
- * instance or only a chosen subset of relations (the synthesizer blocks
- * only the *static* part of a litmus test so each test is produced once).
+ * then solve/enumerate instances. Facts come in two flavours: *base*
+ * facts are permanent, while retractable facts (addFact -> FactHandle)
+ * are layered over the shared encoding via the SAT solver's
+ * activation-literal groups and can be retired with retract(). One
+ * solver can therefore serve many closely related queries — the
+ * synthesizer sweeps every axiom of a model over a single per-size
+ * encoding. Enumeration blocks either the full instance or only a chosen
+ * subset of relations (the synthesizer blocks only the *static* part of
+ * a litmus test so each test is produced once), and blocking clauses can
+ * be tied to a fact layer so they die with it.
  */
 
 #ifndef LTS_REL_ENCODER_HH
@@ -85,6 +92,12 @@ class Encoder
     sat::Clause blockingClause(const sat::Solver &solver,
                                const std::vector<int> &var_ids) const;
 
+    /** Blocking clause from a stored instance instead of a solver model. */
+    sat::Clause blockingClause(const Instance &inst,
+                               const std::vector<int> &var_ids) const;
+
+    const Vocabulary &vocabulary() const { return vocab; }
+
     size_t universe() const { return n; }
 
   private:
@@ -107,6 +120,16 @@ class Encoder
 };
 
 /**
+ * Handle to a retractable fact layer (see RelSolver::addFact). Thin
+ * wrapper over a sat::Group: the fact's encoding is guarded by the
+ * group's activation literal, so it binds only in solves that include
+ * the handle and can be retired permanently with retract().
+ */
+using FactHandle = sat::Group;
+
+constexpr FactHandle kNoFact = sat::kNoGroup;
+
+/**
  * One-stop relational solver: vocabulary + facts + solve/enumerate.
  */
 class RelSolver
@@ -114,21 +137,67 @@ class RelSolver
   public:
     RelSolver(const Vocabulary &vocab, size_t universe_size);
 
-    /** Assert that @p f holds in every instance. */
-    void addFact(const FormulaPtr &f);
+    /**
+     * Assert that @p f holds in every instance, permanently. Base facts
+     * are lowered as root-level units, so the solver simplifies against
+     * them; use this for the encoding every query shares.
+     */
+    void addBaseFact(const FormulaPtr &f);
 
-    /** True iff an instance satisfying all facts exists; fills instance(). */
-    bool solve();
+    /**
+     * Assert @p f as a retractable layer and return its handle. The fact
+     * binds only in solve()/solveUnder() calls that activate the handle;
+     * an always-false fact makes those calls Unsat without poisoning the
+     * solver for other layers.
+     */
+    FactHandle addFact(const FormulaPtr &f);
 
-    /** The instance found by the last successful solve(). */
+    /**
+     * Permanently retire a retractable fact layer: its clauses — and any
+     * blocking clauses or learned clauses tied to it — are dropped.
+     */
+    void retract(FactHandle h);
+
+    /**
+     * Solve with every live (non-retracted) retractable fact active.
+     * Fills instance() on Sat.
+     */
+    sat::SolveResult solve();
+
+    /**
+     * Solve with exactly the given retractable layers active (base facts
+     * always hold). Fills instance() on Sat.
+     */
+    sat::SolveResult solveUnder(const std::vector<FactHandle> &handles);
+
+    /** The instance found by the last Sat solve. */
     const Instance &instance() const { return lastInstance; }
 
     /**
-     * Exclude the last instance's assignment to @p var_ids (all declared
-     * relations when empty) and keep solving. Returns false when the
-     * space is exhausted.
+     * Replace the last instance with the lexicographically smallest
+     * model (declared relations in id order, cells row-major, false
+     * before true) that agrees with it on @p fixed_var_ids, under the
+     * live fact layers and every accumulated clause. The result is a
+     * pure function of the fixed assignment and the constraint set,
+     * independent of SAT search state — the synthesizer relies on this
+     * to emit identical witness executions from either engine.
      */
-    bool blockAndContinue(const std::vector<int> &var_ids = {});
+    void lexMinimizeInstance(const std::vector<int> &fixed_var_ids);
+
+    /**
+     * Exclude the last instance's assignment to @p var_ids (all declared
+     * relations when empty). When @p under is a fact handle the blocking
+     * clause is tied to that layer and dies with it; kNoFact blocks
+     * permanently.
+     */
+    void blockModel(const std::vector<int> &var_ids = {},
+                    FactHandle under = kNoFact);
+
+    /**
+     * Convenience for enumeration loops: blockModel(var_ids) permanently,
+     * then solve() again.
+     */
+    sat::SolveResult blockAndContinue(const std::vector<int> &var_ids = {});
 
     Encoder &encoder() { return enc; }
     sat::Solver &satSolver() { return solver; }
@@ -138,7 +207,7 @@ class RelSolver
     GateBuilder builder;
     Encoder enc;
     Instance lastInstance;
-    bool exhausted = false;
+    std::vector<FactHandle> liveFacts;
 };
 
 } // namespace lts::rel

@@ -76,6 +76,12 @@ Solver::removeClause(ClauseRef cref)
     auto &c = clauses[cref];
     assert(!c.deleted);
     detachClause(cref);
+    // The clause may be recorded as the reason of a root-level assignment;
+    // root-level reasons are never dereferenced, but clear the record so
+    // no stale reference survives the removal.
+    Var v0 = c.lits[0].var();
+    if (reasons[v0] == cref)
+        reasons[v0] = kNoReason;
     c.deleted = true;
     c.lits.clear();
     c.lits.shrink_to_fit();
@@ -88,6 +94,23 @@ Solver::removeClause(ClauseRef cref)
 
 bool
 Solver::addClause(Clause lits)
+{
+    return addClauseInternal(std::move(lits), kNoGroup);
+}
+
+bool
+Solver::addClause(Group g, Clause lits)
+{
+    assert(g >= 0 && g < static_cast<Group>(groups.size()));
+    assert(!groups[g].releasedFlag && "adding clause to a released group");
+    // The guard literal: the clause only binds when the activation
+    // literal (groupLit) is assumed true.
+    lits.push_back(Lit::neg(groups[g].selector));
+    return addClauseInternal(std::move(lits), g);
+}
+
+bool
+Solver::addClauseInternal(Clause lits, Group group)
 {
     assert(decisionLevel() == 0);
     if (!ok)
@@ -111,13 +134,88 @@ Solver::addClause(Clause lits)
         return false;
     }
     if (out.size() == 1) {
+        // For a group clause this can only be the guard literal itself
+        // (the body was root-falsified): the group becomes permanently
+        // inactive, which is the correct residue of an absurd layer.
         uncheckedEnqueue(out[0], kNoReason);
         ok = (propagate() == kNoReason);
         return ok;
     }
     ClauseRef cref = allocClause(std::move(out), false);
     attachClause(cref);
+    if (group != kNoGroup)
+        groups[group].clauseRefs.push_back(cref);
     return true;
+}
+
+// ---------------------------------------------------------------------------
+// Activation-literal groups
+// ---------------------------------------------------------------------------
+
+Group
+Solver::newGroup()
+{
+    Group g = static_cast<Group>(groups.size());
+    GroupInfo info;
+    info.selector = newVar();
+    groups.push_back(std::move(info));
+    return g;
+}
+
+Lit
+Solver::groupLit(Group g) const
+{
+    assert(g >= 0 && g < static_cast<Group>(groups.size()));
+    return Lit::pos(groups[g].selector);
+}
+
+bool
+Solver::isReleased(Group g) const
+{
+    assert(g >= 0 && g < static_cast<Group>(groups.size()));
+    return groups[g].releasedFlag;
+}
+
+void
+Solver::release(Group g)
+{
+    assert(g >= 0 && g < static_cast<Group>(groups.size()));
+    assert(decisionLevel() == 0);
+    auto &info = groups[g];
+    if (info.releasedFlag)
+        return;
+    info.releasedFlag = true;
+    statsData.releasedGroups++;
+
+    for (ClauseRef cref : info.clauseRefs) {
+        if (!clauses[cref].deleted)
+            removeClause(cref);
+    }
+    info.clauseRefs.clear();
+    info.clauseRefs.shrink_to_fit();
+
+    // Every learned clause derived from this group's clauses carries the
+    // negated activation literal (the selector is only ever assigned as
+    // an assumption decision, so conflict analysis can never resolve it
+    // away). Purge them: with the group gone they are dead weight.
+    Lit guard = Lit::neg(info.selector);
+    size_t keep = 0;
+    for (ClauseRef cref : learnts) {
+        auto &c = clauses[cref];
+        if (c.deleted)
+            continue;
+        if (std::find(c.lits.begin(), c.lits.end(), guard) != c.lits.end()) {
+            removeClause(cref);
+            continue;
+        }
+        learnts[keep++] = cref;
+    }
+    learnts.resize(keep);
+
+    // Pin the selector false so the variable never burdens the search
+    // again (and any remaining guarded clause is root-satisfied).
+    if (ok && value(info.selector) == LBool::Undef)
+        addClause({guard});
 }
 
 // ---------------------------------------------------------------------------
@@ -220,7 +318,8 @@ Solver::propagate()
 // ---------------------------------------------------------------------------
 
 void
-Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt, int &out_btlevel)
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt, int &out_btlevel,
+                int &out_lbd)
 {
     out_learnt.clear();
     out_learnt.push_back(Lit()); // placeholder for the asserting literal
@@ -274,6 +373,19 @@ Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt, int &out_btlevel)
         }
     }
     out_learnt.resize(keep);
+
+    // Literal block distance: number of distinct decision levels in the
+    // minimized clause (the "glue" metric of Glucose). Low-LBD clauses
+    // bridge few decision blocks and stay useful across restarts and
+    // incremental queries, so reduceDB retains them preferentially.
+    lbdLevels.clear();
+    for (Lit l : out_learnt) {
+        int lev = levels[l.var()];
+        if (std::find(lbdLevels.begin(), lbdLevels.end(), lev) ==
+            lbdLevels.end())
+            lbdLevels.push_back(lev);
+    }
+    out_lbd = static_cast<int>(lbdLevels.size());
 
     // Find the backtrack level (second-highest level in the clause).
     if (out_learnt.size() == 1) {
@@ -396,37 +508,67 @@ Solver::pickBranchLit()
     return Lit();
 }
 
+bool
+Solver::satisfiedAtRoot(const InternalClause &c) const
+{
+    for (Lit l : c.lits) {
+        if (value(l) == LBool::True && levels[l.var()] == 0)
+            return true;
+    }
+    return false;
+}
+
 void
 Solver::reduceDB()
 {
-    // Drop the least active half of the learnt clauses, keeping any clause
-    // that is currently the reason for an assignment.
-    std::vector<ClauseRef> alive;
+    statsData.reduceCalls++;
+
+    // LBD-aware retention (Glucose-style): "glue" clauses (LBD <= 2) and
+    // binary clauses are kept unconditionally — they are what makes
+    // learning pay off across incremental queries. The rest are ranked
+    // worst-first by (high LBD, low activity) and the worst half is
+    // dropped. Clauses satisfied at the root are dead weight regardless
+    // of quality and go immediately.
+    std::vector<ClauseRef> cands;
+    size_t keep = 0;
     for (ClauseRef cref : learnts) {
-        if (!clauses[cref].deleted)
-            alive.push_back(cref);
-    }
-    std::sort(alive.begin(), alive.end(), [&](ClauseRef a, ClauseRef b) {
-        return clauses[a].activity < clauses[b].activity;
-    });
-    double extra_lim = claInc / std::max<size_t>(alive.size(), 1);
-    size_t removed = 0;
-    for (size_t i = 0; i < alive.size(); i++) {
-        auto &c = clauses[alive[i]];
-        bool locked = reasons[c.lits[0].var()] == alive[i] &&
+        auto &c = clauses[cref];
+        if (c.deleted)
+            continue;
+        bool locked = reasons[c.lits[0].var()] == cref &&
                       value(c.lits[0]) == LBool::True;
-        bool weak = i < alive.size() / 2 || c.activity < extra_lim;
-        if (!locked && c.lits.size() > 2 && weak) {
-            removeClause(alive[i]);
-            removed++;
+        if (!locked && satisfiedAtRoot(c)) {
+            removeClause(cref);
+            continue;
         }
+        learnts[keep++] = cref;
+        if (!locked && c.lits.size() > 2 && c.lbd > 2)
+            cands.push_back(cref);
     }
-    (void)removed;
+    learnts.resize(keep);
+
+    std::sort(cands.begin(), cands.end(), [&](ClauseRef a, ClauseRef b) {
+        const auto &ca = clauses[a];
+        const auto &cb = clauses[b];
+        if (ca.lbd != cb.lbd)
+            return ca.lbd > cb.lbd;
+        return ca.activity < cb.activity;
+    });
+    for (size_t i = 0; i < cands.size() / 2; i++)
+        removeClause(cands[i]);
+
     learnts.erase(std::remove_if(learnts.begin(), learnts.end(),
                                  [&](ClauseRef cref) {
                                      return clauses[cref].deleted;
                                  }),
                   learnts.end());
+}
+
+void
+Solver::reduceLearnedClauses()
+{
+    assert(decisionLevel() == 0);
+    reduceDB();
 }
 
 double
@@ -468,12 +610,14 @@ Solver::search(int64_t max_conflicts)
                 return LBool::False;
             }
             int bt_level = 0;
-            analyze(confl, learnt, bt_level);
+            int lbd = 0;
+            analyze(confl, learnt, bt_level, lbd);
             cancelUntil(bt_level);
             if (learnt.size() == 1) {
                 uncheckedEnqueue(learnt[0], kNoReason);
             } else {
                 ClauseRef cref = allocClause(learnt, true);
+                clauses[cref].lbd = lbd;
                 learnts.push_back(cref);
                 attachClause(cref);
                 claBumpActivity(clauses[cref]);
@@ -481,7 +625,8 @@ Solver::search(int64_t max_conflicts)
             }
             varDecayActivity();
             claDecayActivity();
-            if (conflictBudget && statsData.conflicts >= conflictBudget) {
+            if (conflictBudget &&
+                statsData.conflicts - budgetBase >= conflictBudget) {
                 hitBudget = true;
                 cancelUntil(0);
                 return LBool::Undef;
@@ -525,19 +670,21 @@ Solver::search(int64_t max_conflicts)
     }
 }
 
-bool
+SolveResult
 Solver::solve()
 {
     return solve({});
 }
 
-bool
+SolveResult
 Solver::solve(const std::vector<Lit> &assumptions)
 {
     conflict.clear();
     hitBudget = false;
-    if (!ok)
-        return false;
+    if (!ok) {
+        lastResult = SolveResult::Unsat;
+        return lastResult;
+    }
     assumptionsVec = assumptions;
     maxLearnts = std::max(static_cast<double>(numProblemClauses) / 3.0,
                           2000.0);
@@ -551,7 +698,28 @@ Solver::solve(const std::vector<Lit> &assumptions)
     }
     cancelUntil(0);
     assumptionsVec.clear();
-    return status == LBool::True;
+    if (status == LBool::True)
+        lastResult = SolveResult::Sat;
+    else if (status == LBool::False)
+        lastResult = SolveResult::Unsat;
+    else
+        lastResult = SolveResult::BudgetExhausted;
+    return lastResult;
+}
+
+const std::vector<Lit> &
+Solver::conflictAssumptions() const
+{
+    assert(lastResult == SolveResult::Unsat &&
+           "conflictAssumptions() is only meaningful after Unsat");
+    return conflict;
+}
+
+void
+Solver::setConflictBudget(uint64_t budget)
+{
+    conflictBudget = budget;
+    budgetBase = statsData.conflicts;
 }
 
 // ---------------------------------------------------------------------------

@@ -6,10 +6,17 @@
  * paper used underneath Alloy/Kodkod. It implements the standard modern
  * architecture: two-watched-literal unit propagation, first-UIP conflict
  * analysis with recursive clause minimization, VSIDS decision heuristics
- * with phase saving, Luby-sequence restarts, activity-driven learned-clause
- * deletion, and incremental solving under assumptions. Clauses may be added
- * between solve() calls, which is how the synthesizer's enumeration loop
- * blocks previously found tests.
+ * with phase saving, Luby-sequence restarts, LBD-aware learned-clause
+ * deletion, and incremental solving under assumptions.
+ *
+ * The solver is built for *retractable* incremental use: clauses may be
+ * added between solve() calls (how the synthesizer's enumeration loop
+ * blocks previously found tests), and clauses may be tagged with an
+ * activation-literal group (newGroup / addClause(group, lits) /
+ * release(group)) so a whole layer of facts can be asserted for some
+ * queries and permanently retired later without rebuilding the solver.
+ * Learned clauses derived from a group carry the group's activation
+ * literal and die with it; everything else survives across queries.
  */
 
 #ifndef LTS_SAT_SOLVER_HH
@@ -33,7 +40,31 @@ struct SolverStats
     uint64_t learnedClauses = 0;
     uint64_t deletedClauses = 0;
     uint64_t minimizedLits = 0;
+    uint64_t reduceCalls = 0;     ///< learned-DB reductions performed
+    uint64_t releasedGroups = 0;  ///< activation groups retired
 };
+
+/**
+ * Structured outcome of a solve() call. BudgetExhausted means the
+ * conflict budget stopped the search before an answer was reached: the
+ * model and the conflict-assumption set are both meaningless.
+ */
+enum class SolveResult
+{
+    Sat,
+    Unsat,
+    BudgetExhausted,
+};
+
+/**
+ * An activation-literal group for retractable clauses. Clauses added to
+ * a group are guarded by the group's selector variable and only bind
+ * when the group's literal (groupLit) is assumed. release() retires the
+ * group permanently. Obtained from Solver::newGroup().
+ */
+using Group = int32_t;
+
+constexpr Group kNoGroup = -1;
 
 /**
  * CDCL SAT solver over clauses of Lit.
@@ -43,7 +74,15 @@ struct SolverStats
  *   Solver s;
  *   Var a = s.newVar(), b = s.newVar();
  *   s.addClause({Lit::pos(a), Lit::pos(b)});
- *   if (s.solve()) { bool va = s.modelValue(a); ... }
+ *   if (s.solve() == SolveResult::Sat) { bool va = s.modelValue(a); ... }
+ * @endcode
+ *
+ * Retractable layers:
+ * @code
+ *   Group g = s.newGroup();
+ *   s.addClause(g, {Lit::neg(a)});             // bound only under g
+ *   s.solve({s.groupLit(g)});                  // query with the layer
+ *   s.release(g);                              // retire it for good
  * @endcode
  */
 class Solver
@@ -64,20 +103,53 @@ class Solver
     int numLearned() const { return numLearnedClauses; }
 
     /**
-     * Add a clause. Returns false if the clause (together with prior
-     * top-level facts) makes the formula trivially unsatisfiable.
+     * Add a permanent clause. Returns false if the clause (together with
+     * prior top-level facts) makes the formula trivially unsatisfiable.
      * May be called between solve() calls.
      */
     bool addClause(Clause lits);
 
+    // --- activation-literal groups ---------------------------------------
+
+    /**
+     * Allocate a retractable clause group. The group's clauses bind only
+     * in solve() calls that assume groupLit(g).
+     */
+    Group newGroup();
+
+    /**
+     * The group's activation literal: assume it to enforce the group's
+     * clauses for one solve() call.
+     */
+    Lit groupLit(Group g) const;
+
+    /**
+     * Add a clause guarded by group @p g (the clause is augmented with
+     * the negated activation literal). Returns false only if the solver
+     * is already in a top-level conflict.
+     */
+    bool addClause(Group g, Clause lits);
+
+    /**
+     * Permanently retire a group: its problem clauses are removed, its
+     * activation literal is pinned false, and learned clauses guarded by
+     * it are purged. Must be called between solve() calls. Idempotent.
+     */
+    void release(Group g);
+
+    /** True once release(g) has been called. */
+    bool isReleased(Group g) const;
+
+    // --- solving ----------------------------------------------------------
+
     /** Solve with no assumptions. */
-    bool solve();
+    SolveResult solve();
 
     /**
      * Solve under the given assumption literals. The assumptions hold
-     * only for this call. Returns true iff satisfiable.
+     * only for this call.
      */
-    bool solve(const std::vector<Lit> &assumptions);
+    SolveResult solve(const std::vector<Lit> &assumptions);
 
     /** True once the formula is known unsatisfiable regardless of input. */
     bool inConflict() const { return !ok; }
@@ -96,16 +168,26 @@ class Solver
     /**
      * Subset of the assumptions responsible for the last UNSAT answer
      * (negated, i.e. the final conflict clause over assumption vars).
+     * Only meaningful when the last solve() returned SolveResult::Unsat;
+     * asserted in debug builds.
      */
-    const std::vector<Lit> &conflictAssumptions() const { return conflict; }
+    const std::vector<Lit> &conflictAssumptions() const;
 
     const SolverStats &stats() const { return statsData; }
 
-    /** Abort solve() once this many conflicts occur (0 = no limit). */
-    void setConflictBudget(uint64_t budget) { conflictBudget = budget; }
+    /**
+     * Abort solve() once this many conflicts occur, counted from this
+     * call (0 = no limit). Re-arming resets the count, so a long-lived
+     * incremental solver can budget each query family separately.
+     */
+    void setConflictBudget(uint64_t budget);
 
-    /** True if the previous solve() stopped on the conflict budget. */
-    bool budgetExhausted() const { return hitBudget; }
+    /**
+     * Force a learned-clause database reduction now (normally triggered
+     * internally). Exposed so tests and benchmarks can exercise the
+     * LBD-aware retention policy deterministically.
+     */
+    void reduceLearnedClauses();
 
   private:
     /** Internal clause representation. */
@@ -113,8 +195,16 @@ class Solver
     {
         std::vector<Lit> lits;
         double activity = 0.0;
+        int32_t lbd = 0; ///< literal block distance at learn time
         bool learned = false;
         bool deleted = false;
+    };
+
+    struct GroupInfo
+    {
+        Var selector = -1;
+        std::vector<int32_t> clauseRefs; ///< live problem clauses
+        bool releasedFlag = false;
     };
 
     using ClauseRef = int32_t;
@@ -125,6 +215,7 @@ class Solver
     void attachClause(ClauseRef cref);
     void detachClause(ClauseRef cref);
     void removeClause(ClauseRef cref);
+    bool addClauseInternal(Clause lits, Group group);
 
     // --- assignment trail -----------------------------------------------
     LBool value(Var v) const { return assigns[v]; }
@@ -142,7 +233,7 @@ class Solver
     // --- search ----------------------------------------------------------
     ClauseRef propagate();
     void analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
-                 int &out_btlevel);
+                 int &out_btlevel, int &out_lbd);
     bool litRedundant(Lit l, uint32_t abstract_levels);
     void analyzeFinal(Lit p);
     Lit pickBranchLit();
@@ -154,6 +245,7 @@ class Solver
     void claBumpActivity(InternalClause &c);
     void claDecayActivity() { claInc /= claDecay; }
     void reduceDB();
+    bool satisfiedAtRoot(const InternalClause &c) const;
     static double luby(double y, int i);
 
     // --- order heap (max-heap on activity) --------------------------------
@@ -188,6 +280,9 @@ class Solver
     std::vector<uint8_t> seen;
     std::vector<Lit> analyzeStack;
     std::vector<Lit> analyzeToClear;
+    std::vector<int> lbdLevels; // scratch for LBD computation
+
+    std::vector<GroupInfo> groups;
 
     bool ok = true;
     double varInc = 1.0;
@@ -198,7 +293,9 @@ class Solver
     int numLearnedClauses = 0;
     double maxLearnts = 0.0;
     uint64_t conflictBudget = 0;
+    uint64_t budgetBase = 0;
     bool hitBudget = false;
+    SolveResult lastResult = SolveResult::Sat;
 
     SolverStats statsData;
 };

@@ -26,12 +26,36 @@ relaxationConjunct(const Model &model, size_t n)
 }
 
 FormulaPtr
-minimalityFormula(const Model &model, const std::string &axiom_name, size_t n)
+minimalityBase(const Model &model, size_t n)
 {
-    const mm::Axiom &axiom = model.axiom(axiom_name);
     return mkAndAll({
         model.wellFormed(n),
-        mkNot(axiom.pred(model, model.base(), n)),
+        relaxationConjunct(model, n),
+    });
+}
+
+FormulaPtr
+axiomViolation(const Model &model, const std::string &axiom_name, size_t n)
+{
+    const mm::Axiom &axiom = model.axiom(axiom_name);
+    return mkNot(axiom.pred(model, model.base(), n));
+}
+
+FormulaPtr
+anyAxiomViolation(const Model &model, size_t n)
+{
+    std::vector<FormulaPtr> violated;
+    for (const auto &axiom : model.axioms())
+        violated.push_back(mkNot(axiom.pred(model, model.base(), n)));
+    return mkOrAll(violated);
+}
+
+FormulaPtr
+minimalityFormula(const Model &model, const std::string &axiom_name, size_t n)
+{
+    return mkAndAll({
+        model.wellFormed(n),
+        axiomViolation(model, axiom_name, n),
         relaxationConjunct(model, n),
     });
 }
@@ -39,12 +63,9 @@ minimalityFormula(const Model &model, const std::string &axiom_name, size_t n)
 FormulaPtr
 minimalityFormulaUnion(const Model &model, size_t n)
 {
-    std::vector<FormulaPtr> violated;
-    for (const auto &axiom : model.axioms())
-        violated.push_back(mkNot(axiom.pred(model, model.base(), n)));
     return mkAndAll({
         model.wellFormed(n),
-        mkOrAll(violated),
+        anyAxiomViolation(model, n),
         relaxationConjunct(model, n),
     });
 }

@@ -31,9 +31,34 @@ namespace lts::synth
 /**
  * Build the minimality-criterion formula for @p axiom_name of @p model
  * over a universe of @p n events. Includes well-formedness.
+ * Equivalent to minimalityBase ∧ axiomViolation.
  */
 rel::FormulaPtr minimalityFormula(const mm::Model &model,
                                   const std::string &axiom_name, size_t n);
+
+/**
+ * The axiom-independent part of the criterion: well-formed ∧ every
+ * applicable relaxation admits. This is the bulk of the encoding and is
+ * shared by all axioms at a given size, so the incremental engine
+ * asserts it once per size as a base fact and layers per-axiom
+ * violations (axiomViolation) over it as retractable facts.
+ */
+rel::FormulaPtr minimalityBase(const mm::Model &model, size_t n);
+
+/**
+ * The axiom-dependent part alone: the targeted axiom forbids the
+ * execution (¬A over the base relations). Layered over minimalityBase
+ * this reconstitutes minimalityFormula.
+ */
+rel::FormulaPtr axiomViolation(const mm::Model &model,
+                               const std::string &axiom_name, size_t n);
+
+/**
+ * Disjunctive violation layer for the direct union suite: at least one
+ * axiom forbids the execution. Layered over minimalityBase this
+ * reconstitutes minimalityFormulaUnion.
+ */
+rel::FormulaPtr anyAxiomViolation(const mm::Model &model, size_t n);
 
 /**
  * The relaxation-side conjunct alone: every applicable relaxation makes

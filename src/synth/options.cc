@@ -1,0 +1,61 @@
+#include "synth/options.hh"
+
+#include <stdexcept>
+
+namespace lts::synth
+{
+
+const std::vector<FlagSpec> &
+synthFlagSpecs()
+{
+    // Defaults match SynthOptions except --jobs: binaries default to all
+    // hardware threads, while the library default (1) stays serial so
+    // callers that never touch jobs are deterministic by construction.
+    static const std::vector<FlagSpec> specs = {
+        {"min-size", "2", "smallest test size (instructions)"},
+        {"max-size", "4", "largest test size"},
+        {"canon", "paper", "canonicalizer: paper|exact|off (Section 5.1)"},
+        {"block-static", "true",
+         "block only the static part of each model; false blocks full "
+         "instances (ablation)"},
+        {"conflict-budget", "0",
+         "SAT conflict cap per (axiom, size) query family (0 = off)"},
+        {"max-tests-per-size", "0",
+         "stop each size after this many tests (0 = off)"},
+        {"incremental", "true",
+         "share one solver per size, sweeping axioms as retractable fact "
+         "layers; false rebuilds a solver per (axiom, size)"},
+        {"jobs", "0",
+         "parallel synthesis jobs (0 = all hardware threads); output is "
+         "byte-identical for any value"},
+    };
+    return specs;
+}
+
+void
+declareSynthFlags(Flags &flags)
+{
+    flags.declareAll(synthFlagSpecs());
+}
+
+SynthOptions
+synthOptionsFromFlags(const Flags &flags)
+{
+    SynthOptions opt;
+    opt.minSize = flags.getInt("min-size");
+    opt.maxSize = flags.getInt("max-size");
+    const std::string &canon = flags.get("canon");
+    if (canon != "paper" && canon != "exact" && canon != "off")
+        throw std::invalid_argument("unknown --canon value: " + canon);
+    opt.useCanon = canon != "off";
+    opt.canonMode = canon == "exact" ? litmus::CanonMode::Exact
+                                     : litmus::CanonMode::Paper;
+    opt.blockStaticOnly = flags.getBool("block-static");
+    opt.conflictBudget = flags.getUint64("conflict-budget");
+    opt.maxTestsPerSize = flags.getInt("max-tests-per-size");
+    opt.incremental = flags.getBool("incremental");
+    opt.jobs = flags.getInt("jobs");
+    return opt;
+}
+
+} // namespace lts::synth

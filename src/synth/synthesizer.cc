@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -20,17 +21,27 @@ using litmus::LitmusTest;
 namespace
 {
 
-/** One shard of the workload: a labelled per-size query family. */
+/**
+ * One shard of the workload: a labelled per-size query family.
+ * formulaFor is the full criterion (asserted alone by the from-scratch
+ * engine); layerFor is only its axiom-dependent part, layered by the
+ * incremental engine over the shared base formula.
+ */
 struct Track
 {
     std::string label;
     std::function<rel::FormulaPtr(size_t)> formulaFor;
+    std::function<rel::FormulaPtr(size_t)> layerFor;
 };
 
+/** The formula shared by every track at a given size (incremental). */
+using BaseFormulaFn = std::function<rel::FormulaPtr(size_t)>;
+
 /**
- * Result of one (track, size) job: tests are canonicalized (per the
- * options), deduplicated within the job, and sorted by their canonical
- * serialization so merge order never depends on enumeration order.
+ * Result of one (track, size) query family: tests are canonicalized
+ * (per the options), deduplicated within the job, and sorted by their
+ * canonical serialization so merge order never depends on enumeration
+ * order.
  */
 struct SizeJobResult
 {
@@ -40,65 +51,134 @@ struct SizeJobResult
     double seconds = 0;
 };
 
-/** Enumerate one exact size with a private solver. */
+/**
+ * Enumerate one track at one size on a prepared solver. The track's
+ * criterion must already be active: either asserted permanently
+ * (from-scratch) or via a fact layer whose blocking clauses go through
+ * @p block_under (incremental).
+ */
 SizeJobResult
-runSizeJob(const mm::Model &model, const Track &track, int size,
-           const SynthOptions &options)
+enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
+               const std::vector<int> &block_vars, rel::FactHandle block_under,
+               const SynthOptions &options)
 {
     Timer timer;
     SizeJobResult result;
-    std::set<std::string> seen;
-    std::vector<std::pair<std::string, LitmusTest>> keyed;
+    // Canonical static key -> (full serialization, test). Keyed by map so
+    // the final order is the canonical-key order; the stored test is the
+    // class representative with the smallest full serialization, which is
+    // engine-independent because enumeration visits the entire class.
+    std::map<std::string, std::pair<std::string, LitmusTest>> byKey;
 
-    rel::RelSolver solver(model.vocab(), static_cast<size_t>(size));
-    if (options.conflictBudget)
-        solver.satSolver().setConflictBudget(options.conflictBudget);
-    solver.addFact(track.formulaFor(static_cast<size_t>(size)));
-
-    std::vector<int> block_vars;
-    if (options.blockStaticOnly)
-        block_vars = model.staticVarIds();
-
-    bool more = solver.solve();
-    while (more) {
-        if (solver.satSolver().budgetExhausted()) {
-            result.truncated = true;
-            break;
-        }
+    sat::SolveResult res = solver.solve();
+    while (res == sat::SolveResult::Sat) {
         result.rawInstances++;
+        // A static program can have several minimal witness executions,
+        // and which one the solver finds depends on search state — which
+        // differs between the engines and across job counts. Lex-minimize
+        // the dynamic relations so the emitted witness is a pure function
+        // of the static program. (Skipped under full-instance blocking,
+        // where enumeration itself visits every witness.)
+        if (!block_vars.empty())
+            solver.lexMinimizeInstance(block_vars);
         LitmusTest test = mm::fromInstance(model, solver.instance());
         LitmusTest canon =
             options.useCanon ? litmus::canonicalize(test, options.canonMode)
                              : test;
         std::string key = litmus::staticSerialize(canon);
-        if (!seen.count(key)) {
-            seen.insert(key);
-            keyed.emplace_back(std::move(key), std::move(canon));
+        std::string full = litmus::fullSerialize(canon);
+        auto it = byKey.find(key);
+        if (it == byKey.end()) {
+            byKey.emplace(std::move(key),
+                          std::make_pair(std::move(full), std::move(canon)));
             if (options.maxTestsPerSize &&
-                static_cast<int>(keyed.size()) >= options.maxTestsPerSize) {
+                static_cast<int>(byKey.size()) >= options.maxTestsPerSize) {
                 result.truncated = true;
                 break;
             }
+        } else if (full < it->second.first) {
+            it->second = std::make_pair(std::move(full), std::move(canon));
         }
-        more = solver.blockAndContinue(block_vars);
+        solver.blockModel(block_vars, block_under);
+        res = solver.solve();
     }
-    if (!more && solver.satSolver().budgetExhausted())
+    if (res == sat::SolveResult::BudgetExhausted)
         result.truncated = true;
 
-    std::sort(keyed.begin(), keyed.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-    result.tests.reserve(keyed.size());
-    for (auto &kv : keyed)
-        result.tests.push_back(std::move(kv.second));
+    result.tests.reserve(byKey.size());
+    for (auto &kv : byKey)
+        result.tests.push_back(std::move(kv.second.second));
 
     if (options.progress) {
-        options.progress->conflicts.fetch_add(
-            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
         options.progress->instances.fetch_add(result.rawInstances,
                                               std::memory_order_relaxed);
     }
     result.seconds = timer.seconds();
     return result;
+}
+
+/** From-scratch engine: enumerate one (track, size) with a private solver. */
+SizeJobResult
+runSizeJob(const mm::Model &model, const Track &track, int size,
+           const SynthOptions &options)
+{
+    rel::RelSolver solver(model.vocab(), static_cast<size_t>(size));
+    if (options.conflictBudget)
+        solver.satSolver().setConflictBudget(options.conflictBudget);
+    solver.addBaseFact(track.formulaFor(static_cast<size_t>(size)));
+
+    std::vector<int> block_vars;
+    if (options.blockStaticOnly)
+        block_vars = model.staticVarIds();
+
+    SizeJobResult result =
+        enumerateTrack(model, solver, block_vars, rel::kNoFact, options);
+    if (options.progress) {
+        options.progress->conflicts.fetch_add(
+            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+/**
+ * Incremental engine: one solver per size. The base formula is asserted
+ * once; each track's violation layer is added as a retractable fact,
+ * enumerated with its blocking clauses guarded by the same layer, and
+ * retracted before the next track — so learned clauses about the shared
+ * encoding persist across the whole sweep while everything
+ * track-specific dies with its layer.
+ */
+std::vector<SizeJobResult>
+runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
+                      const std::vector<Track> &tracks, int size,
+                      const SynthOptions &options)
+{
+    size_t n = static_cast<size_t>(size);
+    std::vector<SizeJobResult> out(tracks.size());
+
+    rel::RelSolver solver(model.vocab(), n);
+    solver.addBaseFact(base(n));
+
+    std::vector<int> block_vars;
+    if (options.blockStaticOnly)
+        block_vars = model.staticVarIds();
+
+    for (size_t ti = 0; ti < tracks.size(); ti++) {
+        rel::FactHandle layer = solver.addFact(tracks[ti].layerFor(n));
+        if (options.conflictBudget) {
+            // Re-arm: the budget bounds each (axiom, size) query family,
+            // not the lifetime of the shared solver.
+            solver.satSolver().setConflictBudget(options.conflictBudget);
+        }
+        out[ti] = enumerateTrack(model, solver, block_vars, layer, options);
+        solver.retract(layer);
+    }
+
+    if (options.progress) {
+        options.progress->conflicts.fetch_add(
+            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
+    }
+    return out;
 }
 
 /**
@@ -134,18 +214,22 @@ assembleSuite(const mm::Model &model, const std::string &label,
         suite.truncated = suite.truncated || r.truncated;
         suite.testsBySize[size] = kept;
         suite.secondsBySize[size] = r.seconds;
+        suite.instancesBySize[size] = r.rawInstances;
     }
     return suite;
 }
 
 /**
- * Run every (track, size) job — inline for jobs <= 1, on a thread pool
- * otherwise — and assemble one Suite per track. Each job owns its own
+ * Run every shard job — inline for jobs <= 1, on a thread pool
+ * otherwise — and assemble one Suite per track. The incremental engine
+ * shards per size (all tracks swept on one shared solver); the
+ * from-scratch engine shards per (track, size). Each job owns its own
  * RelSolver, so no SAT or relational state crosses threads; the merge
  * makes the output independent of scheduling.
  */
 std::vector<Suite>
-runSynthesisTracks(const mm::Model &model, const std::vector<Track> &tracks,
+runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
+                   const std::vector<Track> &tracks,
                    const SynthOptions &options)
 {
     int num_sizes = std::max(0, options.maxSize - options.minSize + 1);
@@ -153,34 +237,60 @@ runSynthesisTracks(const mm::Model &model, const std::vector<Track> &tracks,
         tracks.size(), std::vector<SizeJobResult>(num_sizes));
 
     SynthProgress *progress = options.progress;
-    auto run_one = [&](size_t ti, int si) {
+    auto wrap = [&](auto &&body) {
         if (progress)
             progress->jobsRunning.fetch_add(1, std::memory_order_relaxed);
-        results[ti][si] =
-            runSizeJob(model, tracks[ti], options.minSize + si, options);
+        body();
         if (progress) {
             progress->jobsRunning.fetch_sub(1, std::memory_order_relaxed);
             progress->jobsDone.fetch_add(1, std::memory_order_relaxed);
         }
     };
+    auto run_scratch = [&](size_t ti, int si) {
+        wrap([&] {
+            results[ti][si] =
+                runSizeJob(model, tracks[ti], options.minSize + si, options);
+        });
+    };
+    auto run_incremental = [&](int si) {
+        wrap([&] {
+            std::vector<SizeJobResult> per_track = runIncrementalSizeJob(
+                model, base, tracks, options.minSize + si, options);
+            for (size_t ti = 0; ti < tracks.size(); ti++)
+                results[ti][si] = std::move(per_track[ti]);
+        });
+    };
 
     uint64_t total_jobs =
-        static_cast<uint64_t>(tracks.size()) * num_sizes;
+        options.incremental
+            ? static_cast<uint64_t>(num_sizes)
+            : static_cast<uint64_t>(tracks.size()) * num_sizes;
     if (progress)
         progress->jobsQueued.fetch_add(total_jobs,
                                        std::memory_order_relaxed);
 
     unsigned threads = ThreadPool::resolveThreads(options.jobs);
-    if (options.jobs == 1 || threads <= 1 || total_jobs <= 1) {
+    bool serial = options.jobs == 1 || threads <= 1 || total_jobs <= 1;
+    if (options.incremental) {
+        if (serial) {
+            for (int si = 0; si < num_sizes; si++)
+                run_incremental(si);
+        } else {
+            ThreadPool pool(threads);
+            for (int si = 0; si < num_sizes; si++)
+                pool.submit([&run_incremental, si] { run_incremental(si); });
+            pool.wait();
+        }
+    } else if (serial) {
         for (size_t ti = 0; ti < tracks.size(); ti++) {
             for (int si = 0; si < num_sizes; si++)
-                run_one(ti, si);
+                run_scratch(ti, si);
         }
     } else {
         ThreadPool pool(threads);
         for (size_t ti = 0; ti < tracks.size(); ti++) {
             for (int si = 0; si < num_sizes; si++)
-                pool.submit([&run_one, ti, si] { run_one(ti, si); });
+                pool.submit([&run_scratch, ti, si] { run_scratch(ti, si); });
         }
         pool.wait();
     }
@@ -194,11 +304,21 @@ runSynthesisTracks(const mm::Model &model, const std::vector<Track> &tracks,
     return suites;
 }
 
+BaseFormulaFn
+baseFormula(const mm::Model &model)
+{
+    return [&model](size_t n) { return minimalityBase(model, n); };
+}
+
 Track
 axiomTrack(const mm::Model &model, const std::string &axiom_name)
 {
-    return Track{axiom_name, [&model, axiom_name](size_t n) {
+    return Track{axiom_name,
+                 [&model, axiom_name](size_t n) {
                      return minimalityFormula(model, axiom_name, n);
+                 },
+                 [&model, axiom_name](size_t n) {
+                     return axiomViolation(model, axiom_name, n);
                  }};
 }
 
@@ -209,17 +329,19 @@ synthesizeAxiom(const mm::Model &model, const std::string &axiom_name,
                 const SynthOptions &options)
 {
     std::vector<Track> tracks = {axiomTrack(model, axiom_name)};
-    return runSynthesisTracks(model, tracks, options)[0];
+    return runSynthesisTracks(model, baseFormula(model), tracks, options)[0];
 }
 
 Suite
 synthesizeUnionDirect(const mm::Model &model, const SynthOptions &options)
 {
     std::vector<Track> tracks = {
-        Track{"union-direct", [&model](size_t n) {
+        Track{"union-direct",
+              [&model](size_t n) {
                   return minimalityFormulaUnion(model, n);
-              }}};
-    return runSynthesisTracks(model, tracks, options)[0];
+              },
+              [&model](size_t n) { return anyAxiomViolation(model, n); }}};
+    return runSynthesisTracks(model, baseFormula(model), tracks, options)[0];
 }
 
 Suite
@@ -249,6 +371,8 @@ unionSuites(const std::vector<Suite> &suites, const SynthOptions &options)
         }
         for (auto [size, secs] : s.secondsBySize)
             u.secondsBySize[size] += secs;
+        for (auto [size, insts] : s.instancesBySize)
+            u.instancesBySize[size] += insts;
     }
     return u;
 }
@@ -260,7 +384,8 @@ synthesizeAll(const mm::Model &model, const SynthOptions &options)
     tracks.reserve(model.axioms().size());
     for (const auto &axiom : model.axioms())
         tracks.push_back(axiomTrack(model, axiom.name));
-    std::vector<Suite> suites = runSynthesisTracks(model, tracks, options);
+    std::vector<Suite> suites =
+        runSynthesisTracks(model, baseFormula(model), tracks, options);
     suites.push_back(unionSuites(suites, options));
     return suites;
 }

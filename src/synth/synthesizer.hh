@@ -10,12 +10,18 @@
  * canonicalized (Section 5.1), and deduplicated; per-axiom suites union
  * into the per-model suite of Section 5.2.
  *
- * Work sharding: each (axiom, size) pair is an independent job with a
- * private solver (per-size enumeration keeps every CNF self-contained),
- * so the engine runs jobs on a thread pool when SynthOptions::jobs > 1.
- * Job results are merged in a fixed order — axiom declaration order,
- * then size, then canonical serialization — so the output is
- * byte-identical to a serial run regardless of completion order.
+ * Work sharding: the default *incremental* engine runs one job per test
+ * size, sweeping every axiom over a single shared encoding — the
+ * axiom-independent part of the criterion (well-formedness plus the
+ * relaxation conjunct) is asserted once as a base fact, and each axiom's
+ * violation becomes a retractable fact layer (rel::FactHandle) whose
+ * blocking clauses and learned clauses are retired when the sweep moves
+ * on. The from-scratch engine (SynthOptions::incremental = false) keeps
+ * one private solver per (axiom, size) pair. Either way jobs run on a
+ * thread pool when SynthOptions::jobs != 1 and results are merged in a
+ * fixed order — axiom declaration order, then size, then canonical
+ * serialization — so the output is byte-identical to a serial run
+ * regardless of completion order.
  */
 
 #ifndef LTS_SYNTH_SYNTHESIZER_HH
@@ -41,7 +47,9 @@ namespace lts::synth
  */
 struct SynthProgress
 {
-    std::atomic<uint64_t> jobsQueued{0};  ///< (axiom, size) jobs submitted
+    std::atomic<uint64_t> jobsQueued{0};  ///< shard jobs submitted (per size
+                                          ///< incremental, per (axiom, size)
+                                          ///< from-scratch)
     std::atomic<uint64_t> jobsRunning{0}; ///< jobs currently executing
     std::atomic<uint64_t> jobsDone{0};    ///< jobs finished
     std::atomic<uint64_t> conflicts{0};   ///< SAT conflicts, all jobs
@@ -56,14 +64,24 @@ struct SynthOptions
     litmus::CanonMode canonMode = litmus::CanonMode::Paper;
     bool blockStaticOnly = true;  ///< ablation: block full instances instead
     bool useCanon = true;         ///< ablation: disable symmetry reduction
-    uint64_t conflictBudget = 0;  ///< SAT conflict cap per size (0 = off)
+    uint64_t conflictBudget = 0;  ///< SAT conflict cap per (axiom, size)
+                                  ///< query family (0 = off)
     int maxTestsPerSize = 0;      ///< safety cap (0 = off)
 
     /**
-     * Worker threads for the sharded engine: one job per (axiom, size)
-     * pair, each with a private solver. 1 runs jobs inline on the
-     * caller thread; 0 uses all hardware threads. Results are merged
-     * deterministically, so output is byte-identical for any value.
+     * Use the incremental engine: one solver per size, base encoding
+     * asserted once, per-axiom violations swept as retractable fact
+     * layers. false rebuilds a private solver per (axiom, size) — the
+     * from-scratch baseline the benchmarks compare against.
+     */
+    bool incremental = true;
+
+    /**
+     * Worker threads for the sharded engine: one job per size
+     * (incremental) or per (axiom, size) pair (from-scratch), each job
+     * with a private solver. 1 runs jobs inline on the caller thread;
+     * 0 uses all hardware threads. Results are merged deterministically,
+     * so output is byte-identical for any value.
      */
     int jobs = 1;
 
@@ -79,6 +97,7 @@ struct Suite
     std::vector<litmus::LitmusTest> tests;
     std::map<int, int> testsBySize;    ///< size -> #tests
     std::map<int, double> secondsBySize;
+    std::map<int, uint64_t> instancesBySize; ///< size -> SAT models found
     uint64_t rawInstances = 0; ///< SAT models before canonicalization
     bool truncated = false;    ///< a budget or cap was hit
 

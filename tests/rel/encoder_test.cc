@@ -59,7 +59,7 @@ TEST(GateBuilderTest, TseitinSemantics)
                     gNot(g.mkInput(vc)));
     g.assertTrue(f);
     int models = 0;
-    while (s.solve()) {
+    while (s.solve() == sat::SolveResult::Sat) {
         bool a = s.modelValue(va), b = s.modelValue(vb), c = s.modelValue(vc);
         EXPECT_TRUE((a && b) || !c);
         models++;
@@ -80,7 +80,7 @@ TEST(GateBuilderTest, XorMuxIff)
     g.assertTrue(g.mkIff(g.mkXor(a, b), g.mkMux(sel, a, b)));
     // xor(a,b) == mux(s,a,b) has solutions; check each returned model.
     int models = 0;
-    while (s.solve() && models < 8) {
+    while (s.solve() == sat::SolveResult::Sat && models < 8) {
         bool A = s.modelValue(va), B = s.modelValue(vb), S = s.modelValue(vs);
         EXPECT_EQ(A != B, S ? A : B);
         models++;
@@ -101,7 +101,7 @@ TEST(GateBuilderTest, AtMostOne)
         lits.push_back(g.mkInput(v));
     g.assertTrue(g.mkAtMostOne(lits));
     int models = 0;
-    while (s.solve()) {
+    while (s.solve() == sat::SolveResult::Sat) {
         int set = 0;
         sat::Clause block;
         for (auto v : vars) {
@@ -122,7 +122,7 @@ TEST(GateBuilderTest, AssertFalseMakesUnsat)
     sat::Solver s;
     GateBuilder g(s);
     g.assertTrue(kFalse);
-    EXPECT_FALSE(s.solve());
+    EXPECT_EQ(s.solve(), sat::SolveResult::Unsat);
 }
 
 /** Pin every relation cell to the given instance via assumptions. */
@@ -286,7 +286,7 @@ TEST_P(EncoderPropertyTest, SymbolicMatchesConcreteOnRandomFormulas)
             }
         }
         auto assumptions = pinInstance(vocab, enc, inst);
-        ASSERT_TRUE(solver.solve(assumptions));
+        ASSERT_EQ(solver.solve(assumptions), sat::SolveResult::Sat);
         for (size_t f = 0; f < formulas.size(); f++) {
             bool want = evalFormula(formulas[f], inst);
             bool got = solver.modelValue(indicators[f]);
@@ -308,8 +308,8 @@ TEST(RelSolverTest, FindsTotalOrders)
     RelSolver solver(vocab, 4);
     solver.addFact(mkTotal(lt, mkUniv()));
     int count = 0;
-    bool more = solver.solve();
-    while (more) {
+    sat::SolveResult more = solver.solve();
+    while (more == sat::SolveResult::Sat) {
         count++;
         ASSERT_LE(count, 24);
         EXPECT_TRUE(evalFormula(mkTotal(lt, mkUniv()), solver.instance()));
@@ -332,8 +332,8 @@ TEST(RelSolverTest, AcyclicSubsetEnumeration)
     solver.addFact(mkSubset(r, mkConst(cycle)));
     solver.addFact(mkAcyclic(r));
     int count = 0;
-    bool more = solver.solve();
-    while (more) {
+    sat::SolveResult more = solver.solve();
+    while (more == sat::SolveResult::Sat) {
         count++;
         ASSERT_LE(count, 7);
         more = solver.blockAndContinue();
@@ -348,7 +348,7 @@ TEST(RelSolverTest, UnsatisfiableFacts)
     RelSolver solver(vocab, 3);
     solver.addFact(mkSome(r));
     solver.addFact(mkNo(r));
-    EXPECT_FALSE(solver.solve());
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
 }
 
 TEST(RelSolverTest, PartialBlockingEnumeratesProjections)
@@ -360,8 +360,8 @@ TEST(RelSolverTest, PartialBlockingEnumeratesProjections)
     vocab.declare("b", 2);
     RelSolver solver(vocab, 2);
     int count = 0;
-    bool more = solver.solve();
-    while (more) {
+    sat::SolveResult more = solver.solve();
+    while (more == sat::SolveResult::Sat) {
         count++;
         ASSERT_LE(count, 16);
         more = solver.blockAndContinue({0});
@@ -382,7 +382,7 @@ TEST(RelSolverTest, InstanceExtractionRoundTrips)
     RelSolver solver(vocab, 3);
     solver.addFact(mkEqual(r, mkConst(want)));
     solver.addFact(mkEqual(s, mkConst(wantSet)));
-    ASSERT_TRUE(solver.solve());
+    ASSERT_EQ(solver.solve(), sat::SolveResult::Sat);
     EXPECT_EQ(solver.instance().matrix(0), want);
     EXPECT_EQ(solver.instance().set(1), wantSet);
 }
@@ -428,7 +428,7 @@ TEST(EncoderCoverageTest, TotalOrderSymbolicMatchesConcrete)
                     enc.cellVar(0, i, j), !inst.matrix(0).test(i, j)));
             }
         }
-        ASSERT_TRUE(solver.solve(assumptions));
+        ASSERT_EQ(solver.solve(assumptions), sat::SolveResult::Sat);
         ASSERT_EQ(solver.modelValue(indicator), evalFormula(total, inst))
             << "trial " << trial;
     }
@@ -467,7 +467,7 @@ TEST(EncoderCoverageTest, RClosureAndOneSymbolicMatchConcrete)
                     enc.cellVar(0, i, j), !inst.matrix(0).test(i, j)));
             }
         }
-        ASSERT_TRUE(solver.solve(assumptions));
+        ASSERT_EQ(solver.solve(assumptions), sat::SolveResult::Sat);
         EXPECT_EQ(solver.modelValue(l1), evalFormula(f1, inst));
         EXPECT_EQ(solver.modelValue(l2), evalFormula(f2, inst));
         EXPECT_EQ(solver.modelValue(l3), evalFormula(f3, inst));
@@ -487,13 +487,84 @@ TEST(EncoderCoverageTest, SolvingForATotalOrderOnASubset)
     RelSolver solver(vocab, 3);
     solver.addFact(mkTotal(r, mkConst(subset)));
     int count = 0;
-    bool more = solver.solve();
-    while (more) {
+    sat::SolveResult more = solver.solve();
+    while (more == sat::SolveResult::Sat) {
         count++;
         ASSERT_LE(count, 2);
         more = solver.blockAndContinue();
     }
     EXPECT_EQ(count, 2);
+}
+
+TEST(RelSolverFactTest, RetractableFactsLayerOverBase)
+{
+    // Base: r is a subset of a fixed 2-edge relation. Layers: "some r"
+    // and "no r" are individually satisfiable over the base but clash.
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    BitMatrix allowed(2);
+    allowed.set(0, 1);
+    allowed.set(1, 0);
+    RelSolver solver(vocab, 2);
+    solver.addBaseFact(mkSubset(r, mkConst(allowed)));
+
+    FactHandle some = solver.addFact(mkSome(r));
+    FactHandle none = solver.addFact(mkNo(r));
+
+    ASSERT_EQ(solver.solveUnder({some}), sat::SolveResult::Sat);
+    EXPECT_GT(solver.instance().matrix(0).count(), 0u);
+    ASSERT_EQ(solver.solveUnder({none}), sat::SolveResult::Sat);
+    EXPECT_EQ(solver.instance().matrix(0).count(), 0u);
+    EXPECT_EQ(solver.solveUnder({some, none}), sat::SolveResult::Unsat);
+    // solve() activates every live layer.
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+
+    solver.retract(none);
+    ASSERT_EQ(solver.solve(), sat::SolveResult::Sat);
+    EXPECT_GT(solver.instance().matrix(0).count(), 0u);
+}
+
+TEST(RelSolverFactTest, GuardedBlockingClausesDieWithTheirLayer)
+{
+    // Enumerate all 3 non-empty subsets of a 2-edge relation under a
+    // layer, retract it, re-layer the same fact: the count repeats,
+    // proving the layer's blocking clauses were retired with it.
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    BitMatrix allowed(2);
+    allowed.set(0, 1);
+    allowed.set(1, 0);
+    RelSolver solver(vocab, 2);
+    solver.addBaseFact(mkSubset(r, mkConst(allowed)));
+
+    for (int round = 0; round < 2; round++) {
+        FactHandle layer = solver.addFact(mkSome(r));
+        int count = 0;
+        sat::SolveResult res = solver.solveUnder({layer});
+        while (res == sat::SolveResult::Sat) {
+            count++;
+            ASSERT_LE(count, 3);
+            solver.blockModel({}, layer);
+            res = solver.solveUnder({layer});
+        }
+        EXPECT_EQ(count, 3) << "round " << round;
+        solver.retract(layer);
+    }
+}
+
+TEST(RelSolverFactTest, FalseFactDeadensOnlyItsLayer)
+{
+    // A layer whose formula lowers to constant-false must make queries
+    // under it Unsat without poisoning the solver for other layers.
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    RelSolver solver(vocab, 2);
+    FactHandle absurd = solver.addFact(mkFalse());
+    FactHandle fine = solver.addFact(mkNo(r));
+    EXPECT_EQ(solver.solveUnder({absurd}), sat::SolveResult::Unsat);
+    EXPECT_EQ(solver.solveUnder({fine}), sat::SolveResult::Sat);
+    solver.retract(absurd);
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Sat);
 }
 
 } // namespace

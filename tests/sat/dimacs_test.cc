@@ -78,7 +78,7 @@ TEST(DimacsTest, SolveParsedFormula)
         s.newVar();
     for (const auto &clause : cnf.clauses)
         ASSERT_TRUE(s.addClause(clause));
-    ASSERT_TRUE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
     EXPECT_TRUE(s.modelValue(Var(1)));
     EXPECT_TRUE(s.modelValue(Var(2)));
 }

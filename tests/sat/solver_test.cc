@@ -54,7 +54,7 @@ bruteForceSat(const std::vector<Clause> &cnf, int num_vars)
 TEST(SolverTest, EmptyFormulaIsSat)
 {
     Solver s;
-    EXPECT_TRUE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
 }
 
 TEST(SolverTest, SingleUnit)
@@ -62,7 +62,7 @@ TEST(SolverTest, SingleUnit)
     Solver s;
     Var a = s.newVar();
     ASSERT_TRUE(s.addClause({Lit::pos(a)}));
-    ASSERT_TRUE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
     EXPECT_TRUE(s.modelValue(a));
 }
 
@@ -72,7 +72,7 @@ TEST(SolverTest, ContradictoryUnitsAreUnsat)
     Var a = s.newVar();
     EXPECT_TRUE(s.addClause({Lit::pos(a)}));
     EXPECT_FALSE(s.addClause({Lit::neg(a)}));
-    EXPECT_FALSE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
     EXPECT_TRUE(s.inConflict());
 }
 
@@ -82,7 +82,7 @@ TEST(SolverTest, TautologicalClauseIgnored)
     Var a = s.newVar();
     EXPECT_TRUE(s.addClause({Lit::pos(a), Lit::neg(a)}));
     EXPECT_EQ(s.numClauses(), 0);
-    EXPECT_TRUE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
 }
 
 TEST(SolverTest, DuplicateLiteralsDeduped)
@@ -91,7 +91,7 @@ TEST(SolverTest, DuplicateLiteralsDeduped)
     Var a = s.newVar();
     Var b = s.newVar();
     EXPECT_TRUE(s.addClause({Lit::pos(a), Lit::pos(a), Lit::pos(b)}));
-    EXPECT_TRUE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
 }
 
 TEST(SolverTest, ImplicationChainPropagates)
@@ -103,7 +103,7 @@ TEST(SolverTest, ImplicationChainPropagates)
     for (int i = 0; i + 1 < 20; i++)
         ASSERT_TRUE(s.addClause({Lit::neg(v[i]), Lit::pos(v[i + 1])}));
     ASSERT_TRUE(s.addClause({Lit::pos(v[0])}));
-    ASSERT_TRUE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
     for (int i = 0; i < 20; i++)
         EXPECT_TRUE(s.modelValue(v[i])) << "var " << i;
 }
@@ -121,7 +121,7 @@ TEST(SolverTest, XorChainSat)
     ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::neg(b), Lit::pos(c)}));
     ASSERT_TRUE(s.addClause({Lit::neg(a), Lit::pos(b), Lit::pos(c)}));
     ASSERT_TRUE(s.addClause({Lit::pos(c)}));
-    ASSERT_TRUE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
     EXPECT_EQ(s.modelValue(a) != s.modelValue(b), s.modelValue(c));
 }
 
@@ -155,7 +155,7 @@ TEST(SolverTest, PigeonholeUnsat)
     for (int holes = 2; holes <= 6; holes++) {
         Solver s;
         addPigeonhole(s, holes);
-        EXPECT_FALSE(s.solve()) << "PHP with " << holes << " holes";
+        EXPECT_EQ(s.solve(), SolveResult::Unsat) << "PHP with " << holes << " holes";
     }
 }
 
@@ -181,7 +181,7 @@ TEST(SolverTest, PigeonholeExactFitSat)
                 s.addClause({Lit::neg(at[p1][h]), Lit::neg(at[p2][h])});
         }
     }
-    EXPECT_TRUE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
 }
 
 TEST(SolverTest, AssumptionsRestrictAndRelease)
@@ -191,15 +191,15 @@ TEST(SolverTest, AssumptionsRestrictAndRelease)
     Var b = s.newVar();
     ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b)}));
 
-    EXPECT_TRUE(s.solve({Lit::neg(a)}));
+    EXPECT_EQ(s.solve({Lit::neg(a)}), SolveResult::Sat);
     EXPECT_TRUE(s.modelValue(b));
 
-    EXPECT_TRUE(s.solve({Lit::neg(b)}));
+    EXPECT_EQ(s.solve({Lit::neg(b)}), SolveResult::Sat);
     EXPECT_TRUE(s.modelValue(a));
 
-    EXPECT_FALSE(s.solve({Lit::neg(a), Lit::neg(b)}));
+    EXPECT_EQ(s.solve({Lit::neg(a), Lit::neg(b)}), SolveResult::Unsat);
     // The solver is still usable and satisfiable without assumptions.
-    EXPECT_TRUE(s.solve());
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
 }
 
 TEST(SolverTest, ConflictAssumptionsReported)
@@ -209,7 +209,7 @@ TEST(SolverTest, ConflictAssumptionsReported)
     Var b = s.newVar();
     ASSERT_TRUE(s.addClause({Lit::pos(a)}));
     (void)b;
-    ASSERT_FALSE(s.solve({Lit::neg(a)}));
+    ASSERT_EQ(s.solve({Lit::neg(a)}), SolveResult::Unsat);
     const auto &confl = s.conflictAssumptions();
     ASSERT_FALSE(confl.empty());
     EXPECT_TRUE(std::find(confl.begin(), confl.end(), Lit::pos(a)) !=
@@ -222,7 +222,7 @@ TEST(SolverTest, IncrementalBlockingEnumeratesAllModels)
     Solver s;
     std::vector<Var> vars = {s.newVar(), s.newVar(), s.newVar()};
     int models = 0;
-    while (s.solve()) {
+    while (s.solve() == SolveResult::Sat) {
         models++;
         ASSERT_LE(models, 8);
         Clause blocking;
@@ -263,7 +263,7 @@ TEST(SolverTest, RandomCnfAgainstBruteForce)
                 break;
             }
         }
-        bool got = !trivially_unsat && s.solve();
+        bool got = !trivially_unsat && s.solve() == SolveResult::Sat;
         bool want = bruteForceSat(cnf, num_vars);
         ASSERT_EQ(got, want) << "iteration " << iter;
         if (got) {
@@ -318,7 +318,8 @@ TEST(SolverTest, RandomCnfUnderAssumptionsAgainstBruteForce)
         for (Lit a : assumptions)
             cnf_with_assumps.push_back({a});
         bool want = bruteForceSat(cnf_with_assumps, num_vars);
-        bool got = !trivially_unsat ? s.solve(assumptions) : false;
+        bool got =
+            !trivially_unsat && s.solve(assumptions) == SolveResult::Sat;
         if (trivially_unsat)
             ASSERT_FALSE(bruteForceSat(cnf, num_vars));
         else
@@ -332,10 +333,10 @@ TEST(SolverTest, ReusableAfterUnsatAssumptions)
     Var a = s.newVar();
     Var b = s.newVar();
     ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b)}));
-    ASSERT_FALSE(s.solve({Lit::neg(a), Lit::neg(b)}));
-    ASSERT_TRUE(s.solve({Lit::pos(a)}));
+    ASSERT_EQ(s.solve({Lit::neg(a), Lit::neg(b)}), SolveResult::Unsat);
+    ASSERT_EQ(s.solve({Lit::pos(a)}), SolveResult::Sat);
     ASSERT_TRUE(s.addClause({Lit::neg(a)}));
-    ASSERT_TRUE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
     EXPECT_TRUE(s.modelValue(b));
     EXPECT_FALSE(s.modelValue(a));
 }
@@ -344,7 +345,7 @@ TEST(SolverTest, StatsAreTracked)
 {
     Solver s;
     addPigeonhole(s, 5);
-    ASSERT_FALSE(s.solve());
+    ASSERT_EQ(s.solve(), SolveResult::Unsat);
     EXPECT_GT(s.stats().conflicts, 0u);
     EXPECT_GT(s.stats().propagations, 0u);
     EXPECT_GT(s.stats().decisions, 0u);
@@ -355,11 +356,139 @@ TEST(SolverTest, ConflictBudgetStopsSearch)
     Solver s;
     addPigeonhole(s, 9); // hard enough to take > 5 conflicts
     s.setConflictBudget(5);
-    EXPECT_FALSE(s.solve());
-    EXPECT_TRUE(s.budgetExhausted());
+    EXPECT_EQ(s.solve(), SolveResult::BudgetExhausted);
     s.setConflictBudget(0);
-    EXPECT_FALSE(s.solve());
-    EXPECT_FALSE(s.budgetExhausted());
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(SolverTest, ConflictBudgetReArmsFromCurrentCount)
+{
+    // The budget counts conflicts from the setConflictBudget call, so a
+    // long-lived solver can give each query family a fresh allowance.
+    Solver s;
+    addPigeonhole(s, 9);
+    s.setConflictBudget(5);
+    ASSERT_EQ(s.solve(), SolveResult::BudgetExhausted);
+    uint64_t after_first = s.stats().conflicts;
+    // Without re-arming, the spent budget would abort instantly; a fresh
+    // budget of the same magnitude must buy another real search slice.
+    s.setConflictBudget(5);
+    ASSERT_EQ(s.solve(), SolveResult::BudgetExhausted);
+    EXPECT_GE(s.stats().conflicts, after_first + 5);
+}
+
+TEST(SolverTest, GroupClausesBindOnlyWhenAssumed)
+{
+    Solver s;
+    Var a = s.newVar();
+    Group g = s.newGroup();
+    ASSERT_TRUE(s.addClause(g, {Lit::neg(a)}));
+    ASSERT_TRUE(s.addClause({Lit::pos(a)}));
+
+    // Without the activation literal the group's clause is inert.
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+    // With it, ~a clashes with the permanent unit a.
+    EXPECT_EQ(s.solve({s.groupLit(g)}), SolveResult::Unsat);
+    const auto &confl = s.conflictAssumptions();
+    EXPECT_TRUE(std::find(confl.begin(), confl.end(), ~s.groupLit(g)) !=
+                confl.end());
+}
+
+TEST(SolverTest, ReleasedGroupNeverPropagates)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    Group g = s.newGroup();
+    ASSERT_TRUE(s.addClause(g, {Lit::neg(a)}));
+    ASSERT_TRUE(s.addClause(g, {Lit::pos(b)}));
+    ASSERT_EQ(s.solve({s.groupLit(g), Lit::pos(a)}), SolveResult::Unsat);
+
+    s.release(g);
+    EXPECT_TRUE(s.isReleased(g));
+    // The retracted clauses are gone for good: both polarities of both
+    // variables are reachable again.
+    ASSERT_EQ(s.solve({Lit::pos(a), Lit::neg(b)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+    EXPECT_FALSE(s.modelValue(b));
+    // Releasing twice is a no-op.
+    s.release(g);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(SolverTest, ManyGroupsActivateIndependently)
+{
+    Solver s;
+    Var x = s.newVar();
+    Group even = s.newGroup();
+    Group odd = s.newGroup();
+    ASSERT_TRUE(s.addClause(even, {Lit::pos(x)}));
+    ASSERT_TRUE(s.addClause(odd, {Lit::neg(x)}));
+
+    ASSERT_EQ(s.solve({s.groupLit(even)}), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+    ASSERT_EQ(s.solve({s.groupLit(odd)}), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+    EXPECT_EQ(s.solve({s.groupLit(even), s.groupLit(odd)}),
+              SolveResult::Unsat);
+
+    s.release(even);
+    ASSERT_EQ(s.solve({s.groupLit(odd)}), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+}
+
+TEST(SolverTest, GroupedPigeonholeMatchesPermanentAnswer)
+{
+    // The same UNSAT core asserted through a group must answer exactly
+    // like the permanent encoding, and disappear on release.
+    Solver s;
+    int holes = 4;
+    int pigeons = holes + 1;
+    std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++) {
+        for (int h = 0; h < holes; h++)
+            at[p][h] = s.newVar();
+    }
+    Group g = s.newGroup();
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(Lit::pos(at[p][h]));
+        ASSERT_TRUE(s.addClause(g, c));
+    }
+    for (int h = 0; h < holes; h++) {
+        for (int p1 = 0; p1 < pigeons; p1++) {
+            for (int p2 = p1 + 1; p2 < pigeons; p2++) {
+                ASSERT_TRUE(s.addClause(
+                    g, {Lit::neg(at[p1][h]), Lit::neg(at[p2][h])}));
+            }
+        }
+    }
+    EXPECT_EQ(s.solve({s.groupLit(g)}), SolveResult::Unsat);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    s.release(g);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_EQ(s.numClauses(), 0);
+}
+
+TEST(SolverTest, ReduceDBKeepsGlueAndBinaryClauses)
+{
+    // Learn some clauses on a hard instance, then force a reduction:
+    // the database must shrink without losing correctness.
+    Solver s;
+    addPigeonhole(s, 7);
+    s.setConflictBudget(2000);
+    ASSERT_NE(s.solve(), SolveResult::Sat);
+    int learned_before = s.numLearned();
+    ASSERT_GT(learned_before, 0);
+    uint64_t reduces_before = s.stats().reduceCalls;
+    s.reduceLearnedClauses();
+    EXPECT_EQ(s.stats().reduceCalls, reduces_before + 1);
+    EXPECT_LE(s.numLearned(), learned_before);
+    // Still answers correctly after the purge.
+    s.setConflictBudget(0);
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
 }
 
 TEST(LitTest, EncodingRoundTrips)

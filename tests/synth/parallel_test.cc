@@ -83,9 +83,9 @@ TEST(ParallelSynthesisTest, ProgressCountersCoverEveryJob)
     opt.jobs = 4;
     opt.progress = &progress;
     auto suites = synthesizeAll(*tso, opt);
-    // 3 axioms x 2 sizes.
-    EXPECT_EQ(progress.jobsQueued.load(), 6u);
-    EXPECT_EQ(progress.jobsDone.load(), 6u);
+    // Incremental engine: one shared-solver job per size.
+    EXPECT_EQ(progress.jobsQueued.load(), 2u);
+    EXPECT_EQ(progress.jobsDone.load(), 2u);
     EXPECT_EQ(progress.jobsRunning.load(), 0u);
     uint64_t raw = 0;
     for (const auto &s : suites) {
@@ -93,6 +93,22 @@ TEST(ParallelSynthesisTest, ProgressCountersCoverEveryJob)
             raw += s.rawInstances;
     }
     EXPECT_EQ(progress.instances.load(), raw);
+
+    // From-scratch engine: one private solver per (axiom, size) pair.
+    SynthProgress scratch_progress;
+    opt.incremental = false;
+    opt.progress = &scratch_progress;
+    auto scratch = synthesizeAll(*tso, opt);
+    EXPECT_EQ(scratch_progress.jobsQueued.load(), 6u);
+    EXPECT_EQ(scratch_progress.jobsDone.load(), 6u);
+    ASSERT_EQ(scratch.size(), suites.size());
+    for (size_t i = 0; i < suites.size(); i++) {
+        EXPECT_EQ(scratch[i].tests.size(), suites[i].tests.size());
+        for (size_t t = 0; t < suites[i].tests.size(); t++) {
+            EXPECT_EQ(litmus::fullSerialize(scratch[i].tests[t]),
+                      litmus::fullSerialize(suites[i].tests[t]));
+        }
+    }
 }
 
 /** Hand-built MP (the Table 4 shape) for the union regression tests. */

@@ -24,6 +24,7 @@
 #include "litmus/print.hh"
 #include "mm/registry.hh"
 #include "synth/minimality.hh"
+#include "synth/options.hh"
 #include "synth/synthesizer.hh"
 
 using namespace lts;
@@ -87,12 +88,7 @@ main(int argc, char **argv)
                   "memory model: sc|tso|power|armv7|scc|c11");
     flags.declare("axiom", "union",
                   "axiom to target, or 'union' for all");
-    flags.declare("min-size", "2", "smallest test size");
-    flags.declare("max-size", "4", "largest test size");
-    flags.declare("canon", "paper",
-                  "canonicalizer: paper|exact|off (Section 5.1)");
-    flags.declare("jobs", "0",
-                  "parallel synthesis jobs (0 = all hardware threads)");
+    synth::declareSynthFlags(flags);
     flags.declare("out", "-", "output file ('-' = stdout)");
     flags.declare("stats", "false", "print per-size counts and runtimes");
     flags.declare("pretty", "false",
@@ -115,13 +111,12 @@ main(int argc, char **argv)
         return runAudit(*model, flags.get("audit"));
 
     synth::SynthOptions opt;
-    opt.minSize = flags.getInt("min-size");
-    opt.maxSize = flags.getInt("max-size");
-    const std::string canon = flags.get("canon");
-    opt.useCanon = canon != "off";
-    opt.canonMode = canon == "exact" ? litmus::CanonMode::Exact
-                                     : litmus::CanonMode::Paper;
-    opt.jobs = flags.getInt("jobs");
+    try {
+        opt = synth::synthOptionsFromFlags(flags);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return 1;
+    }
     synth::SynthProgress progress;
     opt.progress = &progress;
 
