@@ -218,9 +218,13 @@ writeBenchJson(const std::string &path, const std::string &bench,
                const std::string &model, int min_size, int max_size,
                const std::vector<ModeRun> &runs)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Write to a temp file and rename into place so a sweep script (or a
+    // concurrent reader tailing results) never observes a half-written
+    // file; rename(2) within a directory is atomic.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
         return;
     }
     std::fprintf(f,
@@ -255,7 +259,20 @@ writeBenchJson(const std::string &path, const std::string &bench,
         std::fprintf(f, "}\n    }%s\n", i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    bool write_ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0)
+        write_ok = false;
+    if (!write_ok) {
+        std::fprintf(stderr, "error writing %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "cannot rename %s to %s\n", tmp.c_str(),
+                     path.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
     std::printf("wrote %s\n", path.c_str());
 }
 

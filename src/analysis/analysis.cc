@@ -1,0 +1,19 @@
+#include "analysis/analysis.hh"
+
+namespace lts::analysis
+{
+
+void
+analyzeModel(const mm::Model &model, const AnalysisOptions &opt,
+             Report &report)
+{
+    checkTypes(model, opt.size, report);
+    checkDeadDefinitions(model, opt.size, report);
+    if (opt.probes) {
+        ProbeOptions probe = opt.probe;
+        probe.size = opt.size;
+        checkVacuity(model, probe, report);
+    }
+}
+
+} // namespace lts::analysis

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * One-stop entry point for the model static analyzer (the library behind
+ * the ltslint tool): run the bounding-type, dead-definition, and solver
+ * vacuity passes over a model and collect every finding in one Report.
+ */
+
+#ifndef LTS_ANALYSIS_ANALYSIS_HH
+#define LTS_ANALYSIS_ANALYSIS_HH
+
+#include "analysis/deadcode.hh"
+#include "analysis/report.hh"
+#include "analysis/types.hh"
+#include "analysis/vacuity.hh"
+#include "mm/model.hh"
+
+namespace lts::analysis
+{
+
+/** Options shared by every pass. */
+struct AnalysisOptions
+{
+    size_t size = 4;     ///< instantiation size for facts and axioms
+    bool probes = true;  ///< run the solver vacuity probes
+    ProbeOptions probe;  ///< solver probe knobs (probe.size tracks size)
+};
+
+/** Run all passes over @p model, appending findings to @p report. */
+void analyzeModel(const mm::Model &model, const AnalysisOptions &opt,
+                  Report &report);
+
+} // namespace lts::analysis
+
+#endif // LTS_ANALYSIS_ANALYSIS_HH

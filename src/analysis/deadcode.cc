@@ -1,0 +1,98 @@
+#include "analysis/deadcode.hh"
+
+#include <set>
+#include <string>
+
+#include "mm/exprs.hh"
+#include "rel/visit.hh"
+
+namespace lts::analysis
+{
+
+namespace
+{
+
+void
+markUsed(const rel::FormulaPtr &f, std::set<int> &used)
+{
+    for (int id : rel::collectVarIds(f))
+        used.insert(id);
+}
+
+void
+markUsed(const rel::ExprPtr &e, std::set<int> &used)
+{
+    for (int id : rel::collectVarIds(e))
+        used.insert(id);
+}
+
+} // namespace
+
+void
+checkDeadDefinitions(const mm::Model &model, size_t n, Report &report)
+{
+    const mm::Env &env = model.base();
+    std::set<int> used;
+
+    for (const auto &axiom : model.axioms()) {
+        markUsed(axiom.pred(model, env, n), used);
+        if (axiom.relaxedPred)
+            markUsed(axiom.relaxedPred(model, env, n), used);
+    }
+    for (const auto &fact : model.extraWellFormedFacts(n))
+        markUsed(fact.formula, used);
+
+    // Relaxations use relations through their applicability condition and
+    // through *targeted* perturbations. A perturbation that rebinds every
+    // name uniformly (the RI mask) carries no per-relation information,
+    // but one that rebinds a strict subset (demotions, RD, DS) names the
+    // relations it manipulates; copied bindings share the base ExprPtr,
+    // so a changed binding is a changed pointer.
+    rel::ExprPtr ev = mm::singleton(0, n);
+    for (const auto &relax : model.relaxations()) {
+        markUsed(relax.applies(env, ev, n), used);
+        mm::Env perturbed = relax.perturb(env, ev, n);
+        size_t changed = 0;
+        for (const auto &[name, expr] : perturbed.all()) {
+            if (env.has(name) && env.get(name).get() == expr.get())
+                continue;
+            changed++;
+        }
+        if (changed == perturbed.all().size())
+            continue;
+        for (const auto &[name, expr] : perturbed.all()) {
+            if (env.has(name) && env.get(name).get() == expr.get())
+                continue;
+            markUsed(expr, used);
+            if (model.vocab().contains(name))
+                used.insert(model.vocab().find(name).id);
+        }
+    }
+
+    const rel::Vocabulary &vocab = model.vocab();
+    for (size_t i = 0; i < vocab.size(); i++) {
+        const auto &d = vocab.decl(static_cast<int>(i));
+        if (used.count(d.id))
+            continue;
+        report.add({Severity::Warning, "deadcode", "dead-relation",
+                    model.name(), "relation:" + d.name,
+                    "relation '" + d.name +
+                        "' is declared but reachable from no axiom, "
+                        "extra fact, or relaxation; the solver still "
+                        "searches over its cells"});
+    }
+
+    std::set<std::string> seen, reported;
+    for (const auto &axiom : model.axioms()) {
+        if (!seen.insert(axiom.name).second &&
+            reported.insert(axiom.name).second) {
+            report.add({Severity::Error, "deadcode", "duplicate-axiom",
+                        model.name(), "axiom:" + axiom.name,
+                        "axiom '" + axiom.name +
+                            "' is declared more than once; later "
+                            "declarations shadow earlier ones in lookup"});
+        }
+    }
+}
+
+} // namespace lts::analysis

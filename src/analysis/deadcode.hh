@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Dead-definition analysis for memory-model specs.
+ *
+ * A Model's constructor declares a vocabulary driven by its feature
+ * switches; nothing ties those declarations to actual use. A relation
+ * that no axiom, extra fact, or relaxation ever mentions is dead weight:
+ * the synthesizer still searches over its cells, slowing every solve,
+ * and its presence usually means a transliterated feature was dropped
+ * half-way. The generic well-formedness facts intentionally do NOT count
+ * as uses — they constrain the *shape* of every declared relation, so
+ * they mention all of them by construction.
+ *
+ * The pass also flags duplicate axiom names (the second one silently
+ * shadows the first in axiom lookup and suite naming).
+ */
+
+#ifndef LTS_ANALYSIS_DEADCODE_HH
+#define LTS_ANALYSIS_DEADCODE_HH
+
+#include "analysis/report.hh"
+#include "mm/model.hh"
+
+namespace lts::analysis
+{
+
+/**
+ * Report declared-but-unreachable relations and duplicate axiom names of
+ * @p model, instantiating axioms and relaxations at size @p n.
+ */
+void checkDeadDefinitions(const mm::Model &model, size_t n, Report &report);
+
+} // namespace lts::analysis
+
+#endif // LTS_ANALYSIS_DEADCODE_HH

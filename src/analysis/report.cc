@@ -1,0 +1,106 @@
+#include "analysis/report.hh"
+
+#include <cstdio>
+
+namespace lts::analysis
+{
+
+std::string
+toString(Severity s)
+{
+    switch (s) {
+        case Severity::Note:
+            return "note";
+        case Severity::Warning:
+            return "warning";
+        case Severity::Error:
+            return "error";
+    }
+    return "?";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+size_t
+Report::count(Severity s) const
+{
+    size_t n = 0;
+    for (const auto &f : findingList) {
+        if (f.severity == s)
+            n++;
+    }
+    return n;
+}
+
+bool
+Report::clean(bool werror) const
+{
+    if (count(Severity::Error) > 0)
+        return false;
+    return !werror || count(Severity::Warning) == 0;
+}
+
+std::string
+Report::text() const
+{
+    std::string out;
+    for (const auto &f : findingList) {
+        out += toString(f.severity) + ": [" + f.pass + "/" + f.code + "] " +
+               f.model + "/" + f.where + ": " + f.message + "\n";
+    }
+    return out;
+}
+
+std::string
+Report::json() const
+{
+    std::string out = "{\n  \"findings\": [";
+    for (size_t i = 0; i < findingList.size(); i++) {
+        const Finding &f = findingList[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"severity\": \"" + toString(f.severity) + "\", ";
+        out += "\"pass\": \"" + jsonEscape(f.pass) + "\", ";
+        out += "\"code\": \"" + jsonEscape(f.code) + "\", ";
+        out += "\"model\": \"" + jsonEscape(f.model) + "\", ";
+        out += "\"where\": \"" + jsonEscape(f.where) + "\", ";
+        out += "\"message\": \"" + jsonEscape(f.message) + "\"}";
+    }
+    out += findingList.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"counts\": {\"error\": " +
+           std::to_string(count(Severity::Error)) +
+           ", \"warning\": " + std::to_string(count(Severity::Warning)) +
+           ", \"note\": " + std::to_string(count(Severity::Note)) + "}\n}\n";
+    return out;
+}
+
+} // namespace lts::analysis

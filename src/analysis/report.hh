@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Findings container for the static analyzer.
+ *
+ * Every analysis pass reports Finding records into one Report. A finding
+ * carries a severity, the pass that produced it, a stable machine code
+ * (e.g. "empty-join"), the model and source label it anchors to, and a
+ * human-readable message. The report renders both as aligned text for
+ * terminals and as JSON for CI tooling, and decides the lint exit status
+ * (errors always fail; warnings fail under --Werror; notes never fail).
+ */
+
+#ifndef LTS_ANALYSIS_REPORT_HH
+#define LTS_ANALYSIS_REPORT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lts::analysis
+{
+
+/** Finding severities, ordered from informational to fatal. */
+enum class Severity
+{
+    Note,    ///< informational; never fails the lint
+    Warning, ///< suspicious; fails only under --Werror
+    Error,   ///< definitely wrong; always fails the lint
+};
+
+/** Printable severity name ("note", "warning", "error"). */
+std::string toString(Severity s);
+
+/** One diagnostic produced by an analysis pass. */
+struct Finding
+{
+    Severity severity = Severity::Warning;
+    std::string pass;    ///< "types", "deadcode", or "vacuity"
+    std::string code;    ///< stable machine code, e.g. "empty-join"
+    std::string model;   ///< model name the finding is about
+    std::string where;   ///< source label, e.g. "axiom:causality"
+    std::string message; ///< human-readable explanation
+};
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** An ordered collection of findings with rendering and exit logic. */
+class Report
+{
+  public:
+    void add(Finding f) { findingList.push_back(std::move(f)); }
+
+    const std::vector<Finding> &findings() const { return findingList; }
+
+    size_t count(Severity s) const;
+
+    bool empty() const { return findingList.empty(); }
+
+    /**
+     * True when the lint should exit 0: no errors, and no warnings when
+     * @p werror promotes warnings to errors.
+     */
+    bool clean(bool werror) const;
+
+    /** One "severity: [pass/code] model/where: message" line per finding. */
+    std::string text() const;
+
+    /** Machine-readable rendering: {"findings": [...], "counts": {...}}. */
+    std::string json() const;
+
+  private:
+    std::vector<Finding> findingList;
+};
+
+} // namespace lts::analysis
+
+#endif // LTS_ANALYSIS_REPORT_HH

@@ -1,0 +1,539 @@
+#include "analysis/types.hh"
+
+#include <unordered_set>
+
+#include "mm/exprs.hh"
+#include "rel/visit.hh"
+
+namespace lts::analysis
+{
+
+using rel::Expr;
+using rel::ExprKind;
+using rel::ExprPtr;
+using rel::Formula;
+using rel::FormulaKind;
+using rel::FormulaPtr;
+
+namespace
+{
+
+/** Number of bits a bound of @p arity uses over @p k partition atoms. */
+int
+maskBits(int arity, int k)
+{
+    return arity == 1 ? k : k * k;
+}
+
+uint32_t
+fullMask(int arity, int k)
+{
+    return (uint32_t{1} << maskBits(arity, k)) - 1;
+}
+
+uint32_t
+diagMask(int k)
+{
+    uint32_t m = 0;
+    for (int t = 0; t < k; t++)
+        m |= uint32_t{1} << (t * k + t);
+    return m;
+}
+
+bool
+relHas(uint32_t mask, int k, int a, int b)
+{
+    return (mask >> (a * k + b)) & 1u;
+}
+
+/** Compose two arity-2 masks: (a,c) when some b links them. */
+uint32_t
+composeRel(uint32_t lhs, uint32_t rhs, int k)
+{
+    uint32_t out = 0;
+    for (int a = 0; a < k; a++) {
+        for (int b = 0; b < k; b++) {
+            if (!relHas(lhs, k, a, b))
+                continue;
+            for (int c = 0; c < k; c++) {
+                if (relHas(rhs, k, b, c))
+                    out |= uint32_t{1} << (a * k + c);
+            }
+        }
+    }
+    return out;
+}
+
+uint32_t
+transitiveClosure(uint32_t mask, int k)
+{
+    uint32_t closed = mask;
+    for (uint32_t next = composeRel(closed, closed, k) | closed;
+         next != closed; next = composeRel(closed, closed, k) | closed) {
+        closed = next;
+    }
+    return closed;
+}
+
+} // namespace
+
+TypeInference::TypeInference(const mm::Model &m, size_t n) : model(m)
+{
+    atoms.push_back(mm::kR);
+    atoms.push_back(mm::kW);
+    if (model.features().fences)
+        atoms.push_back(mm::kF);
+    int k = static_cast<int>(atoms.size());
+
+    const rel::Vocabulary &vocab = model.vocab();
+    bounds.resize(vocab.size());
+    for (size_t i = 0; i < vocab.size(); i++) {
+        const auto &d = vocab.decl(static_cast<int>(i));
+        bounds[i].arity = d.arity;
+        bounds[i].mask = fullMask(d.arity, k);
+    }
+    // Seed: each partition class variable is bounded by its own class.
+    for (int t = 0; t < k; t++) {
+        if (vocab.contains(atoms[t]))
+            bounds[vocab.find(atoms[t]).id].mask = uint32_t{1} << t;
+    }
+
+    // Decreasing fixpoint over the well-formedness facts.
+    auto facts = model.wellFormedFacts(n);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &fact : facts)
+            refineFromFact(fact.formula, changed);
+        cache.clear(); // bounds moved; memoized values are stale
+    }
+}
+
+void
+TypeInference::refineFromFact(const FormulaPtr &f, bool &changed)
+{
+    // `!f` (or `f == nullptr`) would hit the mkNot() sugar, not a null
+    // test.
+    if (f.get() == nullptr)
+        return;
+    switch (f->kind) {
+        case FormulaKind::And:
+            refineFromFact(f->lhs, changed);
+            refineFromFact(f->rhs, changed);
+            return;
+        case FormulaKind::Subset:
+            if (f->exprLhs->kind == ExprKind::Var) {
+                TypeBound rhs = eval(f->exprRhs);
+                uint32_t refined = bounds[f->exprLhs->varId].mask & rhs.mask;
+                if (refined != bounds[f->exprLhs->varId].mask) {
+                    bounds[f->exprLhs->varId].mask = refined;
+                    changed = true;
+                }
+            }
+            return;
+        case FormulaKind::Equal:
+            for (const auto &[var, other] :
+                 {std::pair(f->exprLhs, f->exprRhs),
+                  std::pair(f->exprRhs, f->exprLhs)}) {
+                if (var->kind != ExprKind::Var)
+                    continue;
+                TypeBound o = eval(other);
+                uint32_t refined = bounds[var->varId].mask & o.mask;
+                if (refined != bounds[var->varId].mask) {
+                    bounds[var->varId].mask = refined;
+                    changed = true;
+                }
+            }
+            return;
+        case FormulaKind::No:
+            if (f->exprLhs->kind == ExprKind::Var &&
+                bounds[f->exprLhs->varId].mask != 0) {
+                bounds[f->exprLhs->varId].mask = 0;
+                changed = true;
+            }
+            return;
+        default:
+            return;
+    }
+}
+
+TypeBound
+TypeInference::varBound(int var_id) const
+{
+    return bounds.at(static_cast<size_t>(var_id));
+}
+
+TypeBound
+TypeInference::top(int arity) const
+{
+    TypeBound b;
+    b.arity = arity;
+    b.mask = fullMask(arity, static_cast<int>(atoms.size()));
+    return b;
+}
+
+TypeBound
+TypeInference::eval(const ExprPtr &e) const
+{
+    auto it = cache.find(e);
+    if (it != cache.end())
+        return it->second;
+
+    int k = static_cast<int>(atoms.size());
+    TypeBound b;
+    b.arity = e->arity;
+    switch (e->kind) {
+        case ExprKind::Var:
+            b = bounds.at(static_cast<size_t>(e->varId));
+            break;
+        case ExprKind::Univ:
+            b.mask = fullMask(1, k);
+            break;
+        case ExprKind::None:
+            b.mask = 0;
+            break;
+        case ExprKind::Iden:
+            b.mask = diagMask(k);
+            break;
+        case ExprKind::Const:
+            // Concrete contents carry no class information; an empty
+            // constant is still provably empty.
+            if (e->arity == 1)
+                b.mask = e->constSet.any() ? fullMask(1, k) : 0;
+            else
+                b.mask = e->constMatrix.any() ? fullMask(2, k) : 0;
+            break;
+        case ExprKind::Union:
+            b.mask = eval(e->lhs).mask | eval(e->rhs).mask;
+            break;
+        case ExprKind::Intersect:
+            b.mask = eval(e->lhs).mask & eval(e->rhs).mask;
+            break;
+        case ExprKind::Diff:
+            // Upper bounds cannot be narrowed by subtraction.
+            b.mask = eval(e->lhs).mask;
+            break;
+        case ExprKind::Join: {
+            uint32_t lhs = eval(e->lhs).mask;
+            uint32_t rhs = eval(e->rhs).mask;
+            if (e->lhs->arity == 1 && e->rhs->arity == 2) {
+                // Image of a set through a relation.
+                b.mask = 0;
+                for (int a = 0; a < k; a++) {
+                    if (!((lhs >> a) & 1u))
+                        continue;
+                    for (int c = 0; c < k; c++) {
+                        if (relHas(rhs, k, a, c))
+                            b.mask |= uint32_t{1} << c;
+                    }
+                }
+            } else if (e->lhs->arity == 2 && e->rhs->arity == 1) {
+                // Preimage of a set through a relation.
+                b.mask = 0;
+                for (int a = 0; a < k; a++) {
+                    for (int c = 0; c < k; c++) {
+                        if (relHas(lhs, k, a, c) && ((rhs >> c) & 1u))
+                            b.mask |= uint32_t{1} << a;
+                    }
+                }
+            } else {
+                b.mask = composeRel(lhs, rhs, k);
+            }
+            break;
+        }
+        case ExprKind::Product: {
+            uint32_t lhs = eval(e->lhs).mask;
+            uint32_t rhs = eval(e->rhs).mask;
+            b.mask = 0;
+            for (int a = 0; a < k; a++) {
+                if (!((lhs >> a) & 1u))
+                    continue;
+                for (int c = 0; c < k; c++) {
+                    if ((rhs >> c) & 1u)
+                        b.mask |= uint32_t{1} << (a * k + c);
+                }
+            }
+            break;
+        }
+        case ExprKind::Transpose: {
+            uint32_t lhs = eval(e->lhs).mask;
+            b.mask = 0;
+            for (int a = 0; a < k; a++) {
+                for (int c = 0; c < k; c++) {
+                    if (relHas(lhs, k, a, c))
+                        b.mask |= uint32_t{1} << (c * k + a);
+                }
+            }
+            break;
+        }
+        case ExprKind::Closure:
+            b.mask = transitiveClosure(eval(e->lhs).mask, k);
+            break;
+        case ExprKind::RClosure:
+            // Zero steps reach every atom: the identity over the full
+            // universe joins the closure.
+            b.mask = transitiveClosure(eval(e->lhs).mask, k) | diagMask(k);
+            break;
+        case ExprKind::DomRestrict: {
+            uint32_t set = eval(e->lhs).mask;
+            uint32_t r = eval(e->rhs).mask;
+            b.mask = 0;
+            for (int a = 0; a < k; a++) {
+                if (!((set >> a) & 1u))
+                    continue;
+                for (int c = 0; c < k; c++) {
+                    if (relHas(r, k, a, c))
+                        b.mask |= uint32_t{1} << (a * k + c);
+                }
+            }
+            break;
+        }
+        case ExprKind::RanRestrict: {
+            uint32_t r = eval(e->lhs).mask;
+            uint32_t set = eval(e->rhs).mask;
+            b.mask = 0;
+            for (int a = 0; a < k; a++) {
+                for (int c = 0; c < k; c++) {
+                    if (relHas(r, k, a, c) && ((set >> c) & 1u))
+                        b.mask |= uint32_t{1} << (a * k + c);
+                }
+            }
+            break;
+        }
+    }
+    cache.emplace(e, b);
+    return b;
+}
+
+std::string
+TypeInference::describe(const TypeBound &b) const
+{
+    int k = static_cast<int>(atoms.size());
+    std::string out = "{";
+    bool first = true;
+    if (b.arity == 1) {
+        for (int t = 0; t < k; t++) {
+            if (!((b.mask >> t) & 1u))
+                continue;
+            out += (first ? "" : ", ") + atoms[t];
+            first = false;
+        }
+    } else {
+        for (int a = 0; a < k; a++) {
+            for (int c = 0; c < k; c++) {
+                if (!relHas(b.mask, k, a, c))
+                    continue;
+                out += std::string(first ? "" : ", ") + "(" + atoms[a] +
+                       "," + atoms[c] + ")";
+                first = false;
+            }
+        }
+    }
+    return out + "}";
+}
+
+// ---------------------------------------------------------------------------
+// The checkTypes pass
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** One labeled formula the pass inspects. */
+struct CheckedFormula
+{
+    std::string where;
+    FormulaPtr formula;
+};
+
+std::vector<CheckedFormula>
+formulasToCheck(const mm::Model &model, size_t n)
+{
+    std::vector<CheckedFormula> out;
+    for (auto &fact : model.wellFormedFacts(n))
+        out.push_back({"fact:" + fact.label, std::move(fact.formula)});
+    for (const auto &axiom : model.axioms()) {
+        out.push_back(
+            {"axiom:" + axiom.name, axiom.pred(model, model.base(), n)});
+        if (axiom.relaxedPred) {
+            out.push_back({"axiom:" + axiom.name + ".relaxed",
+                           axiom.relaxedPred(model, model.base(), n)});
+        }
+    }
+    return out;
+}
+
+/**
+ * Re-validate the structural typing rules the factory functions enforce,
+ * catching hand-built nodes and variables inconsistent with the model's
+ * vocabulary. Returns false when any arity finding was reported, in
+ * which case bound analysis is skipped (bounds would be meaningless).
+ */
+bool
+validateExprArities(const mm::Model &model, const CheckedFormula &cf,
+                    Report &report)
+{
+    bool ok = true;
+    auto bad = [&](const ExprPtr &e, const std::string &msg) {
+        ok = false;
+        report.add({Severity::Error, "types", "arity-mismatch",
+                    model.name(), cf.where, msg + " in " + e->toString()});
+    };
+    const rel::Vocabulary &vocab = model.vocab();
+    rel::forEachExprIn(cf.formula, [&](const ExprPtr &e) {
+        bool needs_lhs = e->kind != ExprKind::Var &&
+                         e->kind != ExprKind::Univ &&
+                         e->kind != ExprKind::None &&
+                         e->kind != ExprKind::Iden &&
+                         e->kind != ExprKind::Const;
+        bool needs_rhs = needs_lhs && e->kind != ExprKind::Transpose &&
+                         e->kind != ExprKind::Closure &&
+                         e->kind != ExprKind::RClosure;
+        if ((needs_lhs && !e->lhs) || (needs_rhs && !e->rhs)) {
+            // Cannot render the node: toString would chase the hole.
+            ok = false;
+            report.add({Severity::Error, "types", "arity-mismatch",
+                        model.name(), cf.where,
+                        "operator node with missing operand"});
+            return;
+        }
+        switch (e->kind) {
+            case ExprKind::Var:
+                if (e->varId < 0 ||
+                    e->varId >= static_cast<int>(vocab.size())) {
+                    bad(e, "variable id " + std::to_string(e->varId) +
+                               " is not declared in the vocabulary");
+                } else if (vocab.decl(e->varId).arity != e->arity) {
+                    bad(e, "variable '" + e->name + "' used with arity " +
+                               std::to_string(e->arity) + " but declared " +
+                               std::to_string(vocab.decl(e->varId).arity));
+                }
+                break;
+            case ExprKind::Univ:
+            case ExprKind::None:
+            case ExprKind::Iden:
+            case ExprKind::Const:
+                if (e->arity != 1 && e->arity != 2)
+                    bad(e, "leaf with arity " + std::to_string(e->arity));
+                break;
+            case ExprKind::Union:
+            case ExprKind::Intersect:
+            case ExprKind::Diff:
+                if (e->lhs->arity != e->rhs->arity ||
+                    e->arity != e->lhs->arity)
+                    bad(e, "set operator over mixed arities");
+                break;
+            case ExprKind::Join:
+                if (e->lhs->arity == 1 && e->rhs->arity == 1)
+                    bad(e, "join of two sets is not a relation");
+                else if (e->arity !=
+                         (e->lhs->arity == 2 && e->rhs->arity == 2 ? 2 : 1))
+                    bad(e, "join result arity is inconsistent");
+                break;
+            case ExprKind::Product:
+                if (e->lhs->arity != 1 || e->rhs->arity != 1 || e->arity != 2)
+                    bad(e, "product requires two sets");
+                break;
+            case ExprKind::Transpose:
+            case ExprKind::Closure:
+            case ExprKind::RClosure:
+                if (e->lhs->arity != 2 || e->arity != 2)
+                    bad(e, "unary relational operator over a set");
+                break;
+            case ExprKind::DomRestrict:
+                if (e->lhs->arity != 1 || e->rhs->arity != 2 || e->arity != 2)
+                    bad(e, "domain restriction requires set <: relation");
+                break;
+            case ExprKind::RanRestrict:
+                if (e->lhs->arity != 2 || e->rhs->arity != 1 || e->arity != 2)
+                    bad(e, "range restriction requires relation :> set");
+                break;
+        }
+    });
+    return ok;
+}
+
+/** The operator kinds whose provable emptiness is worth a finding. */
+const char *
+emptinessCode(ExprKind kind)
+{
+    switch (kind) {
+        case ExprKind::Join:
+            return "empty-join";
+        case ExprKind::Intersect:
+            return "empty-intersect";
+        case ExprKind::DomRestrict:
+        case ExprKind::RanRestrict:
+            return "empty-restrict";
+        default:
+            return nullptr;
+    }
+}
+
+void
+checkEmptiness(const mm::Model &model, const TypeInference &types,
+               const CheckedFormula &cf, Report &report)
+{
+    // An expression directly asserted empty (no e / lone e) is exempt:
+    // proving the assertion from bounds alone makes it vacuous, not
+    // wrong, and the partition facts themselves take this shape.
+    std::unordered_set<const Expr *> asserted_empty;
+    rel::forEachFormula(cf.formula, [&](const FormulaPtr &f) {
+        if (f->kind == FormulaKind::No || f->kind == FormulaKind::Lone)
+            asserted_empty.insert(f->exprLhs.get());
+    });
+
+    rel::forEachExprIn(cf.formula, [&](const ExprPtr &e) {
+        const char *code = emptinessCode(e->kind);
+        if (!code || asserted_empty.count(e.get()))
+            return;
+        if (!types.eval(e).isEmpty() || types.eval(e->lhs).isEmpty() ||
+            types.eval(e->rhs).isEmpty())
+            return;
+        report.add({Severity::Warning, "types", code, model.name(),
+                    cf.where,
+                    "subexpression is provably empty: " + e->toString() +
+                        " (" + types.describe(types.eval(e->lhs)) + " vs " +
+                        types.describe(types.eval(e->rhs)) + ")"});
+    });
+
+    rel::forEachFormula(cf.formula, [&](const FormulaPtr &f) {
+        switch (f->kind) {
+            case FormulaKind::Some:
+            case FormulaKind::One:
+                if (types.eval(f->exprLhs).isEmpty()) {
+                    report.add({Severity::Error, "types", "always-false",
+                                model.name(), cf.where,
+                                "'some/one' over a provably empty "
+                                "expression can never hold: " +
+                                    f->exprLhs->toString()});
+                }
+                break;
+            case FormulaKind::Subset:
+                if (types.eval(f->exprLhs).isEmpty() &&
+                    f->exprLhs->kind != ExprKind::None) {
+                    report.add({Severity::Note, "types", "vacuous-subset",
+                                model.name(), cf.where,
+                                "subset holds vacuously; left-hand side is "
+                                "provably empty: " + f->exprLhs->toString()});
+                }
+                break;
+            default:
+                break;
+        }
+    });
+}
+
+} // namespace
+
+void
+checkTypes(const mm::Model &model, size_t n, Report &report)
+{
+    TypeInference types(model, n);
+    for (const auto &cf : formulasToCheck(model, n)) {
+        if (validateExprArities(model, cf, report))
+            checkEmptiness(model, types, cf, report);
+    }
+}
+
+} // namespace lts::analysis

@@ -1,0 +1,138 @@
+#include "analysis/vacuity.hh"
+
+#include <string>
+#include <vector>
+
+#include "rel/encoder.hh"
+
+namespace lts::analysis
+{
+
+using rel::FactHandle;
+using sat::SolveResult;
+
+namespace
+{
+
+std::string
+atSize(const ProbeOptions &opt)
+{
+    return " at size " + std::to_string(opt.size);
+}
+
+} // namespace
+
+void
+checkVacuity(const mm::Model &model, const ProbeOptions &opt, Report &report)
+{
+    rel::RelSolver solver(model.vocab(), opt.size);
+    auto facts = model.wellFormedFacts(opt.size);
+
+    std::vector<FactHandle> pos, neg;
+    pos.reserve(facts.size());
+    neg.reserve(facts.size());
+    for (const auto &fact : facts) {
+        pos.push_back(solver.addFact(fact.formula));
+        neg.push_back(solver.addFact(rel::mkNot(fact.formula)));
+    }
+
+    auto probe = [&](const std::vector<FactHandle> &handles) {
+        solver.satSolver().setConflictBudget(opt.conflictBudget);
+        return solver.solveUnder(handles);
+    };
+
+    // 1. The base model admits at least one execution.
+    SolveResult base = probe(pos);
+    if (base == SolveResult::Unsat) {
+        report.add({Severity::Error, "vacuity", "model-unsat", model.name(),
+                    "well-formedness",
+                    "the well-formedness facts are unsatisfiable" +
+                        atSize(opt) +
+                        "; synthesis would silently produce nothing"});
+        return; // every further probe is meaningless against falsity
+    }
+    if (base == SolveResult::BudgetExhausted) {
+        report.add({Severity::Note, "vacuity", "probe-inconclusive",
+                    model.name(), "well-formedness",
+                    "satisfiability probe exhausted its conflict budget" +
+                        atSize(opt)});
+        return;
+    }
+
+    // 2. Per-fact redundancy: others /\ not(F) satisfiable?
+    if (opt.factProbes) {
+        for (size_t i = 0; i < facts.size(); i++) {
+            std::vector<FactHandle> handles;
+            for (size_t j = 0; j < facts.size(); j++) {
+                if (j != i)
+                    handles.push_back(pos[j]);
+            }
+            handles.push_back(neg[i]);
+            SolveResult res = probe(handles);
+            if (res == SolveResult::Sat)
+                continue;
+            std::string where = "fact:" + facts[i].label;
+            if (res == SolveResult::BudgetExhausted) {
+                report.add({Severity::Note, "vacuity", "probe-inconclusive",
+                            model.name(), where,
+                            "redundancy probe exhausted its conflict "
+                            "budget" + atSize(opt)});
+                continue;
+            }
+            // Implied by the other facts; is it a tautology outright?
+            bool tautology = probe({neg[i]}) == SolveResult::Unsat;
+            report.add({Severity::Note, "vacuity",
+                        tautology ? "tautological-fact" : "redundant-fact",
+                        model.name(), where,
+                        tautology
+                            ? "fact holds in every instance" + atSize(opt) +
+                                  "; it constrains nothing"
+                            : "fact is implied by the remaining facts" +
+                                  atSize(opt) +
+                                  "; retracting it changes no model"});
+        }
+    }
+
+    // 3. Per-axiom satisfiability and falsifiability.
+    for (const auto &axiom : model.axioms()) {
+        rel::FormulaPtr pred = axiom.pred(model, model.base(), opt.size);
+        FactHandle hold = solver.addFact(pred);
+        FactHandle violate = solver.addFact(rel::mkNot(pred));
+        std::string where = "axiom:" + axiom.name;
+
+        std::vector<FactHandle> handles = pos;
+        handles.push_back(hold);
+        SolveResult can_hold = probe(handles);
+        handles.back() = violate;
+        SolveResult can_fail = probe(handles);
+        solver.retract(hold);
+        solver.retract(violate);
+
+        if (can_hold == SolveResult::Unsat) {
+            report.add({Severity::Error, "vacuity", "unsat-axiom",
+                        model.name(), where,
+                        "axiom rejects every well-formed execution" +
+                            atSize(opt) + "; its suite is empty"});
+        } else if (can_hold == SolveResult::BudgetExhausted) {
+            report.add({Severity::Note, "vacuity", "probe-inconclusive",
+                        model.name(), where,
+                        "satisfiability probe exhausted its conflict "
+                        "budget" + atSize(opt)});
+        }
+        if (can_fail == SolveResult::Unsat) {
+            report.add({Severity::Warning, "vacuity", "tautological-axiom",
+                        model.name(), where,
+                        "axiom holds in every well-formed execution" +
+                            atSize(opt) +
+                            "; synthesis cannot distinguish it from "
+                            "'true'"});
+        } else if (can_fail == SolveResult::BudgetExhausted) {
+            report.add({Severity::Note, "vacuity", "probe-inconclusive",
+                        model.name(), where,
+                        "falsifiability probe exhausted its conflict "
+                        "budget" + atSize(opt)});
+        }
+    }
+}
+
+} // namespace lts::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Semantic vacuity and contradiction probes.
+ *
+ * The type pass proves facts about what *cannot* happen; this pass asks
+ * the solver what *can*. Every well-formedness fact and every synthesis
+ * axiom of a model is loaded as a retractable fact layer
+ * (rel::RelSolver::addFact) over one shared encoding at a small bounded
+ * size, so each probe is an incremental solveUnder() call rather than a
+ * fresh encoding:
+ *
+ *  - base satisfiability: the conjunction of all well-formedness facts
+ *    admits at least one execution (otherwise synthesis enumerates
+ *    nothing and every suite is silently empty);
+ *  - per-fact redundancy: dropping fact F and asserting its negation
+ *    under the remaining facts is satisfiable, i.e. F actually changes
+ *    the model set; implied facts are reported (as notes — overlapping
+ *    shape facts are sometimes deliberate), with tautologies (facts
+ *    unsatisfiable to negate in isolation) called out specially;
+ *  - per-axiom vacuity: each axiom is satisfiable (some well-formed
+ *    execution obeys it) and falsifiable (some violates it) — an
+ *    unsatisfiable axiom makes its suite empty, a tautological one makes
+ *    synthesis chase a suite that cannot exist.
+ *
+ * All probes are bounded by universe size and a conflict budget, so a
+ * finding of "unsatisfiable" is definite while absence of findings is
+ * evidence at the probed size, mirroring the paper's bounded guarantee.
+ */
+
+#ifndef LTS_ANALYSIS_VACUITY_HH
+#define LTS_ANALYSIS_VACUITY_HH
+
+#include <cstdint>
+
+#include "analysis/report.hh"
+#include "mm/model.hh"
+
+namespace lts::analysis
+{
+
+/** Knobs for the solver probes. */
+struct ProbeOptions
+{
+    size_t size = 4;                  ///< universe size of the probes
+    uint64_t conflictBudget = 200000; ///< per-probe SAT budget (0 = none)
+    bool factProbes = true;           ///< run per-fact redundancy probes
+};
+
+/** Run the solver probes for @p model and report findings. */
+void checkVacuity(const mm::Model &model, const ProbeOptions &opt,
+                  Report &report);
+
+} // namespace lts::analysis
+
+#endif // LTS_ANALYSIS_VACUITY_HH

@@ -39,7 +39,10 @@ Model::Model(std::string name, ModelFeatures features)
         baseEnv.set(kF, vocabulary.declare(kF, 1));
 
     // Annotation sets.
-    if (feats.acqRelAccess || feats.acqRelFence) {
+    // ACQ/REL access annotations are independent of AR fences: a model
+    // with lwsync-style fences but no annotated accesses (Power) must not
+    // drag two unconstrained annotation sets into the search space.
+    if (feats.acqRelAccess) {
         baseEnv.set(kAcq, vocabulary.declare(kAcq, 1));
         baseEnv.set(kRel, vocabulary.declare(kRel, 1));
     }
@@ -82,11 +85,14 @@ Model::axiom(const std::string &name) const
     throw std::out_of_range("model " + modelName + " has no axiom " + name);
 }
 
-FormulaPtr
-Model::wellFormed(size_t n) const
+std::vector<NamedFact>
+Model::wellFormedFacts(size_t n) const
 {
     const Env &env = baseEnv;
-    std::vector<FormulaPtr> facts;
+    std::vector<NamedFact> facts;
+    auto add = [&facts](std::string label, FormulaPtr f) {
+        facts.push_back({std::move(label), std::move(f)});
+    };
     ExprPtr r = env.get(kR);
     ExprPtr w = env.get(kW);
     ExprPtr po = env.get(kPo);
@@ -96,67 +102,69 @@ Model::wellFormed(size_t n) const
     ExprPtr memory = mem(env);
 
     // Event types partition the universe.
-    facts.push_back(mkNo(r & w));
+    add("types.rw-disjoint", mkNo(r & w));
     if (feats.fences) {
         ExprPtr f = env.get(kF);
-        facts.push_back(mkNo(r & f));
-        facts.push_back(mkNo(w & f));
-        facts.push_back(mkEqual(r + w + f, mkUniv()));
+        add("types.rf-disjoint", mkNo(r & f));
+        add("types.wf-disjoint", mkNo(w & f));
+        add("types.cover", mkEqual(r + w + f, mkUniv()));
     } else {
-        facts.push_back(mkEqual(r + w, mkUniv()));
+        add("types.cover", mkEqual(r + w, mkUniv()));
     }
 
     // Program order: transitive, consistent with atom index order (a
     // symmetry-breaking predicate), forming contiguous thread blocks.
-    facts.push_back(mkSubset(po, indexLt(n)));
-    facts.push_back(mkSubset(mkJoin(po, po), po));
+    add("po.index-order", mkSubset(po, indexLt(n)));
+    add("po.transitive", mkSubset(mkJoin(po, po), po));
     ExprPtr st = sameThread(env);
     ExprPtr st_refl = st + mkIden();
-    facts.push_back(mkSubset(mkJoin(st_refl, st_refl), st_refl));
+    add("po.thread-equivalence", mkSubset(mkJoin(st_refl, st_refl), st_refl));
     // Convexity: a thread owns a contiguous range of atom indices.
     for (size_t i = 0; i < n; i++) {
         for (size_t k = i + 2; k < n; k++) {
             for (size_t j = i + 1; j < k; j++) {
-                facts.push_back(mkImplies(cellIn(st, i, k, n),
-                                          cellIn(st, i, j, n)));
+                add("po.thread-convexity[" + std::to_string(i) + "," +
+                        std::to_string(j) + "," + std::to_string(k) + "]",
+                    mkImplies(cellIn(st, i, k, n), cellIn(st, i, j, n)));
             }
         }
     }
 
     // Same-location: an equivalence over memory events.
-    facts.push_back(mkSubset(sloc, mkProduct(memory, memory)));
-    facts.push_back(mkSubset(mkDomRestrict(memory, mkIden()), sloc));
-    facts.push_back(mkEqual(sloc, mkTranspose(sloc)));
-    facts.push_back(mkSubset(mkJoin(sloc, sloc), sloc));
+    add("sloc.memory-only", mkSubset(sloc, mkProduct(memory, memory)));
+    add("sloc.reflexive", mkSubset(mkDomRestrict(memory, mkIden()), sloc));
+    add("sloc.symmetric", mkEqual(sloc, mkTranspose(sloc)));
+    add("sloc.transitive", mkSubset(mkJoin(sloc, sloc), sloc));
 
     // Reads-from: write -> read, same location, at most one writer each.
-    facts.push_back(mkSubset(rf, mkRanRestrict(mkDomRestrict(w, sloc), r)));
-    facts.push_back(mkSubset(mkJoin(rf, mkTranspose(rf)), mkIden()));
+    add("rf.shape", mkSubset(rf, mkRanRestrict(mkDomRestrict(w, sloc), r)));
+    add("rf.functional", mkSubset(mkJoin(rf, mkTranspose(rf)), mkIden()));
 
     // Coherence: strict total order over the writes of each location.
-    facts.push_back(mkSubset(co, mkRanRestrict(mkDomRestrict(w, sloc), w)));
-    facts.push_back(mkSubset(mkJoin(co, co), co));
-    facts.push_back(mkAcyclic(co));
-    facts.push_back(mkSubset(
-        mkRanRestrict(mkDomRestrict(w, sloc), w) - mkIden(),
-        co + mkTranspose(co)));
+    add("co.shape", mkSubset(co, mkRanRestrict(mkDomRestrict(w, sloc), w)));
+    add("co.transitive", mkSubset(mkJoin(co, co), co));
+    add("co.acyclic", mkAcyclic(co));
+    add("co.total-per-location",
+        mkSubset(mkRanRestrict(mkDomRestrict(w, sloc), w) - mkIden(),
+                 co + mkTranspose(co)));
 
     // Dependencies: from reads to po-later events.
     if (feats.deps) {
-        facts.push_back(mkSubset(env.get(kAddr),
-                                 mkRanRestrict(mkDomRestrict(r, po),
-                                               memory)));
-        facts.push_back(
+        add("deps.addr-shape",
+            mkSubset(env.get(kAddr),
+                     mkRanRestrict(mkDomRestrict(r, po), memory)));
+        add("deps.data-shape",
             mkSubset(env.get(kData), mkRanRestrict(mkDomRestrict(r, po), w)));
-        facts.push_back(mkSubset(env.get(kCtrl), mkDomRestrict(r, po)));
+        add("deps.ctrl-shape",
+            mkSubset(env.get(kCtrl), mkDomRestrict(r, po)));
     }
 
     // RMW pairs: po-adjacent, same location, read then write (Figure 4).
     if (feats.rmw) {
         ExprPtr adjacent = po - mkJoin(po, po);
-        facts.push_back(mkSubset(
-            env.get(kRmw),
-            mkRanRestrict(mkDomRestrict(r, adjacent & sloc), w)));
+        add("rmw.shape",
+            mkSubset(env.get(kRmw),
+                     mkRanRestrict(mkDomRestrict(r, adjacent & sloc), w)));
     }
 
     // Annotations: pairwise disjoint, confined to their carriers.
@@ -167,25 +175,26 @@ Model::wellFormed(size_t n) const
     }
     for (size_t i = 0; i < annots.size(); i++) {
         for (size_t j = i + 1; j < annots.size(); j++) {
-            facts.push_back(mkNo(env.get(annots[i]) & env.get(annots[j])));
+            add("annot.disjoint[" + annots[i] + "," + annots[j] + "]",
+                mkNo(env.get(annots[i]) & env.get(annots[j])));
         }
     }
     ExprPtr fence_set = feats.fences ? env.get(kF) : mkNone(1);
     if (env.has(kAcq)) {
         ExprPtr carrier = feats.acqRelAccess ? (r + fence_set) : fence_set;
-        facts.push_back(mkSubset(env.get(kAcq), carrier));
+        add("annot.acq-carrier", mkSubset(env.get(kAcq), carrier));
         carrier = feats.acqRelAccess ? (w + fence_set) : fence_set;
-        facts.push_back(mkSubset(env.get(kRel), carrier));
+        add("annot.rel-carrier", mkSubset(env.get(kRel), carrier));
     }
     if (env.has(kAcqRel))
-        facts.push_back(mkSubset(env.get(kAcqRel), fence_set));
+        add("annot.ar-carrier", mkSubset(env.get(kAcqRel), fence_set));
     if (env.has(kSc)) {
         ExprPtr carrier = mkNone(1);
         if (feats.scAccess)
             carrier = carrier + memory;
         if (feats.scFence)
             carrier = carrier + fence_set;
-        facts.push_back(mkSubset(env.get(kSc), carrier));
+        add("annot.sc-carrier", mkSubset(env.get(kSc), carrier));
     }
 
     // Explicit sc order over SC fences (SCC, Figure 17/19): confined,
@@ -194,11 +203,11 @@ Model::wellFormed(size_t n) const
     if (feats.scOrder) {
         ExprPtr fsc = fence_set & env.get(kSc);
         ExprPtr sc = env.get(kScOrd);
-        facts.push_back(mkSubset(sc, mkProduct(fsc, fsc)));
-        facts.push_back(mkIrreflexive(sc));
-        facts.push_back(mkSubset(mkProduct(fsc, fsc) - mkIden(),
-                                 sc + mkTranspose(sc)));
-        facts.push_back(mkLone(sc));
+        add("sc-order.shape", mkSubset(sc, mkProduct(fsc, fsc)));
+        add("sc-order.irreflexive", mkIrreflexive(sc));
+        add("sc-order.total",
+            mkSubset(mkProduct(fsc, fsc) - mkIden(), sc + mkTranspose(sc)));
+        add("sc-order.lone", mkLone(sc));
     }
 
     // Scopes: swg is an equivalence refined by sameThread, workgroups
@@ -206,14 +215,16 @@ Model::wellFormed(size_t n) const
     // synchronizing operation carries exactly one scope.
     if (feats.scopes) {
         ExprPtr swg = env.get(kSameWg);
-        facts.push_back(mkSubset(st + mkIden(), swg));
-        facts.push_back(mkEqual(swg, mkTranspose(swg)));
-        facts.push_back(mkSubset(mkJoin(swg, swg), swg));
+        add("scopes.swg-refines-threads", mkSubset(st + mkIden(), swg));
+        add("scopes.swg-symmetric", mkEqual(swg, mkTranspose(swg)));
+        add("scopes.swg-transitive", mkSubset(mkJoin(swg, swg), swg));
         for (size_t i = 0; i < n; i++) {
             for (size_t k = i + 2; k < n; k++) {
                 for (size_t j = i + 1; j < k; j++) {
-                    facts.push_back(mkImplies(cellIn(swg, i, k, n),
-                                              cellIn(swg, i, j, n)));
+                    add("scopes.swg-convexity[" + std::to_string(i) + "," +
+                            std::to_string(j) + "," + std::to_string(k) + "]",
+                        mkImplies(cellIn(swg, i, k, n),
+                                  cellIn(swg, i, j, n)));
                 }
             }
         }
@@ -224,14 +235,32 @@ Model::wellFormed(size_t n) const
             sync_ops = sync_ops + env.get(kF);
         ExprPtr s_wg = env.get(kScopeWg);
         ExprPtr s_sys = env.get(kScopeSys);
-        facts.push_back(mkNo(s_wg & s_sys));
-        facts.push_back(mkEqual(s_wg + s_sys, sync_ops));
+        add("scopes.disjoint", mkNo(s_wg & s_sys));
+        add("scopes.cover-sync-ops", mkEqual(s_wg + s_sys, sync_ops));
     }
 
     for (const auto &f : extraFacts)
-        facts.push_back(f(*this, env, n));
+        add(f.label, f.fn(*this, env, n));
 
-    return mkAndAll(facts);
+    return facts;
+}
+
+std::vector<NamedFact>
+Model::extraWellFormedFacts(size_t n) const
+{
+    std::vector<NamedFact> facts;
+    for (const auto &f : extraFacts)
+        facts.push_back({f.label, f.fn(*this, baseEnv, n)});
+    return facts;
+}
+
+FormulaPtr
+Model::wellFormed(size_t n) const
+{
+    std::vector<FormulaPtr> parts;
+    for (auto &fact : wellFormedFacts(n))
+        parts.push_back(std::move(fact.formula));
+    return mkAndAll(parts);
 }
 
 FormulaPtr

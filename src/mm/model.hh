@@ -28,6 +28,18 @@ namespace lts::mm
 
 class Model;
 
+/**
+ * One well-formedness fact with a stable diagnostic label (e.g.
+ * "po.transitive", "rf.same-location"). The analyzer (src/analysis)
+ * reports findings against these labels and probes facts individually
+ * through the solver's retractable layers.
+ */
+struct NamedFact
+{
+    std::string label;
+    rel::FormulaPtr formula;
+};
+
 /** One named axiom of a model (e.g. "sc_per_loc", "causality"). */
 struct Axiom
 {
@@ -127,7 +139,16 @@ class Model
     addExtraFact(
         std::function<rel::FormulaPtr(const Model &, const Env &, size_t)> f)
     {
-        extraFacts.push_back(std::move(f));
+        addExtraFact("extra", std::move(f));
+    }
+
+    /** Labeled variant: @p label identifies the fact in lint findings. */
+    void
+    addExtraFact(
+        std::string label,
+        std::function<rel::FormulaPtr(const Model &, const Env &, size_t)> f)
+    {
+        extraFacts.push_back({std::move(label), std::move(f)});
     }
 
     /**
@@ -137,6 +158,21 @@ class Model
      * dependency/rmw shape, annotation carriers, plus model extras.
      */
     rel::FormulaPtr wellFormed(size_t n) const;
+
+    /**
+     * The same well-formedness constraints as individually labeled facts,
+     * in the order wellFormed conjoins them. This is the unit the static
+     * analyzer types, probes, and reports against.
+     */
+    std::vector<NamedFact> wellFormedFacts(size_t n) const;
+
+    /**
+     * Only the model-specific extra facts (the tail of wellFormedFacts),
+     * instantiated at size @p n. The dead-definition analysis treats
+     * these as uses of a relation, unlike the generic facts, which
+     * mention every declared relation by construction.
+     */
+    std::vector<NamedFact> extraWellFormedFacts(size_t n) const;
 
     /** Conjunction of every axiom over @p env. */
     rel::FormulaPtr allAxioms(const Env &env, size_t n) const;
@@ -155,11 +191,15 @@ class Model
     ModelFeatures feats;
     rel::Vocabulary vocabulary;
     Env baseEnv;
+    struct ExtraFact
+    {
+        std::string label;
+        std::function<rel::FormulaPtr(const Model &, const Env &, size_t)> fn;
+    };
+
     std::vector<Axiom> axiomList;
     std::vector<Relaxation> relaxList;
-    std::vector<std::function<rel::FormulaPtr(const Model &, const Env &,
-                                              size_t)>>
-        extraFacts;
+    std::vector<ExtraFact> extraFacts;
 };
 
 // --- generic relaxation builders (Figure 6 made reusable) -------------------

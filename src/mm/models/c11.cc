@@ -82,7 +82,9 @@ makeC11()
     // C11 fences must carry an ordering annotation (a relaxed fence is a
     // no-op and excluded); acq_rel on accesses only arises from RMW
     // halves, which here carry their own acquire/release annotations.
-    model->addExtraFact([](const Model &, const Env &env, size_t) {
+    model->addExtraFact(
+        "c11.annotation-carriers",
+        [](const Model &, const Env &env, size_t) {
         return mkAndAll({
             mkSubset(env.get(kF), env.get(kAcq) + env.get(kRel) +
                                       env.get(kAcqRel) + env.get(kSc)),

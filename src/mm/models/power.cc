@@ -133,7 +133,9 @@ makePowerLike(const std::string &name, bool has_lwsync)
     auto model = std::make_unique<Model>(name, feats);
 
     // Every fence is one of the architected fences.
-    model->addExtraFact([has_lwsync](const Model &, const Env &env, size_t) {
+    model->addExtraFact(
+        "power.fence-kinds",
+        [has_lwsync](const Model &, const Env &env, size_t) {
         ExprPtr allowed = env.get(kSc);
         if (has_lwsync)
             allowed = allowed + env.get(kAcqRel);

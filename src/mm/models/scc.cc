@@ -109,7 +109,9 @@ makeSccImpl(bool workaround)
 
     // SCC annotations: acquires are reads, releases are writes (the
     // ARMv8-like opcodes of Figure 17), fences are AcqRel or SC.
-    model->addExtraFact([](const Model &, const Env &env, size_t) {
+    model->addExtraFact(
+        "scc.annotation-carriers",
+        [](const Model &, const Env &env, size_t) {
         return mkAndAll({
             mkSubset(env.get(kAcq), env.get(kR)),
             mkSubset(env.get(kRel), env.get(kW)),

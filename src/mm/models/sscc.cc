@@ -84,7 +84,9 @@ makeScopedScc()
 
     auto model = std::make_unique<Model>("sscc", feats);
 
-    model->addExtraFact([](const Model &, const Env &env, size_t) {
+    model->addExtraFact(
+        "sscc.annotation-carriers",
+        [](const Model &, const Env &env, size_t) {
         return mkAndAll({
             mkSubset(env.get(kAcq), env.get(kR)),
             mkSubset(env.get(kRel), env.get(kW)),

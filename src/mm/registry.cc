@@ -13,6 +13,14 @@ modelNames()
     return {"sc", "tso", "power", "armv7", "scc", "sscc", "c11"};
 }
 
+std::vector<std::string>
+allModelNames()
+{
+    auto names = modelNames();
+    names.push_back("scc-strict");
+    return names;
+}
+
 std::unique_ptr<Model>
 makeModel(const std::string &name)
 {

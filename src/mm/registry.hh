@@ -24,6 +24,14 @@ namespace lts::mm
 /** Names of all synthesizable models ("sc", "tso", ...). */
 std::vector<std::string> modelNames();
 
+/**
+ * Every name makeModel accepts: the synthesizable models plus study
+ * variants (e.g. "scc-strict") that are excluded from the default
+ * synthesis set. This is what registry-wide tooling (ltslint --all, the
+ * convert round-trip fixture) iterates.
+ */
+std::vector<std::string> allModelNames();
+
 /** Build a model by name; throws std::out_of_range on unknown names. */
 std::unique_ptr<Model> makeModel(const std::string &name);
 

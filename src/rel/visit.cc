@@ -1,0 +1,90 @@
+#include "rel/visit.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lts::rel
+{
+
+namespace
+{
+
+void
+walkExpr(const ExprPtr &e, std::unordered_set<const Expr *> &seen,
+         const std::function<void(const ExprPtr &)> &fn)
+{
+    if (!e || !seen.insert(e.get()).second)
+        return;
+    fn(e);
+    walkExpr(e->lhs, seen, fn);
+    walkExpr(e->rhs, seen, fn);
+}
+
+void
+walkFormula(const FormulaPtr &f, std::unordered_set<const Formula *> &seen,
+            const std::function<void(const FormulaPtr &)> &fn)
+{
+    // NB: `!f` (and even `f == nullptr`, via ADL inside libstdc++) would
+    // resolve to the mkNot() operator sugar, not a null test.
+    if (f.get() == nullptr || !seen.insert(f.get()).second)
+        return;
+    fn(f);
+    walkFormula(f->lhs, seen, fn);
+    walkFormula(f->rhs, seen, fn);
+}
+
+} // namespace
+
+void
+forEachExpr(const ExprPtr &e, const std::function<void(const ExprPtr &)> &fn)
+{
+    std::unordered_set<const Expr *> seen;
+    walkExpr(e, seen, fn);
+}
+
+void
+forEachFormula(const FormulaPtr &f,
+               const std::function<void(const FormulaPtr &)> &fn)
+{
+    std::unordered_set<const Formula *> seen;
+    walkFormula(f, seen, fn);
+}
+
+void
+forEachExprIn(const FormulaPtr &f,
+              const std::function<void(const ExprPtr &)> &fn)
+{
+    std::unordered_set<const Expr *> seen_exprs;
+    forEachFormula(f, [&](const FormulaPtr &node) {
+        walkExpr(node->exprLhs, seen_exprs, fn);
+        walkExpr(node->exprRhs, seen_exprs, fn);
+    });
+}
+
+std::vector<int>
+collectVarIds(const FormulaPtr &f)
+{
+    std::vector<int> ids;
+    forEachExprIn(f, [&](const ExprPtr &e) {
+        if (e->kind == ExprKind::Var)
+            ids.push_back(e->varId);
+    });
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+std::vector<int>
+collectVarIds(const ExprPtr &e)
+{
+    std::vector<int> ids;
+    forEachExpr(e, [&](const ExprPtr &node) {
+        if (node->kind == ExprKind::Var)
+            ids.push_back(node->varId);
+    });
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+} // namespace lts::rel

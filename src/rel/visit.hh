@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Generic traversal over expression and formula DAGs.
+ *
+ * Expressions and formulas are shared immutable trees (DAGs once helpers
+ * like fr() reuse subterms), so analyses want a uniform way to walk every
+ * node exactly once. These visitors back the static analyzer
+ * (src/analysis) and any future pass that needs expression metadata
+ * without re-implementing recursion per node kind.
+ */
+
+#ifndef LTS_REL_VISIT_HH
+#define LTS_REL_VISIT_HH
+
+#include <functional>
+#include <vector>
+
+#include "rel/formula.hh"
+
+namespace lts::rel
+{
+
+/**
+ * Visit every distinct expression node reachable from @p e, parents
+ * before children, each node exactly once (DAG-aware).
+ */
+void forEachExpr(const ExprPtr &e,
+                 const std::function<void(const ExprPtr &)> &fn);
+
+/**
+ * Visit every distinct formula node reachable from @p f, parents before
+ * children, each node exactly once. Expression operands are not entered;
+ * combine with forEachExpr or use forEachExprIn.
+ */
+void forEachFormula(const FormulaPtr &f,
+                    const std::function<void(const FormulaPtr &)> &fn);
+
+/**
+ * Visit every distinct expression node appearing anywhere under @p f:
+ * each formula node's expression operands and all their subexpressions,
+ * each exactly once across the whole formula.
+ */
+void forEachExprIn(const FormulaPtr &f,
+                   const std::function<void(const ExprPtr &)> &fn);
+
+/**
+ * The ids of every relation variable mentioned under @p f, sorted and
+ * deduplicated.
+ */
+std::vector<int> collectVarIds(const FormulaPtr &f);
+
+/** The ids of every relation variable mentioned under @p e. */
+std::vector<int> collectVarIds(const ExprPtr &e);
+
+} // namespace lts::rel
+
+#endif // LTS_REL_VISIT_HH

@@ -698,13 +698,39 @@ Solver::solve(const std::vector<Lit> &assumptions)
     }
     cancelUntil(0);
     assumptionsVec.clear();
-    if (status == LBool::True)
+    if (status == LBool::True) {
         lastResult = SolveResult::Sat;
-    else if (status == LBool::False)
+        haveModel = true;
+        assert(checkModel() && "model violates a problem clause");
+    } else if (status == LBool::False) {
         lastResult = SolveResult::Unsat;
-    else
+    } else {
         lastResult = SolveResult::BudgetExhausted;
+    }
     return lastResult;
+}
+
+bool
+Solver::checkModel() const
+{
+    // lastResult defaults to Sat, so an untouched solver would report
+    // vacuous success; haveModel distinguishes "never solved" from that.
+    if (lastResult != SolveResult::Sat || !haveModel)
+        return false;
+    for (const auto &c : clauses) {
+        if (c.deleted || c.learned)
+            continue;
+        bool satisfied = false;
+        for (Lit l : c.lits) {
+            if (l.var() < static_cast<Var>(model.size()) && modelValue(l)) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied)
+            return false;
+    }
+    return true;
 }
 
 const std::vector<Lit> &

@@ -189,6 +189,16 @@ class Solver
      */
     void reduceLearnedClauses();
 
+    /**
+     * Verify the most recent satisfying model: every live problem clause
+     * (including the activation-literal guard of grouped clauses) must
+     * contain a true literal. Only meaningful after solve() returned
+     * SolveResult::Sat; debug builds assert this after every Sat answer,
+     * so an unsound simplification or watch bug fails loudly at its
+     * source instead of corrupting synthesis output downstream.
+     */
+    bool checkModel() const;
+
   private:
     /** Internal clause representation. */
     struct InternalClause
@@ -296,6 +306,7 @@ class Solver
     uint64_t budgetBase = 0;
     bool hitBudget = false;
     SolveResult lastResult = SolveResult::Sat;
+    bool haveModel = false;
 
     SolverStats statsData;
 };

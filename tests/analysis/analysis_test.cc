@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the model static analyzer (src/analysis): each detector
+ * must fire on a deliberately broken model — arity mismatch in a
+ * hand-built expression, a provably-empty join, a dead relation, a
+ * redundant fact, an unsatisfiable axiom — and stay quiet on the shipped
+ * models (which ltslint --all enforces end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hh"
+#include "mm/exprs.hh"
+#include "mm/registry.hh"
+#include "rel/visit.hh"
+
+namespace lts::analysis
+{
+namespace
+{
+
+using mm::kCo;
+using mm::kPo;
+using mm::kR;
+using mm::kRf;
+using mm::kW;
+using rel::ExprPtr;
+
+/** A minimal healthy model the broken variants start from. */
+std::unique_ptr<mm::Model>
+makeTinyModel()
+{
+    mm::ModelFeatures feats;
+    feats.fences = false;
+    feats.rmw = false;
+    auto model = std::make_unique<mm::Model>("tiny", feats);
+    model->addAxiom(mm::Axiom{
+        "sequential_consistency",
+        [](const mm::Model &, const mm::Env &env, size_t) {
+            return rel::mkAcyclic(env.get(kPo) + mm::com(env));
+        },
+        nullptr,
+    });
+    model->addRelaxation(mm::makeRI());
+    return model;
+}
+
+bool
+hasFinding(const Report &report, const std::string &code,
+           const std::string &where)
+{
+    for (const auto &f : report.findings()) {
+        if (f.code == code && f.where == where)
+            return true;
+    }
+    return false;
+}
+
+std::string
+findingCodes(const Report &report)
+{
+    std::string out;
+    for (const auto &f : report.findings())
+        out += f.code + "(" + f.where + ") ";
+    return out;
+}
+
+// --- bounding-type inference ------------------------------------------------
+
+TEST(TypeInferenceTest, InfersCommunicationBounds)
+{
+    auto model = mm::makeModel("tso");
+    TypeInference types(*model, 4);
+    const mm::Env &env = model->base();
+
+    // rf connects writes to reads; co connects writes to writes.
+    EXPECT_EQ(types.describe(types.eval(env.get(kRf))), "{(W,R)}");
+    EXPECT_EQ(types.describe(types.eval(env.get(kCo))), "{(W,W)}");
+    // fr = rf~ . co* lands in (R,W).
+    EXPECT_EQ(types.describe(types.eval(mm::fr(env))), "{(R,W)}");
+    // rf.rf is provably empty: no event is both a read and a write.
+    EXPECT_TRUE(types.eval(rel::mkJoin(env.get(kRf), env.get(kRf)))
+                    .isEmpty());
+    // po is unconstrained across classes.
+    EXPECT_EQ(types.eval(env.get(kPo)).mask, types.top(2).mask);
+}
+
+TEST(AnalysisTest, FlagsEmptyJoinAndAlwaysFalseAxiom)
+{
+    auto model = makeTinyModel();
+    model->addAxiom(mm::Axiom{
+        "broken_chain",
+        [](const mm::Model &, const mm::Env &env, size_t) {
+            // rf.rf is empty in every instance; `some` can never hold.
+            return rel::mkSome(rel::mkJoin(env.get(kRf), env.get(kRf)));
+        },
+        nullptr,
+    });
+    Report report;
+    checkTypes(*model, 4, report);
+    EXPECT_TRUE(hasFinding(report, "empty-join", "axiom:broken_chain"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "always-false", "axiom:broken_chain"))
+        << findingCodes(report);
+}
+
+TEST(AnalysisTest, FlagsArityMismatchInHandBuiltExpr)
+{
+    auto model = makeTinyModel();
+    model->addAxiom(mm::Axiom{
+        "hand_built",
+        [](const mm::Model &m, const mm::Env &, size_t) {
+            // Bypass the checked factories: use R (declared arity 1) as
+            // if it were a relation.
+            auto node = std::make_shared<rel::Expr>();
+            node->kind = rel::ExprKind::Var;
+            node->arity = 2;
+            node->varId = m.vocab().find(kR).id;
+            node->name = kR;
+            return rel::mkSome(rel::ExprPtr(node));
+        },
+        nullptr,
+    });
+    Report report;
+    checkTypes(*model, 4, report);
+    EXPECT_TRUE(hasFinding(report, "arity-mismatch", "axiom:hand_built"))
+        << findingCodes(report);
+    EXPECT_EQ(report.count(Severity::Error), 1u);
+}
+
+// --- dead definitions -------------------------------------------------------
+
+TEST(AnalysisTest, FlagsDeadRelation)
+{
+    // rmw is declared (feature on) but no axiom, extra fact, or
+    // relaxation ever reads it.
+    mm::ModelFeatures feats;
+    feats.fences = false;
+    feats.rmw = true;
+    mm::Model model("tiny-rmw", feats);
+    model.addAxiom(mm::Axiom{
+        "sequential_consistency",
+        [](const mm::Model &, const mm::Env &env, size_t) {
+            return rel::mkAcyclic(env.get(kPo) + mm::com(env));
+        },
+        nullptr,
+    });
+    Report report;
+    checkDeadDefinitions(model, 4, report);
+    EXPECT_TRUE(hasFinding(report, "dead-relation", "relation:rmw"))
+        << findingCodes(report);
+    // The communication and order relations are all reachable.
+    EXPECT_FALSE(hasFinding(report, "dead-relation", "relation:rf"));
+    EXPECT_FALSE(hasFinding(report, "dead-relation", "relation:po"));
+}
+
+TEST(AnalysisTest, FlagsDuplicateAxiomNames)
+{
+    auto model = makeTinyModel();
+    model->addAxiom(mm::Axiom{
+        "sequential_consistency",
+        [](const mm::Model &, const mm::Env &env, size_t) {
+            return rel::mkAcyclic(env.get(kPo));
+        },
+        nullptr,
+    });
+    Report report;
+    checkDeadDefinitions(*model, 4, report);
+    EXPECT_TRUE(hasFinding(report, "duplicate-axiom",
+                           "axiom:sequential_consistency"))
+        << findingCodes(report);
+}
+
+// --- solver vacuity probes --------------------------------------------------
+
+TEST(AnalysisTest, FlagsRedundantAndTautologicalFacts)
+{
+    auto model = makeTinyModel();
+    // Implied by rf.shape: rf already lands in W -> R.
+    model->addExtraFact(
+        "duplicate-rf-shape",
+        [](const mm::Model &, const mm::Env &e, size_t) {
+            return rel::mkSubset(e.get(kRf),
+                                 rel::mkProduct(e.get(kW), e.get(kR)));
+        });
+    // True in every instance outright.
+    model->addExtraFact("self-subset",
+                        [](const mm::Model &, const mm::Env &e, size_t) {
+                            return rel::mkSubset(e.get(kCo), e.get(kCo));
+                        });
+    ProbeOptions opt;
+    opt.size = 3;
+    Report report;
+    checkVacuity(*model, opt, report);
+    EXPECT_TRUE(
+        hasFinding(report, "redundant-fact", "fact:duplicate-rf-shape"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "tautological-fact", "fact:self-subset"))
+        << findingCodes(report);
+}
+
+TEST(AnalysisTest, FlagsUnsatisfiableAndTautologicalAxioms)
+{
+    auto model = makeTinyModel();
+    model->addAxiom(mm::Axiom{
+        "impossible",
+        [](const mm::Model &, const mm::Env &, size_t) {
+            return rel::mkFalse();
+        },
+        nullptr,
+    });
+    model->addAxiom(mm::Axiom{
+        "trivial",
+        [](const mm::Model &, const mm::Env &, size_t) {
+            return rel::mkTrue();
+        },
+        nullptr,
+    });
+    ProbeOptions opt;
+    opt.size = 3;
+    opt.factProbes = false;
+    Report report;
+    checkVacuity(*model, opt, report);
+    EXPECT_TRUE(hasFinding(report, "unsat-axiom", "axiom:impossible"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "tautological-axiom", "axiom:trivial"))
+        << findingCodes(report);
+    // The healthy axiom is both satisfiable and falsifiable.
+    EXPECT_FALSE(
+        hasFinding(report, "unsat-axiom", "axiom:sequential_consistency"));
+    EXPECT_FALSE(hasFinding(report, "tautological-axiom",
+                            "axiom:sequential_consistency"));
+}
+
+TEST(AnalysisTest, FlagsUnsatisfiableModel)
+{
+    auto model = makeTinyModel();
+    model->addExtraFact("contradiction",
+                        [](const mm::Model &, const mm::Env &e, size_t) {
+                            return rel::mkSome(e.get(kR)) &&
+                                   rel::mkNo(e.get(kR));
+                        });
+    ProbeOptions opt;
+    opt.size = 3;
+    Report report;
+    checkVacuity(*model, opt, report);
+    EXPECT_TRUE(hasFinding(report, "model-unsat", "well-formedness"))
+        << findingCodes(report);
+    EXPECT_EQ(report.count(Severity::Error), 1u);
+}
+
+// --- report rendering and orchestration -------------------------------------
+
+TEST(AnalysisTest, JsonReportCarriesFindingsAndCounts)
+{
+    auto model = makeTinyModel();
+    model->addAxiom(mm::Axiom{
+        "impossible",
+        [](const mm::Model &, const mm::Env &, size_t) {
+            return rel::mkFalse();
+        },
+        nullptr,
+    });
+    AnalysisOptions opt;
+    opt.size = 3;
+    Report report;
+    analyzeModel(*model, opt, report);
+
+    std::string json = report.json();
+    EXPECT_NE(json.find("\"code\": \"unsat-axiom\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"where\": \"axiom:impossible\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"counts\": {\"error\": 1"), std::string::npos)
+        << json;
+    EXPECT_FALSE(report.clean(false));
+
+    std::string text = report.text();
+    EXPECT_NE(text.find("error: [vacuity/unsat-axiom] "
+                        "tiny/axiom:impossible"),
+              std::string::npos)
+        << text;
+}
+
+TEST(AnalysisTest, ShippedModelsAnalyzeCleanUnderWerror)
+{
+    for (const auto &name : mm::allModelNames()) {
+        auto model = mm::makeModel(name);
+        AnalysisOptions opt;
+        opt.size = 4;
+        Report report;
+        analyzeModel(*model, opt, report);
+        EXPECT_TRUE(report.clean(/*werror=*/true))
+            << name << ": " << report.text();
+    }
+}
+
+} // namespace
+} // namespace lts::analysis

@@ -223,6 +223,7 @@ TEST(SolverTest, IncrementalBlockingEnumeratesAllModels)
     std::vector<Var> vars = {s.newVar(), s.newVar(), s.newVar()};
     int models = 0;
     while (s.solve() == SolveResult::Sat) {
+        ASSERT_TRUE(s.checkModel());
         models++;
         ASSERT_LE(models, 8);
         Clause blocking;
@@ -267,6 +268,7 @@ TEST(SolverTest, RandomCnfAgainstBruteForce)
         bool want = bruteForceSat(cnf, num_vars);
         ASSERT_EQ(got, want) << "iteration " << iter;
         if (got) {
+            ASSERT_TRUE(s.checkModel()) << "iteration " << iter;
             sat_count++;
             uint32_t assignment = 0;
             for (int v = 0; v < num_vars; v++) {
@@ -415,6 +417,33 @@ TEST(SolverTest, ReleasedGroupNeverPropagates)
     // Releasing twice is a no-op.
     s.release(g);
     EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(SolverTest, CheckModelValidatesSatAnswers)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    Var c = s.newVar();
+    // checkModel() is only meaningful after a Sat answer.
+    EXPECT_FALSE(s.checkModel());
+    ASSERT_TRUE(s.addClause({Lit::pos(a), Lit::pos(b)}));
+    ASSERT_TRUE(s.addClause({Lit::neg(a), Lit::pos(c)}));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.checkModel());
+
+    // Grouped clauses carry their activation guard, so the check holds
+    // whether or not the group is assumed.
+    Group g = s.newGroup();
+    ASSERT_TRUE(s.addClause(g, {Lit::neg(b)}));
+    ASSERT_EQ(s.solve({s.groupLit(g)}), SolveResult::Sat);
+    EXPECT_TRUE(s.checkModel());
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.checkModel());
+
+    // After an Unsat answer the previous model is stale; report failure.
+    ASSERT_EQ(s.solve({Lit::pos(a), Lit::neg(c)}), SolveResult::Unsat);
+    EXPECT_FALSE(s.checkModel());
 }
 
 TEST(SolverTest, ManyGroupsActivateIndependently)
