@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/pool.hh"
 #include "common/strings.hh"
 #include "common/timer.hh"
+#include "litmus/canon.hh"
 #include "synth/synthesizer.hh"
 
 namespace lts::bench
@@ -154,15 +156,38 @@ aggregateCpuSeconds(const std::vector<synth::Suite> &suites)
 /** One engine-mode measurement for the BENCH_*.json comparison. */
 struct ModeRun
 {
-    std::string mode; ///< "incremental" or "from-scratch"
+    std::string mode; ///< "incremental"/"from-scratch", "-nosbp" suffixed
+    bool sbp = true;  ///< symmetry breaking was enabled for this run
     double wallSeconds = 0;
     double cpuSeconds = 0;
     uint64_t jobsQueued = 0;
     uint64_t jobsDone = 0;
     uint64_t conflicts = 0;
-    uint64_t instances = 0;
-    std::map<int, uint64_t> instancesBySize; ///< union suite, size -> models
+    uint64_t instances = 0;     ///< SAT models enumerated (rawInstances)
+    uint64_t sbpClauses = 0;    ///< SBP clauses emitted, all solvers
+    std::map<int, uint64_t> instancesBySize;  ///< union suite, size -> models
+    std::map<int, int> keptBySize;            ///< union suite, size -> tests
+    std::map<int, uint64_t> sbpClausesBySize; ///< union suite, size -> clauses
+    std::string suiteDigest; ///< hash of the union suite's serialized tests
 };
+
+/**
+ * Stable digest of a suite's content: every test's full canonical
+ * serialization folded into one 64-bit hash. Two runs produce the same
+ * digest iff their suites are byte-identical, which is how the bench
+ * smoke job asserts SBP on/off equivalence without shipping suites.
+ */
+inline std::string
+suiteDigest(const synth::Suite &suite)
+{
+    uint64_t h = hashInit();
+    for (const auto &test : suite.tests)
+        h = hashCombine(h, litmus::fullSerialize(test));
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
 
 /**
  * Run synthesizeAll under one engine mode and record the solver-work
@@ -171,22 +196,30 @@ struct ModeRun
  */
 inline ModeRun
 measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
-            std::vector<synth::Suite> *out = nullptr)
+            bool sbp = true, std::vector<synth::Suite> *out = nullptr)
 {
     opt.incremental = incremental;
+    opt.symmetryBreaking = sbp;
     synth::SynthProgress progress;
     opt.progress = &progress;
     Timer wall;
     auto suites = synth::synthesizeAll(model, opt);
     ModeRun run;
     run.mode = incremental ? "incremental" : "from-scratch";
+    if (!sbp)
+        run.mode += "-nosbp";
+    run.sbp = sbp;
     run.wallSeconds = wall.seconds();
     run.cpuSeconds = aggregateCpuSeconds(suites);
     run.jobsQueued = progress.jobsQueued.load();
     run.jobsDone = progress.jobsDone.load();
     run.conflicts = progress.conflicts.load();
     run.instances = progress.instances.load();
+    run.sbpClauses = progress.sbpClauses.load();
     run.instancesBySize = suites.back().instancesBySize;
+    run.keptBySize = suites.back().testsBySize;
+    run.sbpClausesBySize = suites.back().sbpClausesBySize;
+    run.suiteDigest = suiteDigest(suites.back());
     if (out)
         *out = std::move(suites);
     return run;
@@ -240,23 +273,49 @@ writeBenchJson(const std::string &path, const std::string &bench,
         std::fprintf(f,
                      "    {\n"
                      "      \"mode\": \"%s\",\n"
+                     "      \"sbp\": %s,\n"
                      "      \"wallSeconds\": %.6f,\n"
                      "      \"cpuSeconds\": %.6f,\n"
                      "      \"jobsQueued\": %llu,\n"
                      "      \"conflicts\": %llu,\n"
-                     "      \"instances\": %llu,\n"
-                     "      \"instancesBySize\": {",
-                     run.mode.c_str(), run.wallSeconds, run.cpuSeconds,
+                     "      \"rawInstances\": %llu,\n"
+                     "      \"sbpClauses\": %llu,\n"
+                     "      \"suiteDigest\": \"%s\",\n",
+                     run.mode.c_str(), run.sbp ? "true" : "false",
+                     run.wallSeconds, run.cpuSeconds,
                      static_cast<unsigned long long>(run.jobsQueued),
                      static_cast<unsigned long long>(run.conflicts),
-                     static_cast<unsigned long long>(run.instances));
-        bool first = true;
-        for (auto [size, count] : run.instancesBySize) {
-            std::fprintf(f, "%s\"%d\": %llu", first ? "" : ", ", size,
-                         static_cast<unsigned long long>(count));
-            first = false;
-        }
-        std::fprintf(f, "}\n    }%s\n", i + 1 < runs.size() ? "," : "");
+                     static_cast<unsigned long long>(run.instances),
+                     static_cast<unsigned long long>(run.sbpClauses),
+                     run.suiteDigest.c_str());
+        // Every size in [min, max] is emitted with a 0 default, so a
+        // baseline file from an empty trajectory still fixes the schema
+        // sweep scripts key on.
+        auto emitSizes = [&](const char *name, auto lookup) {
+            std::fprintf(f, "      \"%s\": {", name);
+            for (int s = min_size; s <= max_size; s++) {
+                std::fprintf(f, "%s\"%d\": %llu", s > min_size ? ", " : "", s,
+                             static_cast<unsigned long long>(lookup(s)));
+            }
+            std::fprintf(f, "}%s\n", name == std::string("sbpClausesBySize")
+                                         ? ""
+                                         : ",");
+        };
+        emitSizes("rawInstancesBySize", [&](int s) -> uint64_t {
+            auto it = run.instancesBySize.find(s);
+            return it == run.instancesBySize.end() ? 0 : it->second;
+        });
+        emitSizes("testsBySize", [&](int s) -> uint64_t {
+            auto it = run.keptBySize.find(s);
+            return it == run.keptBySize.end()
+                       ? 0
+                       : static_cast<uint64_t>(it->second);
+        });
+        emitSizes("sbpClausesBySize", [&](int s) -> uint64_t {
+            auto it = run.sbpClausesBySize.find(s);
+            return it == run.sbpClausesBySize.end() ? 0 : it->second;
+        });
+        std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     bool write_ok = std::ferror(f) == 0;

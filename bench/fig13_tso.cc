@@ -44,6 +44,9 @@ main(int argc, char **argv)
     flags.declare("compare-modes", "true",
                   "also run the from-scratch engine and record both in "
                   "the json file");
+    flags.declare("compare-sbp", "true",
+                  "also run with symmetry breaking disabled and report the "
+                  "raw-instance reduction");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -55,11 +58,35 @@ main(int argc, char **argv)
     synth::SynthOptions opt = synth::synthOptionsFromFlags(flags);
     std::vector<synth::Suite> suites;
     std::vector<bench::ModeRun> runs;
-    runs.push_back(bench::measureMode(*tso, opt, opt.incremental, &suites));
+    runs.push_back(bench::measureMode(*tso, opt, opt.incremental,
+                                      opt.symmetryBreaking, &suites));
     bench::printModeRun(runs.back(), opt.jobs);
     if (flags.getBool("compare-modes")) {
-        runs.push_back(bench::measureMode(*tso, opt, !opt.incremental));
+        runs.push_back(bench::measureMode(*tso, opt, !opt.incremental,
+                                          opt.symmetryBreaking));
         bench::printModeRun(runs.back(), opt.jobs);
+    }
+    if (flags.getBool("compare-sbp")) {
+        runs.push_back(bench::measureMode(*tso, opt, opt.incremental,
+                                          !opt.symmetryBreaking));
+        bench::printModeRun(runs.back(), opt.jobs);
+        const bench::ModeRun &base = runs.front();
+        const bench::ModeRun &other = runs.back();
+        const bench::ModeRun &with_sbp =
+            base.sbp ? base : other;
+        const bench::ModeRun &without_sbp =
+            base.sbp ? other : base;
+        std::printf("\nSBP raw-instance reduction: %llu -> %llu (%.2fx), "
+                    "suites %s\n",
+                    static_cast<unsigned long long>(without_sbp.instances),
+                    static_cast<unsigned long long>(with_sbp.instances),
+                    with_sbp.instances
+                        ? static_cast<double>(without_sbp.instances) /
+                              static_cast<double>(with_sbp.instances)
+                        : 0.0,
+                    with_sbp.suiteDigest == without_sbp.suiteDigest
+                        ? "byte-identical"
+                        : "DIFFER (bug!)");
     }
     const synth::Suite &u = suites.back();
 

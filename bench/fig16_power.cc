@@ -53,10 +53,12 @@ main(int argc, char **argv)
     synth::SynthOptions opt = synth::synthOptionsFromFlags(flags);
     std::vector<synth::Suite> suites;
     std::vector<bench::ModeRun> runs;
-    runs.push_back(bench::measureMode(*power, opt, opt.incremental, &suites));
+    runs.push_back(bench::measureMode(*power, opt, opt.incremental,
+                                      opt.symmetryBreaking, &suites));
     bench::printModeRun(runs.back(), opt.jobs);
     if (flags.getBool("compare-modes")) {
-        runs.push_back(bench::measureMode(*power, opt, !opt.incremental));
+        runs.push_back(bench::measureMode(*power, opt, !opt.incremental,
+                                          opt.symmetryBreaking));
         bench::printModeRun(runs.back(), opt.jobs);
     }
 

@@ -220,16 +220,29 @@ canonicalize(const LitmusTest &test, CanonMode mode)
         return permuteThreads(test, order);
     }
 
-    // Exact: minimize over all thread permutations.
+    // Exact: minimize the (staticSerialize, fullSerialize) pair over all
+    // thread permutations. Minimizing the full key as tie-break — not
+    // just the static key — makes the result a pure function of the
+    // test's isomorphism class: two members differing only in how the
+    // outcome lands on statically identical threads canonicalize to the
+    // same bytes, so the synthesizer need not enumerate a class
+    // exhaustively to emit a deterministic representative. fullSerialize
+    // extends staticSerialize with an outcome suffix, so comparing full
+    // keys compares (static, outcome) lexicographically.
     std::vector<int> order(test.numThreads);
     std::iota(order.begin(), order.end(), 0);
     LitmusTest best = permuteThreads(test, order);
-    std::string best_key = staticSerialize(best);
+    std::string best_static = staticSerialize(best);
+    std::string best_full = fullSerialize(best);
     while (std::next_permutation(order.begin(), order.end())) {
         LitmusTest candidate = permuteThreads(test, order);
-        std::string key = staticSerialize(candidate);
-        if (key < best_key) {
-            best_key = key;
+        std::string s = staticSerialize(candidate);
+        if (s > best_static)
+            continue;
+        std::string f = fullSerialize(candidate);
+        if (s < best_static || f < best_full) {
+            best_static = std::move(s);
+            best_full = std::move(f);
             best = candidate;
         }
     }

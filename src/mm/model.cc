@@ -1,5 +1,6 @@
 #include "mm/model.hh"
 
+#include <numeric>
 #include <stdexcept>
 
 #include "mm/exprs.hh"
@@ -283,6 +284,88 @@ Model::allAxiomsRelaxed(const Env &env, size_t n) const
             parts.push_back(a.pred(*this, env, n));
     }
     return mkAndAll(parts);
+}
+
+rel::SymmetrySpec
+Model::symmetrySpec(size_t n) const
+{
+    using rel::CellCond;
+    using rel::ConditionalPerm;
+
+    rel::SymmetrySpec spec;
+    const int po_id = vocabulary.find(kPo).id;
+    const int swg_id = feats.scopes ? vocabulary.find(kSameWg).id : -1;
+
+    // Static relations except po and swg. Both are pointwise invariant
+    // under a guarded block swap: po because complete equal-size blocks
+    // carry identical total orders and never cross threads, swg because
+    // the swg(i, j) guard plus convexity puts the whole swapped range in
+    // one workgroup. Dynamic relations are left out too — enumeration
+    // blocks only static cells, and witnesses are re-resolved in solves
+    // that exclude this layer.
+    for (int id : staticVarIds()) {
+        if (id == po_id || id == swg_id)
+            continue;
+        spec.lexVarIds.push_back(id);
+    }
+
+    // The po cells certifying that [start, start+s) is one complete
+    // thread block: starts a block, chains internally, ends a block.
+    auto blockConds = [&](size_t start, size_t s, std::vector<CellCond> &out) {
+        if (start > 0)
+            out.push_back({po_id, start - 1, start, false});
+        for (size_t k = 0; k + 1 < s; k++)
+            out.push_back({po_id, start + k, start + k + 1, true});
+        if (start + s < n)
+            out.push_back({po_id, start + s - 1, start + s, false});
+    };
+
+    // Generators: swap the complete equal-size blocks [i, i+s) and
+    // [j, j+s), guarded by both ranges being complete blocks (and lying
+    // in the same workgroup for scoped models — permuting blocks across
+    // workgroups changes the wg partition, which is not a symmetry).
+    for (size_t s = 1; 2 * s <= n; s++) {
+        for (size_t i = 0; i + 2 * s <= n; i++) {
+            for (size_t j = i + s; j + s <= n; j++) {
+                ConditionalPerm g;
+                g.perm.resize(n);
+                std::iota(g.perm.begin(), g.perm.end(), size_t{0});
+                for (size_t k = 0; k < s; k++) {
+                    g.perm[i + k] = j + k;
+                    g.perm[j + k] = i + k;
+                }
+                blockConds(i, s, g.conditions);
+                blockConds(j, s, g.conditions);
+                if (swg_id >= 0)
+                    g.conditions.push_back({swg_id, i, j, true});
+                spec.generators.push_back(std::move(g));
+            }
+        }
+    }
+
+    // Forbidden patterns: a complete block of size s immediately
+    // followed by a (same-workgroup) block of size > s. Sorting blocks
+    // by non-increasing size — within each workgroup span, so scoped
+    // contiguity survives — reaches a member of every orbit that avoids
+    // all patterns, and equal-size swaps preserve sortedness, so the
+    // patterns compose soundly with the lex-leader generators.
+    for (size_t s = 1; 2 * s + 1 <= n; s++) {
+        for (size_t i = 0; i + 2 * s + 1 <= n; i++) {
+            std::vector<CellCond> pat;
+            if (i > 0)
+                pat.push_back({po_id, i - 1, i, false});
+            for (size_t k = 0; k + 1 < s; k++)
+                pat.push_back({po_id, i + k, i + k + 1, true});
+            pat.push_back({po_id, i + s - 1, i + s, false});
+            for (size_t k = 0; k < s; k++)
+                pat.push_back({po_id, i + s + k, i + s + k + 1, true});
+            if (swg_id >= 0)
+                pat.push_back({swg_id, i, i + s, true});
+            spec.forbidden.push_back(std::move(pat));
+        }
+    }
+
+    return spec;
 }
 
 std::vector<int>

@@ -22,6 +22,7 @@
 #include "mm/env.hh"
 #include "rel/formula.hh"
 #include "rel/instance.hh"
+#include "rel/symmetry.hh"
 
 namespace lts::mm
 {
@@ -179,6 +180,30 @@ class Model
 
     /** Conjunction of every axiom's relaxed variant over @p env. */
     rel::FormulaPtr allAxiomsRelaxed(const Env &env, size_t n) const;
+
+    /**
+     * The symmetry-breaking prescription for this model's encoding at
+     * universe size @p n (see rel/symmetry.hh). Kodkod's generic
+     * partition detection finds nothing here — the po.index-order fact
+     * mentions the indexLt constant, which distinguishes every atom — so
+     * the spec is built from what the well-formedness facts guarantee
+     * instead: the only residual symmetry is permuting whole thread
+     * blocks (within a workgroup, for scoped models). It contains
+     *
+     *  - conditional lex-leader generators swapping two equally sized
+     *    complete thread blocks, guarded by the po cells that make the
+     *    ranges complete blocks (and by swg for scoped models, since
+     *    only same-workgroup blocks are interchangeable);
+     *  - forbidden patterns excluding a complete block immediately
+     *    followed by a strictly larger same-workgroup block, so block
+     *    sizes are non-increasing (thread-count/size profiles are
+     *    canonical, not just locally lex-minimal).
+     *
+     * The lex vector covers the static relations except po and swg,
+     * which are invariant under every guarded generator. Returns an
+     * empty spec when no symmetry exists at this size.
+     */
+    rel::SymmetrySpec symmetrySpec(size_t n) const;
 
     /** The relation-variable ids forming a test's *static* part. */
     std::vector<int> staticVarIds() const;

@@ -468,6 +468,92 @@ RelSolver::retract(FactHandle h)
                     liveFacts.end());
 }
 
+FactHandle
+RelSolver::newLayer()
+{
+    FactHandle h = solver.newGroup();
+    liveFacts.push_back(h);
+    return h;
+}
+
+FactHandle
+RelSolver::addSymmetryBreaking(const SymmetrySpec &spec, SymmetryStats *stats)
+{
+    FactHandle h = solver.newGroup();
+    int before = solver.numClauses();
+    size_t n = enc.universe();
+    const Vocabulary &vocab = enc.vocabulary();
+
+    auto cellGate = [&](int var_id, size_t i, size_t j) {
+        const VarDecl &d = vocab.decl(var_id);
+        sat::Var v = d.arity == 1 ? enc.cellVar(var_id, i)
+                                  : enc.cellVar(var_id, i, j);
+        return builder.mkInput(v);
+    };
+    auto guardGate = [&](const std::vector<CellCond> &conds) {
+        std::vector<GLit> lits;
+        for (const CellCond &c : conds) {
+            GLit g = cellGate(c.varId, c.i, c.j);
+            lits.push_back(c.value ? g : gNot(g));
+        }
+        return builder.mkAndAll(lits);
+    };
+
+    for (const ConditionalPerm &gen : spec.generators) {
+        assert(gen.perm.size() == n);
+        // The lex vector under the identity (xs) and under the generator
+        // (ys): cell (i, j) compares against cell (perm(i), perm(j)).
+        std::vector<GLit> xs, ys;
+        for (int id : spec.lexVarIds) {
+            const VarDecl &d = vocab.decl(id);
+            if (d.arity == 1) {
+                for (size_t i = 0; i < n; i++) {
+                    xs.push_back(cellGate(id, i, 0));
+                    ys.push_back(cellGate(id, gen.perm[i], 0));
+                }
+            } else {
+                for (size_t i = 0; i < n; i++) {
+                    for (size_t j = 0; j < n; j++) {
+                        xs.push_back(cellGate(id, i, j));
+                        ys.push_back(cellGate(id, gen.perm[i], gen.perm[j]));
+                    }
+                }
+            }
+        }
+        // x <=lex y with false < true, built from the tail:
+        // leq_k = (!x_k & y_k) | ((x_k <-> y_k) & leq_{k+1}).
+        GLit leq = kTrue;
+        for (size_t k = xs.size(); k-- > 0;) {
+            GLit lt = builder.mkAnd(gNot(xs[k]), ys[k]);
+            GLit eq = builder.mkIff(xs[k], ys[k]);
+            leq = builder.mkOr(lt, builder.mkAnd(eq, leq));
+        }
+        GLit pred = builder.mkImplies(guardGate(gen.conditions), leq);
+        solver.addClause(h, {builder.lower(pred)});
+    }
+
+    for (const auto &pattern : spec.forbidden) {
+        // not (c_1 & ... & c_k): one clause of negated cell literals —
+        // no Tseitin needed since every conjunct is a raw cell.
+        sat::Clause clause;
+        for (const CellCond &c : pattern) {
+            const VarDecl &d = vocab.decl(c.varId);
+            sat::Var v = d.arity == 1 ? enc.cellVar(c.varId, c.i)
+                                      : enc.cellVar(c.varId, c.i, c.j);
+            clause.push_back(sat::Lit(v, c.value));
+        }
+        solver.addClause(h, std::move(clause));
+    }
+
+    if (stats) {
+        stats->clauses += static_cast<uint64_t>(solver.numClauses() - before);
+        stats->generators += spec.generators.size();
+        stats->forbidden += spec.forbidden.size();
+    }
+    liveFacts.push_back(h);
+    return h;
+}
+
 sat::SolveResult
 RelSolver::solve()
 {
@@ -495,7 +581,14 @@ RelSolver::blockModel(const std::vector<int> &var_ids, FactHandle under)
     // Block from the stored instance, not the raw solver model: after
     // lexMinimizeInstance the two can disagree, and the documented
     // contract is "exclude the last *instance*".
-    sat::Clause clause = enc.blockingClause(lastInstance, var_ids);
+    blockInstance(lastInstance, var_ids, under);
+}
+
+void
+RelSolver::blockInstance(const Instance &inst, const std::vector<int> &var_ids,
+                         FactHandle under)
+{
+    sat::Clause clause = enc.blockingClause(inst, var_ids);
     if (under == kNoFact)
         solver.addClause(std::move(clause));
     else
@@ -503,39 +596,38 @@ RelSolver::blockModel(const std::vector<int> &var_ids, FactHandle under)
 }
 
 void
-RelSolver::lexMinimizeInstance(const std::vector<int> &fixed_var_ids)
+RelSolver::pushPins(const Instance &src, const std::vector<char> &fixed,
+                    std::vector<sat::Lit> &assume) const
 {
     const Vocabulary &vocab = enc.vocabulary();
     size_t n = enc.universe();
-    std::vector<char> fixed(vocab.size(), 0);
-    for (int id : fixed_var_ids)
-        fixed[static_cast<size_t>(id)] = 1;
-
-    std::vector<sat::Lit> assume;
-    for (FactHandle h : liveFacts)
-        assume.push_back(solver.groupLit(h));
-    // Pin the fixed relations at their last-instance values. Lit's sign
-    // flag means "negated", so pinning cell c to value b is Lit(c, !b).
+    // Pin the fixed relations at their values in @p src. Lit's sign flag
+    // means "negated", so pinning cell c to value b is Lit(c, !b).
     for (size_t id = 0; id < vocab.size(); id++) {
         if (!fixed[id])
             continue;
         const VarDecl &d = vocab.decl(static_cast<int>(id));
         if (d.arity == 1) {
             for (size_t i = 0; i < n; i++) {
-                assume.push_back(sat::Lit(enc.cellVar(d.id, i),
-                                          !lastInstance.set(d.id).test(i)));
+                assume.push_back(
+                    sat::Lit(enc.cellVar(d.id, i), !src.set(d.id).test(i)));
             }
         } else {
             for (size_t i = 0; i < n; i++) {
                 for (size_t j = 0; j < n; j++) {
-                    assume.push_back(
-                        sat::Lit(enc.cellVar(d.id, i, j),
-                                 !lastInstance.matrix(d.id).test(i, j)));
+                    assume.push_back(sat::Lit(enc.cellVar(d.id, i, j),
+                                              !src.matrix(d.id).test(i, j)));
                 }
             }
         }
     }
+}
 
+void
+RelSolver::lexWalk(std::vector<sat::Lit> &assume, const std::vector<char> &fixed)
+{
+    const Vocabulary &vocab = enc.vocabulary();
+    size_t n = enc.universe();
     // Greedy lex walk over the free cells. A cell already false in the
     // best-so-far instance can be pinned false without solving — the
     // instance itself witnesses feasibility. A true cell costs one
@@ -569,6 +661,42 @@ RelSolver::lexMinimizeInstance(const std::vector<int> &fixed_var_ids)
             }
         }
     }
+}
+
+void
+RelSolver::lexMinimizeInstance(const std::vector<int> &fixed_var_ids)
+{
+    std::vector<char> fixed(enc.vocabulary().size(), 0);
+    for (int id : fixed_var_ids)
+        fixed[static_cast<size_t>(id)] = 1;
+
+    std::vector<sat::Lit> assume;
+    for (FactHandle h : liveFacts)
+        assume.push_back(solver.groupLit(h));
+    pushPins(lastInstance, fixed, assume);
+    lexWalk(assume, fixed);
+}
+
+bool
+RelSolver::pinAndMinimize(const Instance &pin,
+                          const std::vector<int> &pinned_var_ids,
+                          const std::vector<FactHandle> &layers)
+{
+    std::vector<char> fixed(enc.vocabulary().size(), 0);
+    for (int id : pinned_var_ids)
+        fixed[static_cast<size_t>(id)] = 1;
+
+    std::vector<sat::Lit> assume;
+    for (FactHandle h : layers) {
+        assert(!solver.isReleased(h));
+        assume.push_back(solver.groupLit(h));
+    }
+    pushPins(pin, fixed, assume);
+    if (solver.solve(assume) != sat::SolveResult::Sat)
+        return false;
+    lastInstance = enc.extract(solver);
+    lexWalk(assume, fixed);
+    return true;
 }
 
 sat::SolveResult

@@ -32,6 +32,7 @@
 #include "rel/formula.hh"
 #include "rel/gates.hh"
 #include "rel/instance.hh"
+#include "rel/symmetry.hh"
 #include "sat/solver.hh"
 
 namespace lts::rel
@@ -159,6 +160,27 @@ class RelSolver
     void retract(FactHandle h);
 
     /**
+     * An initially empty retractable layer. Blocking clauses added under
+     * it (blockModel / blockInstance) bind only in solves that activate
+     * the handle and die together when it is retracted — the enumeration
+     * loop's way of keeping its blocks out of witness-resolution solves.
+     */
+    FactHandle newLayer();
+
+    /**
+     * Install the spec's lex-leader predicates and forbidden-pattern
+     * clauses as a retractable fact layer (see rel/symmetry.hh). The
+     * layer prunes non-canonical members of each isomorphism class
+     * during enumeration; retract it — or solve with pinAndMinimize,
+     * which takes an explicit layer set — for queries that must reach
+     * every member. Gate definitions are shared and permanent; only the
+     * assertions live in the layer. @p stats, when given, accumulates
+     * the emitted clause and predicate counts.
+     */
+    FactHandle addSymmetryBreaking(const SymmetrySpec &spec,
+                                   SymmetryStats *stats = nullptr);
+
+    /**
      * Solve with every live (non-retracted) retractable fact active.
      * Fills instance() on Sat.
      */
@@ -185,6 +207,20 @@ class RelSolver
     void lexMinimizeInstance(const std::vector<int> &fixed_var_ids);
 
     /**
+     * Pin @p pinned_var_ids to their values in @p pin and find the
+     * lexicographically smallest completion (same order as
+     * lexMinimizeInstance) under exactly the given fact layers — not the
+     * full live set, so enumeration-only layers (symmetry breaking,
+     * blocking) can be left out. Returns false when no completion exists
+     * (or a conflict budget ran out); on success instance() holds the
+     * result, which is a pure function of the pinned assignment and the
+     * active constraint set.
+     */
+    bool pinAndMinimize(const Instance &pin,
+                        const std::vector<int> &pinned_var_ids,
+                        const std::vector<FactHandle> &layers);
+
+    /**
      * Exclude the last instance's assignment to @p var_ids (all declared
      * relations when empty). When @p under is a fact handle the blocking
      * clause is tied to that layer and dies with it; kNoFact blocks
@@ -192,6 +228,15 @@ class RelSolver
      */
     void blockModel(const std::vector<int> &var_ids = {},
                     FactHandle under = kNoFact);
+
+    /**
+     * Like blockModel, but excluding an explicit instance's assignment —
+     * used by orbit blocking to retire every symmetric image of a found
+     * model, not just the member the solver produced.
+     */
+    void blockInstance(const Instance &inst,
+                       const std::vector<int> &var_ids = {},
+                       FactHandle under = kNoFact);
 
     /**
      * Convenience for enumeration loops: blockModel(var_ids) permanently,
@@ -203,6 +248,11 @@ class RelSolver
     sat::Solver &satSolver() { return solver; }
 
   private:
+    void pushPins(const Instance &src, const std::vector<char> &fixed,
+                  std::vector<sat::Lit> &assume) const;
+    void lexWalk(std::vector<sat::Lit> &assume,
+                 const std::vector<char> &fixed);
+
     sat::Solver solver;
     GateBuilder builder;
     Encoder enc;

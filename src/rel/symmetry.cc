@@ -1,0 +1,110 @@
+#include "rel/symmetry.hh"
+
+#include <numeric>
+
+#include "rel/visit.hh"
+
+namespace lts::rel
+{
+
+namespace
+{
+
+/** Would swapping atoms @p a and @p b fix constant expression @p e? */
+bool
+constantFixedBySwap(const ExprPtr &e, size_t a, size_t b, size_t n)
+{
+    if (e->arity == 1)
+        return e->constSet.test(a) == e->constSet.test(b);
+    const BitMatrix &m = e->constMatrix;
+    if (m.test(a, a) != m.test(b, b) || m.test(a, b) != m.test(b, a))
+        return false;
+    for (size_t j = 0; j < n; j++) {
+        if (j == a || j == b)
+            continue;
+        if (m.test(a, j) != m.test(b, j) || m.test(j, a) != m.test(j, b))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<std::vector<size_t>>
+detectInterchangeable(const std::vector<FormulaPtr> &facts, size_t n)
+{
+    // Only constants distinguish atoms: relation variables are free and
+    // the operators are pointwise/positional, so any atom permutation
+    // that fixes every constant maps instances to instances.
+    std::vector<ExprPtr> consts;
+    for (const FormulaPtr &f : facts) {
+        forEachExprIn(f, [&consts](const ExprPtr &e) {
+            if (e->kind == ExprKind::Const)
+                consts.push_back(e);
+        });
+    }
+
+    auto interchangeable = [&](size_t a, size_t b) {
+        for (const ExprPtr &e : consts) {
+            if (!constantFixedBySwap(e, a, b, n))
+                return false;
+        }
+        return true;
+    };
+
+    std::vector<std::vector<size_t>> classes;
+    for (size_t i = 0; i < n; i++) {
+        bool placed = false;
+        for (auto &cls : classes) {
+            bool fits = true;
+            for (size_t member : cls) {
+                if (!interchangeable(member, i)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                cls.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            classes.push_back({i});
+    }
+    return classes;
+}
+
+std::vector<ConditionalPerm>
+unconditionalGenerators(const std::vector<std::vector<size_t>> &classes)
+{
+    size_t n = 0;
+    for (const auto &cls : classes)
+        n += cls.size();
+
+    std::vector<ConditionalPerm> gens;
+    for (const auto &cls : classes) {
+        for (size_t k = 0; k + 1 < cls.size(); k++) {
+            ConditionalPerm g;
+            g.perm.resize(n);
+            std::iota(g.perm.begin(), g.perm.end(), size_t{0});
+            g.perm[cls[k]] = cls[k + 1];
+            g.perm[cls[k + 1]] = cls[k];
+            gens.push_back(std::move(g));
+        }
+    }
+    return gens;
+}
+
+SymmetrySpec
+specFromFacts(const Vocabulary &vocab, const std::vector<FormulaPtr> &facts,
+              size_t n)
+{
+    SymmetrySpec spec;
+    for (size_t id = 0; id < vocab.size(); id++)
+        spec.lexVarIds.push_back(static_cast<int>(id));
+    spec.generators = unconditionalGenerators(detectInterchangeable(facts, n));
+    return spec;
+}
+
+} // namespace lts::rel

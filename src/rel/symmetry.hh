@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Kodkod-style symmetry breaking for the relational encoder.
+ *
+ * A bounded relational problem is symmetric under any permutation of the
+ * universe that fixes every constant appearing in its formulas: permuting
+ * the atoms of a satisfying instance yields another satisfying instance.
+ * Enumeration loops therefore visit every member of each isomorphism
+ * class unless the encoding prunes them. This module provides the two
+ * standard ingredients Kodkod uses (Torlak & Jackson, TACAS'07):
+ *
+ *  1. *Partition detection*: split the universe into classes of atoms
+ *     that no constant expression distinguishes (detectInterchangeable).
+ *     Atoms within a class are interchangeable, so transpositions of
+ *     adjacent class members generate the full symmetry group.
+ *
+ *  2. *Lex-leader predicates*: for each generator permutation pi, assert
+ *     that the instance — read as a bit vector over the declared
+ *     relation matrices — is lexicographically no greater than its image
+ *     under pi. Every isomorphism class keeps at least one member (its
+ *     lex-least), while most redundant members become UNSAT before they
+ *     are ever enumerated.
+ *
+ * Generators may be *conditional*: the lex-leader constraint is guarded
+ * by a conjunction of cell literals and only binds on instances where
+ * the guard holds. This is how the memory-model layer expresses
+ * thread-block swaps, which are symmetries only when the swapped index
+ * ranges actually form complete, equally sized threads (the universe is
+ * otherwise ordered by the po.index-order well-formedness fact, which
+ * makes every atom distinguishable to the generic detector). A spec may
+ * also carry plain *forbidden patterns* — conjunctions of cell literals
+ * no canonical instance needs — which lower to single clauses.
+ *
+ * RelSolver::addSymmetryBreaking installs a spec as a retractable fact
+ * layer so enumeration can activate it while witness-resolution queries
+ * (which pin a representative that need not be the solver's lex-leader)
+ * exclude it.
+ */
+
+#ifndef LTS_REL_SYMMETRY_HH
+#define LTS_REL_SYMMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rel/formula.hh"
+#include "rel/instance.hh"
+
+namespace lts::rel
+{
+
+/**
+ * One cell-valued guard literal: relation @p varId holds (or not, per
+ * @p value) at (i, j) — for unary relations only @p i is used.
+ */
+struct CellCond
+{
+    int varId = -1;
+    size_t i = 0;
+    size_t j = 0;
+    bool value = true;
+};
+
+/**
+ * An atom permutation with an optional guard. @p perm maps each atom to
+ * its image (perm.size() == universe size). The lex-leader constraint
+ * for the permutation binds only on instances satisfying every
+ * condition; an empty condition list means it always binds.
+ */
+struct ConditionalPerm
+{
+    std::vector<size_t> perm;
+    std::vector<CellCond> conditions;
+};
+
+/** A full symmetry-breaking prescription for one encoding. */
+struct SymmetrySpec
+{
+    /**
+     * Relation ids forming the lex vector, in comparison order (cells
+     * row-major within each relation). Relations known to be invariant
+     * under every generator (e.g. po under guarded block swaps) can be
+     * omitted to keep the chains short.
+     */
+    std::vector<int> lexVarIds;
+
+    std::vector<ConditionalPerm> generators;
+
+    /**
+     * Conjunctions of cell conditions excluded outright (each lowers to
+     * one clause). Sound when every isomorphism class has a member
+     * matching none of the patterns — e.g. "a complete thread block
+     * immediately followed by a strictly larger one", which block
+     * sorting always avoids.
+     */
+    std::vector<std::vector<CellCond>> forbidden;
+
+    bool
+    empty() const
+    {
+        return generators.empty() && forbidden.empty();
+    }
+};
+
+/** Counters reported by RelSolver::addSymmetryBreaking. */
+struct SymmetryStats
+{
+    uint64_t clauses = 0;    ///< CNF clauses emitted (incl. Tseitin defs)
+    uint64_t generators = 0; ///< lex-leader predicates asserted
+    uint64_t forbidden = 0;  ///< forbidden-pattern clauses asserted
+};
+
+/**
+ * Partition the universe into interchangeable-atom classes: atoms i and
+ * k share a class iff swapping them fixes every constant expression
+ * appearing in @p facts (unary membership equal; binary rows/columns
+ * equal outside {i, k} and equal on the diagonal and the (i,k)/(k,i)
+ * cells). Classes are returned sorted by smallest member; relation
+ * *variables* never split a class — they are symmetric by construction.
+ */
+std::vector<std::vector<size_t>>
+detectInterchangeable(const std::vector<FormulaPtr> &facts, size_t n);
+
+/**
+ * Unconditional generators for a detected partition: transpositions of
+ * adjacent atoms within each class, which generate the full product of
+ * symmetric groups over the classes.
+ */
+std::vector<ConditionalPerm>
+unconditionalGenerators(const std::vector<std::vector<size_t>> &classes);
+
+/**
+ * Convenience: a spec whose lex vector covers every declared relation
+ * and whose generators come from unconditionalGenerators over the
+ * detected partition of @p facts.
+ */
+SymmetrySpec specFromFacts(const Vocabulary &vocab,
+                           const std::vector<FormulaPtr> &facts, size_t n);
+
+} // namespace lts::rel
+
+#endif // LTS_REL_SYMMETRY_HH

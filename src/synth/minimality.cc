@@ -113,18 +113,32 @@ minimalAxioms(const Model &model, const litmus::LitmusTest &test,
         }
     }
 
-    for (const auto &axiom : model.axioms()) {
-        bool minimal = false;
-        for (const auto &sc : sc_candidates) {
-            rel::Instance inst =
-                mm::toInstance(model, test, test.forbidden, sc);
-            if (isMinimalInstance(model, axiom.name, inst)) {
-                minimal = true;
-                break;
-            }
+    // The instance depends only on the sc candidate, and the criterion
+    // factors into a shared base (well-formedness + relaxation conjunct)
+    // plus one violation formula per axiom — so build each once instead
+    // of per (axiom, sc) pair, and share one Evaluator per instance (its
+    // node cache then serves the base and every violation check).
+    size_t n = test.size();
+    FormulaPtr base_f = minimalityBase(model, n);
+    std::vector<FormulaPtr> violations;
+    violations.reserve(model.axioms().size());
+    for (const auto &axiom : model.axioms())
+        violations.push_back(axiomViolation(model, axiom.name, n));
+
+    std::vector<char> minimal(model.axioms().size(), 0);
+    for (const auto &sc : sc_candidates) {
+        rel::Instance inst = mm::toInstance(model, test, test.forbidden, sc);
+        Evaluator ev(inst);
+        if (!ev.formula(base_f))
+            continue;
+        for (size_t a = 0; a < violations.size(); a++) {
+            if (!minimal[a] && ev.formula(violations[a]))
+                minimal[a] = 1;
         }
-        if (minimal)
-            out.push_back(axiom.name);
+    }
+    for (size_t a = 0; a < model.axioms().size(); a++) {
+        if (minimal[a])
+            out.push_back(model.axioms()[a].name);
     }
     return out;
 }

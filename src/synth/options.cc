@@ -25,6 +25,10 @@ synthFlagSpecs()
         {"incremental", "true",
          "share one solver per size, sweeping axioms as retractable fact "
          "layers; false rebuilds a solver per (axiom, size)"},
+        {"sbp", "true",
+         "in-solver symmetry breaking: lex-leader predicates plus orbit "
+         "blocking; suites are byte-identical on or off, only rawInstances "
+         "and wall time change"},
         {"jobs", "0",
          "parallel synthesis jobs (0 = all hardware threads); output is "
          "byte-identical for any value"},
@@ -54,6 +58,7 @@ synthOptionsFromFlags(const Flags &flags)
     opt.conflictBudget = flags.getUint64("conflict-budget");
     opt.maxTestsPerSize = flags.getInt("max-tests-per-size");
     opt.incremental = flags.getBool("incremental");
+    opt.symmetryBreaking = flags.getBool("sbp");
     opt.jobs = flags.getInt("jobs");
     return opt;
 }

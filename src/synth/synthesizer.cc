@@ -1,8 +1,10 @@
 #include "synth/synthesizer.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <map>
+#include <numeric>
 #include <set>
 #include <utility>
 
@@ -47,63 +49,243 @@ struct SizeJobResult
 {
     std::vector<LitmusTest> tests;
     uint64_t rawInstances = 0;
+    uint64_t sbpClauses = 0;
     bool truncated = false;
     double seconds = 0;
 };
 
+/** Is each workgroup a contiguous run of thread ids? permuteThreads
+ * relabels workgroups by first use, so contiguity means a label never
+ * reappears after a different label took over. Only contiguous
+ * assignments satisfy the scopes.swg-convexity well-formedness facts,
+ * so only they correspond to encodable instances. */
+bool
+wgContiguous(const LitmusTest &test)
+{
+    if (!test.hasWorkgroups())
+        return true;
+    std::vector<char> seen(static_cast<size_t>(test.numThreads), 0);
+    int cur = -1;
+    for (int tid = 0; tid < test.numThreads; tid++) {
+        int wg = test.workgroupOf(tid);
+        if (wg == cur)
+            continue;
+        if (seen[static_cast<size_t>(wg)])
+            return false;
+        seen[static_cast<size_t>(wg)] = 1;
+        cur = wg;
+    }
+    return true;
+}
+
+/**
+ * Every distinct valid image of @p test under thread permutation — the
+ * members of its isomorphism class as the encoding sees them. Images
+ * that interleave workgroups are dropped (no instance satisfies the
+ * well-formedness facts for them); duplicates are collapsed by static
+ * key, or by full key when @p by_full_key (full-instance blocking cares
+ * about outcome images too). The set depends only on the class, not on
+ * which member @p test is, because permuteThreads normalizes thread,
+ * location, and workgroup labels by first use.
+ */
+std::vector<LitmusTest>
+validArrangements(const LitmusTest &test, bool by_full_key)
+{
+    std::vector<int> order(static_cast<size_t>(test.numThreads));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<LitmusTest> out;
+    std::set<std::string> seen;
+    do {
+        LitmusTest arr = litmus::permuteThreads(test, order);
+        if (!wgContiguous(arr))
+            continue;
+        std::string key = by_full_key ? litmus::fullSerialize(arr)
+                                      : litmus::staticSerialize(arr);
+        if (seen.insert(std::move(key)).second)
+            out.push_back(std::move(arr));
+    } while (std::next_permutation(order.begin(), order.end()));
+    return out;
+}
+
 /**
  * Enumerate one track at one size on a prepared solver. The track's
- * criterion must already be active: either asserted permanently
- * (from-scratch) or via a fact layer whose blocking clauses go through
- * @p block_under (incremental).
+ * criterion must already be active: asserted permanently (from-scratch)
+ * or as a live fact layer (incremental). Blocking clauses go into a
+ * fresh layer owned by this call, so witness-resolution solves — which
+ * activate only @p witness_layers on top of the base facts — never see
+ * them (a pinned representative's static part is typically itself a
+ * blocked image). @p sbp_active says a symmetry-breaking layer is live:
+ * enumeration then sees one model per isomorphism class, and this
+ * function compensates by inserting every canonical key of the class
+ * and blocking every valid image (orbit blocking), keeping the output
+ * byte-identical to a run without symmetry breaking.
  */
 SizeJobResult
 enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
-               const std::vector<int> &block_vars, rel::FactHandle block_under,
-               const SynthOptions &options)
+               const std::vector<int> &block_vars,
+               const std::vector<rel::FactHandle> &witness_layers,
+               bool sbp_active, const SynthOptions &options)
 {
     Timer timer;
     SizeJobResult result;
+    size_t n = solver.encoder().universe();
+    bool static_mode = !block_vars.empty();
+    bool exact_canon =
+        options.useCanon && options.canonMode == litmus::CanonMode::Exact;
+
+    rel::FactHandle block_layer = solver.newLayer();
+
+    auto canonOf = [&](const LitmusTest &t) {
+        return options.useCanon ? litmus::canonicalize(t, options.canonMode)
+                                : t;
+    };
+
     // Canonical static key -> (full serialization, test). Keyed by map so
-    // the final order is the canonical-key order; the stored test is the
-    // class representative with the smallest full serialization, which is
-    // engine-independent because enumeration visits the entire class.
+    // the final order is the canonical-key order. Static mode resolves
+    // each bucket's test by pin-and-minimize (the full string stays
+    // empty); full-instance mode keeps the smallest full serialization
+    // seen across the enumerated witnesses and their images.
     std::map<std::string, std::pair<std::string, LitmusTest>> byKey;
 
-    sat::SolveResult res = solver.solve();
-    while (res == sat::SolveResult::Sat) {
-        result.rawInstances++;
-        // A static program can have several minimal witness executions,
-        // and which one the solver finds depends on search state — which
-        // differs between the engines and across job counts. Lex-minimize
-        // the dynamic relations so the emitted witness is a pure function
-        // of the static program. (Skipped under full-instance blocking,
-        // where enumeration itself visits every witness.)
-        if (!block_vars.empty())
-            solver.lexMinimizeInstance(block_vars);
-        LitmusTest test = mm::fromInstance(model, solver.instance());
-        LitmusTest canon =
-            options.useCanon ? litmus::canonicalize(test, options.canonMode)
-                             : test;
-        std::string key = litmus::staticSerialize(canon);
-        std::string full = litmus::fullSerialize(canon);
-        auto it = byKey.find(key);
-        if (it == byKey.end()) {
-            byKey.emplace(std::move(key),
-                          std::make_pair(std::move(full), std::move(canon)));
-            if (options.maxTestsPerSize &&
-                static_cast<int>(byKey.size()) >= options.maxTestsPerSize) {
-                result.truncated = true;
-                break;
-            }
-        } else if (full < it->second.first) {
-            it->second = std::make_pair(std::move(full), std::move(canon));
+    auto capped = [&]() {
+        if (options.maxTestsPerSize &&
+            static_cast<int>(byKey.size()) >= options.maxTestsPerSize) {
+            result.truncated = true;
+            return true;
         }
-        solver.blockModel(block_vars, block_under);
-        res = solver.solve();
+        return false;
+    };
+
+    bool done = false;
+    sat::SolveResult res = solver.solve();
+    while (!done && res == sat::SolveResult::Sat) {
+        result.rawInstances++;
+        LitmusTest found = mm::fromInstance(model, solver.instance());
+        // Block first: blockModel reads the solver's last instance, which
+        // the witness solves below overwrite.
+        solver.blockModel(block_vars, block_layer);
+
+        if (static_mode) {
+            // The class members and their bucket keys. Under symmetry
+            // breaking every image is blocked and every bucket key the
+            // class canonicalizes to is inserted (the Paper canonicalizer
+            // can split one class into several buckets — that blind spot
+            // is preserved, not fixed). Without it, enumeration visits
+            // the members itself, so images are only computed on the
+            // first encounter of a new bucket, to resolve its
+            // representative.
+            std::vector<LitmusTest> arrs;
+            std::vector<std::string> arr_static, arr_bucket;
+            auto computeArrs = [&]() {
+                arrs = validArrangements(found, false);
+                std::string exact_key;
+                if (exact_canon) {
+                    exact_key = litmus::staticSerialize(
+                        litmus::canonicalize(found, options.canonMode));
+                }
+                for (const LitmusTest &arr : arrs) {
+                    arr_static.push_back(litmus::staticSerialize(arr));
+                    arr_bucket.push_back(
+                        exact_canon
+                            ? exact_key
+                            : litmus::staticSerialize(canonOf(arr)));
+                }
+            };
+
+            std::set<std::string> keys;
+            if (sbp_active) {
+                computeArrs();
+                for (const LitmusTest &arr : arrs) {
+                    solver.blockInstance(
+                        mm::toInstance(model, arr, litmus::Outcome(n)),
+                        block_vars, block_layer);
+                }
+                keys.insert(arr_bucket.begin(), arr_bucket.end());
+            } else {
+                keys.insert(litmus::staticSerialize(canonOf(found)));
+            }
+
+            for (const std::string &key : keys) {
+                if (byKey.count(key))
+                    continue;
+                if (arrs.empty())
+                    computeArrs();
+                // The bucket's representative program: the image with the
+                // smallest static serialization among those
+                // canonicalizing to this bucket — a pure function of the
+                // class, unlike the member enumeration happened to find.
+                size_t best = arrs.size();
+                for (size_t k = 0; k < arrs.size(); k++) {
+                    if (arr_bucket[k] != key)
+                        continue;
+                    if (best == arrs.size() ||
+                        arr_static[k] < arr_static[best])
+                        best = k;
+                }
+                // Every key comes from some image's bucket (fromInstance
+                // output is already in permuteThreads normal form, so
+                // the identity image covers the found member's key).
+                assert(best < arrs.size());
+                if (best == arrs.size()) {
+                    result.truncated = true;
+                    continue;
+                }
+                rel::Instance pin =
+                    mm::toInstance(model, arrs[best], litmus::Outcome(n));
+                if (!solver.pinAndMinimize(pin, block_vars,
+                                           witness_layers)) {
+                    // Only a conflict budget can land here: the pinned
+                    // program is an image of a satisfying model, so a
+                    // witness exists.
+                    result.truncated = true;
+                    continue;
+                }
+                LitmusTest wit =
+                    mm::fromInstance(model, solver.instance());
+                byKey.emplace(key,
+                              std::make_pair(std::string(), canonOf(wit)));
+                if (capped()) {
+                    done = true;
+                    break;
+                }
+            }
+        } else {
+            // Full-instance blocking: enumeration visits every witness
+            // of every surviving member, so each image (with its
+            // outcome) merges by smallest full serialization, exactly
+            // as a run without symmetry breaking would over the members
+            // it enumerates directly.
+            std::vector<LitmusTest> images;
+            if (sbp_active)
+                images = validArrangements(found, true);
+            else
+                images.push_back(std::move(found));
+            for (LitmusTest &img : images) {
+                LitmusTest canon = canonOf(img);
+                std::string key = litmus::staticSerialize(canon);
+                std::string full = litmus::fullSerialize(canon);
+                auto it = byKey.find(key);
+                if (it == byKey.end()) {
+                    byKey.emplace(std::move(key),
+                                  std::make_pair(std::move(full),
+                                                 std::move(canon)));
+                    if (capped()) {
+                        done = true;
+                        break;
+                    }
+                } else if (full < it->second.first) {
+                    it->second =
+                        std::make_pair(std::move(full), std::move(canon));
+                }
+            }
+        }
+
+        if (!done)
+            res = solver.solve();
     }
     if (res == sat::SolveResult::BudgetExhausted)
         result.truncated = true;
+    solver.retract(block_layer);
 
     result.tests.reserve(byKey.size());
     for (auto &kv : byKey)
@@ -117,22 +299,53 @@ enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
     return result;
 }
 
+/**
+ * Install the model's symmetry-breaking layer when enabled and the model
+ * has residual symmetry at this size. Returns whether a layer is live.
+ */
+bool
+installSymmetryBreaking(const mm::Model &model, rel::RelSolver &solver,
+                        size_t n, const SynthOptions &options,
+                        uint64_t &clauses_out)
+{
+    if (!options.symmetryBreaking)
+        return false;
+    rel::SymmetrySpec spec = model.symmetrySpec(n);
+    if (spec.empty())
+        return false;
+    rel::SymmetryStats stats;
+    solver.addSymmetryBreaking(spec, &stats);
+    clauses_out = stats.clauses;
+    if (options.progress) {
+        options.progress->sbpClauses.fetch_add(stats.clauses,
+                                               std::memory_order_relaxed);
+    }
+    return true;
+}
+
 /** From-scratch engine: enumerate one (track, size) with a private solver. */
 SizeJobResult
 runSizeJob(const mm::Model &model, const Track &track, int size,
            const SynthOptions &options)
 {
-    rel::RelSolver solver(model.vocab(), static_cast<size_t>(size));
+    size_t n = static_cast<size_t>(size);
+    rel::RelSolver solver(model.vocab(), n);
     if (options.conflictBudget)
         solver.satSolver().setConflictBudget(options.conflictBudget);
-    solver.addBaseFact(track.formulaFor(static_cast<size_t>(size)));
+    solver.addBaseFact(track.formulaFor(n));
+    uint64_t sbp_clauses = 0;
+    bool sbp_active =
+        installSymmetryBreaking(model, solver, n, options, sbp_clauses);
 
     std::vector<int> block_vars;
     if (options.blockStaticOnly)
         block_vars = model.staticVarIds();
 
+    // The criterion is a base fact here, so witness solves need no extra
+    // layers — base facts always hold.
     SizeJobResult result =
-        enumerateTrack(model, solver, block_vars, rel::kNoFact, options);
+        enumerateTrack(model, solver, block_vars, {}, sbp_active, options);
+    result.sbpClauses = sbp_clauses;
     if (options.progress) {
         options.progress->conflicts.fetch_add(
             solver.satSolver().stats().conflicts, std::memory_order_relaxed);
@@ -158,6 +371,12 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
 
     rel::RelSolver solver(model.vocab(), n);
     solver.addBaseFact(base(n));
+    uint64_t sbp_clauses = 0;
+    bool sbp_active =
+        installSymmetryBreaking(model, solver, n, options, sbp_clauses);
+    // The layer is shared by every track on this solver; attribute its
+    // clauses to the first track so per-size sums count them once.
+    out[0].sbpClauses = sbp_clauses;
 
     std::vector<int> block_vars;
     if (options.blockStaticOnly)
@@ -170,7 +389,10 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
             // not the lifetime of the shared solver.
             solver.satSolver().setConflictBudget(options.conflictBudget);
         }
-        out[ti] = enumerateTrack(model, solver, block_vars, layer, options);
+        uint64_t attributed = out[ti].sbpClauses;
+        out[ti] = enumerateTrack(model, solver, block_vars, {layer},
+                                 sbp_active, options);
+        out[ti].sbpClauses = attributed;
         solver.retract(layer);
     }
 
@@ -215,6 +437,7 @@ assembleSuite(const mm::Model &model, const std::string &label,
         suite.testsBySize[size] = kept;
         suite.secondsBySize[size] = r.seconds;
         suite.instancesBySize[size] = r.rawInstances;
+        suite.sbpClausesBySize[size] = r.sbpClauses;
     }
     return suite;
 }
@@ -373,6 +596,8 @@ unionSuites(const std::vector<Suite> &suites, const SynthOptions &options)
             u.secondsBySize[size] += secs;
         for (auto [size, insts] : s.instancesBySize)
             u.instancesBySize[size] += insts;
+        for (auto [size, clauses] : s.sbpClausesBySize)
+            u.sbpClausesBySize[size] += clauses;
     }
     return u;
 }

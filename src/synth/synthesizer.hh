@@ -10,6 +10,16 @@
  * canonicalized (Section 5.1), and deduplicated; per-axiom suites union
  * into the per-model suite of Section 5.2.
  *
+ * With SynthOptions::symmetryBreaking (default on) the solver also
+ * carries the model's lex-leader symmetry-breaking predicates, and each
+ * found model is blocked together with every symmetric image of it
+ * (orbit blocking), so enumeration produces one SAT model per
+ * isomorphism class. The suite stays byte-identical either way: each
+ * kept test is re-derived by pinning a class-canonical representative
+ * program and lex-minimizing its witness in a solve that excludes the
+ * symmetry and blocking layers, making the emitted bytes a pure
+ * function of the class rather than of enumeration order.
+ *
  * Work sharding: the default *incremental* engine runs one job per test
  * size, sweeping every axiom over a single shared encoding — the
  * axiom-independent part of the criterion (well-formedness plus the
@@ -54,6 +64,8 @@ struct SynthProgress
     std::atomic<uint64_t> jobsDone{0};    ///< jobs finished
     std::atomic<uint64_t> conflicts{0};   ///< SAT conflicts, all jobs
     std::atomic<uint64_t> instances{0};   ///< SAT models enumerated
+    std::atomic<uint64_t> sbpClauses{0};  ///< symmetry-breaking clauses
+                                          ///< emitted, all solvers
 };
 
 /** Synthesis knobs; defaults mirror the paper's methodology. */
@@ -67,6 +79,17 @@ struct SynthOptions
     uint64_t conflictBudget = 0;  ///< SAT conflict cap per (axiom, size)
                                   ///< query family (0 = off)
     int maxTestsPerSize = 0;      ///< safety cap (0 = off)
+
+    /**
+     * In-solver symmetry breaking: install the model's lex-leader
+     * predicates and forbidden patterns (mm::Model::symmetrySpec) into
+     * each enumeration solver, and block every symmetric image of each
+     * found model (orbit blocking) so one SAT model is enumerated per
+     * isomorphism class instead of one per class member. Suites are
+     * byte-identical with the knob on or off — only rawInstances and
+     * wall time change.
+     */
+    bool symmetryBreaking = true;
 
     /**
      * Use the incremental engine: one solver per size, base encoding
@@ -98,6 +121,8 @@ struct Suite
     std::map<int, int> testsBySize;    ///< size -> #tests
     std::map<int, double> secondsBySize;
     std::map<int, uint64_t> instancesBySize; ///< size -> SAT models found
+    std::map<int, uint64_t> sbpClausesBySize; ///< size -> SBP clauses emitted
+                                              ///< (summed over solvers)
     uint64_t rawInstances = 0; ///< SAT models before canonicalization
     bool truncated = false;    ///< a budget or cap was hit
 

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the symmetry-breaking layer: interchangeable-atom partition
+ * detection, generator construction, and the lex-leader / forbidden-
+ * pattern lowering in RelSolver::addSymmetryBreaking.
+ *
+ * The enumeration tests count SAT models directly: with the full
+ * symmetric group broken over one unary relation, exactly the
+ * lex-least member of each orbit (the non-decreasing bit vectors)
+ * must survive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rel/encoder.hh"
+#include "rel/symmetry.hh"
+
+namespace lts::rel
+{
+namespace
+{
+
+/** Enumerate all models of the solver, blocking every relation. */
+int
+countModels(RelSolver &solver)
+{
+    int models = 0;
+    while (solver.solve() == sat::SolveResult::Sat) {
+        models++;
+        solver.blockModel();
+        if (models > 64)
+            break; // runaway guard; the asserts below will fail loudly
+    }
+    return models;
+}
+
+TEST(SymmetryDetectTest, NoConstantsOneClass)
+{
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    std::vector<FormulaPtr> facts = {mkIrreflexive(r)};
+    auto classes = detectInterchangeable(facts, 4);
+    ASSERT_EQ(classes.size(), 1u);
+    EXPECT_EQ(classes[0], (std::vector<size_t>{0, 1, 2, 3}));
+    // One class of k atoms -> k-1 adjacent transpositions.
+    auto gens = unconditionalGenerators(classes);
+    ASSERT_EQ(gens.size(), 3u);
+    EXPECT_EQ(gens[0].perm, (std::vector<size_t>{1, 0, 2, 3}));
+    EXPECT_TRUE(gens[0].conditions.empty());
+}
+
+TEST(SymmetryDetectTest, UnaryConstantSplitsClasses)
+{
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 1);
+    Bitset marked(4);
+    marked.set(0);
+    marked.set(1);
+    std::vector<FormulaPtr> facts = {mkSubset(r, mkConst(marked))};
+    auto classes = detectInterchangeable(facts, 4);
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_EQ(classes[0], (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(classes[1], (std::vector<size_t>{2, 3}));
+}
+
+TEST(SymmetryDetectTest, TotalOrderConstantKillsAllSymmetry)
+{
+    // An index-order constant (i < j) distinguishes every pair of
+    // atoms, which is exactly why the memory-model layer needs
+    // conditional generators instead of the generic detector.
+    Vocabulary vocab;
+    ExprPtr r = vocab.declare("r", 2);
+    BitMatrix lt(3);
+    for (size_t i = 0; i < 3; i++) {
+        for (size_t j = i + 1; j < 3; j++)
+            lt.set(i, j);
+    }
+    std::vector<FormulaPtr> facts = {mkSubset(r, mkConst(lt))};
+    auto classes = detectInterchangeable(facts, 3);
+    EXPECT_EQ(classes.size(), 3u);
+    EXPECT_TRUE(unconditionalGenerators(classes).empty());
+    EXPECT_TRUE(specFromFacts(vocab, facts, 3).empty());
+}
+
+TEST(SymmetryLexLeaderTest, FullGroupKeepsNonDecreasingVectors)
+{
+    // One free unary relation over 3 interchangeable atoms: 8 raw
+    // models in 4 orbits (by popcount). The lex chain orders false
+    // before true with cell 0 most significant, so each orbit's
+    // survivor is its non-decreasing bit vector.
+    Vocabulary vocab;
+    vocab.declare("r", 1);
+    SymmetrySpec spec = specFromFacts(vocab, {}, 3);
+    ASSERT_EQ(spec.generators.size(), 2u);
+
+    RelSolver plain(vocab, 3);
+    EXPECT_EQ(countModels(plain), 8);
+
+    RelSolver solver(vocab, 3);
+    SymmetryStats stats;
+    solver.addSymmetryBreaking(spec, &stats);
+    EXPECT_EQ(stats.generators, 2u);
+    EXPECT_GT(stats.clauses, 0u);
+    int models = 0;
+    const VarDecl &r = vocab.find("r");
+    while (solver.solve() == sat::SolveResult::Sat) {
+        models++;
+        const Bitset &bits = solver.instance().set(r.id);
+        for (size_t i = 0; i + 1 < 3; i++)
+            EXPECT_LE(bits.test(i), bits.test(i + 1));
+        solver.blockModel();
+    }
+    EXPECT_EQ(models, 4);
+}
+
+TEST(SymmetryLexLeaderTest, VacuousGuardPrunesNothing)
+{
+    // A generator guarded on a cell that a fact forces false must not
+    // bind: all 4 raw models of the free relation survive.
+    Vocabulary vocab;
+    ExprPtr g = vocab.declare("g", 1);
+    vocab.declare("r", 1);
+    SymmetrySpec spec;
+    spec.lexVarIds = {vocab.find("r").id};
+    ConditionalPerm swap01;
+    swap01.perm = {1, 0};
+    swap01.conditions = {{vocab.find("g").id, 0, 0, true}};
+    spec.generators.push_back(swap01);
+
+    RelSolver solver(vocab, 2);
+    solver.addBaseFact(mkNo(g));
+    solver.addSymmetryBreaking(spec);
+    EXPECT_EQ(countModels(solver), 4);
+}
+
+TEST(SymmetryLexLeaderTest, ActiveGuardBinds)
+{
+    // Same generator, but with the guard cell forced true: the swap
+    // binds and halves the asymmetric models (r={0} dies, r={1} lives).
+    Vocabulary vocab;
+    ExprPtr g = vocab.declare("g", 1);
+    vocab.declare("r", 1);
+    SymmetrySpec spec;
+    spec.lexVarIds = {vocab.find("r").id};
+    ConditionalPerm swap01;
+    swap01.perm = {1, 0};
+    swap01.conditions = {{vocab.find("g").id, 0, 0, true}};
+    spec.generators.push_back(swap01);
+
+    Bitset all(2);
+    all.set(0);
+    all.set(1);
+    RelSolver solver(vocab, 2);
+    solver.addBaseFact(mkEqual(g, mkConst(all)));
+    solver.addSymmetryBreaking(spec);
+    EXPECT_EQ(countModels(solver), 3);
+}
+
+TEST(SymmetryForbiddenTest, PatternLowersToClause)
+{
+    Vocabulary vocab;
+    vocab.declare("r", 1);
+    SymmetrySpec spec;
+    spec.forbidden.push_back({{vocab.find("r").id, 0, 0, true}});
+
+    RelSolver solver(vocab, 2);
+    SymmetryStats stats;
+    solver.addSymmetryBreaking(spec, &stats);
+    EXPECT_EQ(stats.forbidden, 1u);
+    int models = 0;
+    const VarDecl &r = vocab.find("r");
+    while (solver.solve() == sat::SolveResult::Sat) {
+        models++;
+        EXPECT_FALSE(solver.instance().set(r.id).test(0));
+        solver.blockModel();
+    }
+    EXPECT_EQ(models, 2);
+}
+
+TEST(SymmetryLayerTest, RetractRestoresPrunedModels)
+{
+    // addSymmetryBreaking installs a retractable layer: after retract,
+    // the full model space must be visible again (this is what lets
+    // witness-resolution queries exclude the SBP).
+    Vocabulary vocab;
+    vocab.declare("r", 1);
+    SymmetrySpec spec = specFromFacts(vocab, {}, 3);
+
+    RelSolver solver(vocab, 3);
+    FactHandle h = solver.addSymmetryBreaking(spec);
+    EXPECT_EQ(countModels(solver), 4);
+
+    RelSolver fresh(vocab, 3);
+    FactHandle h2 = fresh.addSymmetryBreaking(spec);
+    fresh.retract(h2);
+    EXPECT_EQ(countModels(fresh), 8);
+    (void)h;
+}
+
+} // namespace
+} // namespace lts::rel

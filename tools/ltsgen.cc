@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "common/flags.hh"
 #include "common/timer.hh"
 #include "litmus/format.hh"
@@ -96,6 +97,10 @@ main(int argc, char **argv)
     flags.declare("audit", "",
                   "audit an existing .litmus suite for minimality "
                   "instead of synthesizing");
+    flags.declare("bench-json", "",
+                  "write a BENCH_*.json baseline for this run ('' = skip); "
+                  "emitted even when no tests are found, so sweeps always "
+                  "get a schema-complete file");
     if (!flags.parse(argc, argv))
         return 1;
 
@@ -178,6 +183,32 @@ main(int argc, char **argv)
                          progress.conflicts.load()),
                      static_cast<unsigned long long>(
                          progress.instances.load()));
+    }
+
+    if (!flags.get("bench-json").empty()) {
+        // Baseline record for the run that just happened — one ModeRun
+        // built from the same progress counters the figure benches use.
+        bench::ModeRun run;
+        run.mode = std::string(opt.incremental ? "incremental"
+                                               : "from-scratch");
+        if (!opt.symmetryBreaking)
+            run.mode += "-nosbp";
+        run.sbp = opt.symmetryBreaking;
+        run.wallSeconds = wall.seconds();
+        run.cpuSeconds = suite.totalSeconds();
+        run.jobsQueued = progress.jobsQueued.load();
+        run.jobsDone = progress.jobsDone.load();
+        run.conflicts = progress.conflicts.load();
+        run.instances = progress.instances.load();
+        run.sbpClauses = progress.sbpClauses.load();
+        run.instancesBySize = suite.instancesBySize;
+        run.keptBySize = suite.testsBySize;
+        run.sbpClausesBySize = suite.sbpClausesBySize;
+        run.suiteDigest = bench::suiteDigest(suite);
+        bench::writeBenchJson(flags.get("bench-json"),
+                              "ltsgen-" + model->name() + "-" + axiom,
+                              model->name(), opt.minSize, opt.maxSize,
+                              {run});
     }
     return 0;
 }
