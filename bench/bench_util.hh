@@ -156,15 +156,23 @@ aggregateCpuSeconds(const std::vector<synth::Suite> &suites)
 /** One engine-mode measurement for the BENCH_*.json comparison. */
 struct ModeRun
 {
-    std::string mode; ///< "incremental"/"from-scratch", "-nosbp" suffixed
+    std::string mode; ///< "incremental"/"from-scratch"; "-nosbp",
+                      ///< "-nosimp", "-noshare" suffixed when disabled
     bool sbp = true;  ///< symmetry breaking was enabled for this run
+    bool simplify = true;     ///< SatELite-style preprocessing was enabled
+    bool shareClauses = true; ///< cross-shard learnt-clause sharing enabled
     double wallSeconds = 0;
     double cpuSeconds = 0;
     uint64_t jobsQueued = 0;
     uint64_t jobsDone = 0;
     uint64_t conflicts = 0;
+    uint64_t restarts = 0;
     uint64_t instances = 0;     ///< SAT models enumerated (rawInstances)
     uint64_t sbpClauses = 0;    ///< SBP clauses emitted, all solvers
+    uint64_t eliminatedVars = 0;  ///< vars removed by simplify, all solvers
+    uint64_t subsumedClauses = 0; ///< clauses removed by simplify
+    uint64_t importedClauses = 0; ///< learnt clauses adopted from siblings
+    uint64_t exportedClauses = 0; ///< learnt clauses published to siblings
     std::map<int, uint64_t> instancesBySize;  ///< union suite, size -> models
     std::map<int, int> keptBySize;            ///< union suite, size -> tests
     std::map<int, uint64_t> sbpClausesBySize; ///< union suite, size -> clauses
@@ -208,14 +216,25 @@ measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
     run.mode = incremental ? "incremental" : "from-scratch";
     if (!sbp)
         run.mode += "-nosbp";
+    if (!opt.simplify)
+        run.mode += "-nosimp";
+    if (!opt.shareClauses)
+        run.mode += "-noshare";
     run.sbp = sbp;
+    run.simplify = opt.simplify;
+    run.shareClauses = opt.shareClauses;
     run.wallSeconds = wall.seconds();
     run.cpuSeconds = aggregateCpuSeconds(suites);
     run.jobsQueued = progress.jobsQueued.load();
     run.jobsDone = progress.jobsDone.load();
     run.conflicts = progress.conflicts.load();
+    run.restarts = progress.restarts.load();
     run.instances = progress.instances.load();
     run.sbpClauses = progress.sbpClauses.load();
+    run.eliminatedVars = progress.eliminatedVars.load();
+    run.subsumedClauses = progress.subsumedClauses.load();
+    run.importedClauses = progress.importedClauses.load();
+    run.exportedClauses = progress.exportedClauses.load();
     run.instancesBySize = suites.back().instancesBySize;
     run.keptBySize = suites.back().testsBySize;
     run.sbpClausesBySize = suites.back().sbpClausesBySize;
@@ -274,19 +293,33 @@ writeBenchJson(const std::string &path, const std::string &bench,
                      "    {\n"
                      "      \"mode\": \"%s\",\n"
                      "      \"sbp\": %s,\n"
+                     "      \"simplify\": %s,\n"
+                     "      \"shareClauses\": %s,\n"
                      "      \"wallSeconds\": %.6f,\n"
                      "      \"cpuSeconds\": %.6f,\n"
                      "      \"jobsQueued\": %llu,\n"
                      "      \"conflicts\": %llu,\n"
+                     "      \"restarts\": %llu,\n"
                      "      \"rawInstances\": %llu,\n"
                      "      \"sbpClauses\": %llu,\n"
+                     "      \"eliminatedVars\": %llu,\n"
+                     "      \"subsumedClauses\": %llu,\n"
+                     "      \"importedClauses\": %llu,\n"
+                     "      \"exportedClauses\": %llu,\n"
                      "      \"suiteDigest\": \"%s\",\n",
                      run.mode.c_str(), run.sbp ? "true" : "false",
+                     run.simplify ? "true" : "false",
+                     run.shareClauses ? "true" : "false",
                      run.wallSeconds, run.cpuSeconds,
                      static_cast<unsigned long long>(run.jobsQueued),
                      static_cast<unsigned long long>(run.conflicts),
+                     static_cast<unsigned long long>(run.restarts),
                      static_cast<unsigned long long>(run.instances),
                      static_cast<unsigned long long>(run.sbpClauses),
+                     static_cast<unsigned long long>(run.eliminatedVars),
+                     static_cast<unsigned long long>(run.subsumedClauses),
+                     static_cast<unsigned long long>(run.importedClauses),
+                     static_cast<unsigned long long>(run.exportedClauses),
                      run.suiteDigest.c_str());
         // Every size in [min, max] is emitted with a 0 default, so a
         // baseline file from an empty trajectory still fixes the schema
@@ -316,6 +349,80 @@ writeBenchJson(const std::string &path, const std::string &bench,
             return it == run.sbpClausesBySize.end() ? 0 : it->second;
         });
         std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    bool write_ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0)
+        write_ok = false;
+    if (!write_ok) {
+        std::fprintf(stderr, "error writing %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "cannot rename %s to %s\n", tmp.c_str(),
+                     path.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * One SAT-level ablation measurement (bench/micro_sat.cc): a named
+ * scenario solved with a feature on and off, plus the solver-work
+ * counters that explain the delta.
+ */
+struct MicroRun
+{
+    std::string scenario; ///< e.g. "simplify-on", "share-off"
+    double wallSeconds = 0;
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    uint64_t eliminatedVars = 0;
+    uint64_t subsumedClauses = 0;
+    uint64_t importedClauses = 0;
+    uint64_t exportedClauses = 0;
+    uint64_t problemClauses = 0; ///< live problem clauses after setup
+};
+
+/** Write BENCH_micro_sat.json (same tmp+rename discipline as above). */
+inline void
+writeMicroSatJson(const std::string &path, const std::vector<MicroRun> &runs)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_sat\",\n"
+                 "  \"scenarios\": [\n");
+    for (size_t i = 0; i < runs.size(); i++) {
+        const MicroRun &r = runs[i];
+        std::fprintf(f,
+                     "    {\n"
+                     "      \"scenario\": \"%s\",\n"
+                     "      \"wallSeconds\": %.6f,\n"
+                     "      \"conflicts\": %llu,\n"
+                     "      \"propagations\": %llu,\n"
+                     "      \"eliminatedVars\": %llu,\n"
+                     "      \"subsumedClauses\": %llu,\n"
+                     "      \"importedClauses\": %llu,\n"
+                     "      \"exportedClauses\": %llu,\n"
+                     "      \"problemClauses\": %llu\n"
+                     "    }%s\n",
+                     r.scenario.c_str(), r.wallSeconds,
+                     static_cast<unsigned long long>(r.conflicts),
+                     static_cast<unsigned long long>(r.propagations),
+                     static_cast<unsigned long long>(r.eliminatedVars),
+                     static_cast<unsigned long long>(r.subsumedClauses),
+                     static_cast<unsigned long long>(r.importedClauses),
+                     static_cast<unsigned long long>(r.exportedClauses),
+                     static_cast<unsigned long long>(r.problemClauses),
+                     i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     bool write_ok = std::ferror(f) == 0;

@@ -47,6 +47,9 @@ main(int argc, char **argv)
     flags.declare("compare-sbp", "true",
                   "also run with symmetry breaking disabled and report the "
                   "raw-instance reduction");
+    flags.declare("compare-simplify", "true",
+                  "also run with simplification and clause sharing disabled "
+                  "and report the conflict reduction");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -85,6 +88,27 @@ main(int argc, char **argv)
                               static_cast<double>(with_sbp.instances)
                         : 0.0,
                     with_sbp.suiteDigest == without_sbp.suiteDigest
+                        ? "byte-identical"
+                        : "DIFFER (bug!)");
+    }
+    if (flags.getBool("compare-simplify")) {
+        synth::SynthOptions plain = opt;
+        plain.simplify = false;
+        plain.shareClauses = false;
+        runs.push_back(bench::measureMode(*tso, plain, opt.incremental,
+                                          opt.symmetryBreaking));
+        bench::printModeRun(runs.back(), opt.jobs);
+        const bench::ModeRun &with_simp = runs.front();
+        const bench::ModeRun &without_simp = runs.back();
+        std::printf("\nsimplify+sharing conflict reduction: %llu -> %llu "
+                    "(%.2fx), suites %s\n",
+                    static_cast<unsigned long long>(without_simp.conflicts),
+                    static_cast<unsigned long long>(with_simp.conflicts),
+                    with_simp.conflicts
+                        ? static_cast<double>(without_simp.conflicts) /
+                              static_cast<double>(with_simp.conflicts)
+                        : 0.0,
+                    with_simp.suiteDigest == without_simp.suiteDigest
                         ? "byte-identical"
                         : "DIFFER (bug!)");
     }

@@ -4,12 +4,20 @@
  * propagation throughput, pigeonhole refutation, random 3-SAT near the
  * phase transition, and incremental model enumeration — the operations
  * the synthesizer stresses.
+ *
+ * After the google-benchmark suites, main() runs the simplification and
+ * clause-sharing ablations and writes BENCH_micro_sat.json: the same
+ * scenario solved with the feature on and off, with the solver counters
+ * that explain the delta.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "bench/bench_util.hh"
+#include "common/timer.hh"
+#include "sat/clausebank.hh"
 #include "sat/solver.hh"
 
 namespace
@@ -141,6 +149,152 @@ BM_IncrementalAssumptions(benchmark::State &state)
 }
 BENCHMARK(BM_IncrementalAssumptions);
 
+/**
+ * Tseitin-heavy enumeration workload for the simplification ablation: a
+ * sequential at-most-k counter over frozen inputs (the shape the
+ * relational encoder's mkAtMostOne lowering produces), every satisfying
+ * input assignment enumerated via blocking clauses. The auxiliary chain
+ * is pure Tseitin plumbing — exactly what bounded variable elimination
+ * removes when the inputs are frozen.
+ */
+lts::bench::MicroRun
+runCounterEnumeration(const char *name, bool simplify)
+{
+    using lts::bench::MicroRun;
+    Solver s;
+    const int k = 12, at_most = 3;
+    std::vector<Var> inputs;
+    for (int i = 0; i < k; i++) {
+        Var v = s.newVar();
+        s.setFrozen(v);
+        inputs.push_back(v);
+    }
+    // count[i][c] := at least c+1 of inputs[0..i] are true, c in [0, at_most].
+    std::vector<Var> prev;
+    for (int i = 0; i < k; i++) {
+        std::vector<Var> cur;
+        for (int c = 0; c <= at_most; c++) {
+            Var v = s.newVar();
+            cur.push_back(v);
+            Lit x = Lit::pos(inputs[i]);
+            Lit out = Lit::pos(v);
+            if (c == 0) {
+                // v <-> x | prev[0]
+                if (prev.empty()) {
+                    s.addClause({~out, x});
+                    s.addClause({out, ~x});
+                } else {
+                    Lit p = Lit::pos(prev[0]);
+                    s.addClause({~out, x, p});
+                    s.addClause({out, ~x});
+                    s.addClause({out, ~p});
+                }
+            } else if (prev.empty()) {
+                s.addClause({~out}); // c+1 > 1 trues among 1 input
+            } else {
+                // v <-> prev[c] | (x & prev[c-1])
+                Lit pc = Lit::pos(prev[c]);
+                Lit pm = Lit::pos(prev[c - 1]);
+                s.addClause({~out, pc, x});
+                s.addClause({~out, pc, pm});
+                s.addClause({out, ~pc});
+                s.addClause({out, ~x, ~pm});
+            }
+        }
+        prev = cur;
+    }
+    // Forbid at_most+1 trues; also assert at least one true so the
+    // enumeration is not the full 2^k cube.
+    s.addClause({Lit::neg(prev[at_most])});
+    s.addClause({Lit::pos(prev[0])});
+
+    MicroRun run;
+    run.scenario = name;
+    lts::Timer wall;
+    if (simplify)
+        s.simplify();
+    run.problemClauses = static_cast<uint64_t>(s.numClauses());
+    int models = 0;
+    while (s.solve() == SolveResult::Sat) {
+        models++;
+        Clause blocking;
+        for (Var v : inputs)
+            blocking.push_back(Lit(v, s.modelValue(v)));
+        if (!s.addClause(blocking))
+            break;
+    }
+    run.wallSeconds = wall.seconds();
+    run.conflicts = s.stats().conflicts;
+    run.propagations = s.stats().propagations;
+    run.eliminatedVars = s.stats().eliminatedVars;
+    run.subsumedClauses = s.stats().subsumedClauses;
+    return run;
+}
+
+/**
+ * Clause-sharing ablation: two solvers refute the same pigeonhole
+ * instance in sequence. With a bank, the first solver's exports let the
+ * second skip already-paid conflicts; without one, both pay full price.
+ */
+lts::bench::MicroRun
+runSharedRefutation(const char *name, bool share)
+{
+    using lts::bench::MicroRun;
+    const int holes = 7;
+    ClauseBank bank;
+    int family = bank.openFamily("ph");
+    MicroRun run;
+    run.scenario = name;
+    lts::Timer wall;
+    uint64_t conflicts = 0, props = 0, imported = 0, exported = 0;
+    for (int i = 0; i < 2; i++) {
+        Solver s;
+        addPigeonhole(s, holes);
+        if (share)
+            s.connectBank(bank, family, s.numVars());
+        s.solve();
+        conflicts += s.stats().conflicts;
+        props += s.stats().propagations;
+        imported += s.stats().importedClauses;
+        exported += s.stats().exportedClauses;
+        run.problemClauses = static_cast<uint64_t>(s.numClauses());
+    }
+    run.wallSeconds = wall.seconds();
+    run.conflicts = conflicts;
+    run.propagations = props;
+    run.importedClauses = imported;
+    run.exportedClauses = exported;
+    return run;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::vector<lts::bench::MicroRun> runs = {
+        runCounterEnumeration("simplify-on", true),
+        runCounterEnumeration("simplify-off", false),
+        runSharedRefutation("share-on", true),
+        runSharedRefutation("share-off", false),
+    };
+    for (const auto &r : runs) {
+        std::printf("%-14s wall %.3fs conflicts %llu propagations %llu "
+                    "elim %llu subsumed %llu shared %llu/%llu\n",
+                    r.scenario.c_str(), r.wallSeconds,
+                    static_cast<unsigned long long>(r.conflicts),
+                    static_cast<unsigned long long>(r.propagations),
+                    static_cast<unsigned long long>(r.eliminatedVars),
+                    static_cast<unsigned long long>(r.subsumedClauses),
+                    static_cast<unsigned long long>(r.exportedClauses),
+                    static_cast<unsigned long long>(r.importedClauses));
+    }
+    lts::bench::writeMicroSatJson("BENCH_micro_sat.json", runs);
+    return 0;
+}

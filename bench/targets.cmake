@@ -24,7 +24,8 @@ lts_add_bench(ext_scoped_ds)
 lts_add_bench(ext_random_runner)
 
 add_executable(micro_sat ${PROJECT_SOURCE_DIR}/bench/micro_sat.cc)
-target_link_libraries(micro_sat PRIVATE lts_sat benchmark::benchmark)
+target_link_libraries(micro_sat PRIVATE lts_synth benchmark::benchmark)
+target_include_directories(micro_sat PRIVATE ${PROJECT_SOURCE_DIR})
 set_target_properties(micro_sat PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 add_executable(micro_rel ${PROJECT_SOURCE_DIR}/bench/micro_rel.cc)

@@ -160,6 +160,28 @@ class RelSolver
     void retract(FactHandle h);
 
     /**
+     * Run the SAT backend's SatELite-style preprocessing pass (see
+     * sat/simplify.hh) over the permanent encoding built so far. Cell
+     * variables and fact-layer selectors are frozen, so instances decode
+     * unchanged and layers stay retractable; only internal Tseitin
+     * variables are eliminated (with model reconstruction keeping
+     * extract() total). Call it after the base facts every query shares
+     * are in place — the more of the encoding is permanent, the more the
+     * pass can remove. Returns false when the base encoding is unsat.
+     */
+    bool simplifyBase(const sat::SimplifyConfig &cfg = sat::SimplifyConfig());
+
+    /**
+     * Join a learnt-clause exchange family (see sat/clausebank.hh): every
+     * solver connected under the same @p family_key must have built a
+     * byte-identical encoding — same vocabulary, universe size, base
+     * facts, and simplification — up to this call. The current variable
+     * count becomes the shared prefix; later layers/blocks stay local.
+     * Must be called before any solve and after simplifyBase.
+     */
+    void connectBank(sat::ClauseBank &bank, const std::string &family_key);
+
+    /**
      * An initially empty retractable layer. Blocking clauses added under
      * it (blockModel / blockInstance) bind only in solves that activate
      * the handle and die together when it is retracted — the enumeration

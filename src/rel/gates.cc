@@ -20,6 +20,10 @@ GateBuilder::mkInput(sat::Var v)
     auto it = inputCache.find(v);
     if (it != inputCache.end())
         return it->second;
+    // Inputs are the variables the outside world holds on to (relation
+    // cells, criterion selectors): they must survive solver.simplify(),
+    // so freeze them. Internal AND-gate variables stay eliminable.
+    solver.setFrozen(v);
     GLit g = newNode(true, static_cast<uint32_t>(inputGates.size()));
     inputGates.push_back(InputGate{v});
     inputCache[v] = g;
@@ -131,7 +135,7 @@ GateBuilder::lower(GLit g)
             continue;
         }
         AndGate &gate = andGates[n.index];
-        if (gate.satVar >= 0) {
+        if (gate.satVar >= 0 && !solver.isEliminated(gate.satVar)) {
             stack.pop_back();
             continue;
         }
@@ -140,8 +144,15 @@ GateBuilder::lower(GLit g)
         bool ready = true;
         for (uint32_t child : {ca, cb}) {
             const Node &cn = nodes[child];
+            // A lowered child whose variable simplify() eliminated must be
+            // re-lowered with a fresh variable: the old one occurs in no
+            // live clause and may not be mentioned again. Children whose
+            // variables survived elimination are reusable as-is — BVE
+            // keeps the full resolvent set, so the remaining formula
+            // still functionally determines them from the inputs.
             if (child != 0 && !cn.isInput &&
-                andGates[cn.index].satVar < 0) {
+                (andGates[cn.index].satVar < 0 ||
+                 solver.isEliminated(andGates[cn.index].satVar))) {
                 stack.push_back(child);
                 ready = false;
             }
@@ -177,7 +188,8 @@ GateBuilder::lowerResolved(GLit g)
     const Node &node = nodes[node_id];
     if (node.isInput)
         return litOf(g, inputGates[node.index].var);
-    assert(andGates[node.index].satVar >= 0);
+    assert(andGates[node.index].satVar >= 0 &&
+           !solver.isEliminated(andGates[node.index].satVar));
     return litOf(g, andGates[node.index].satVar);
 }
 

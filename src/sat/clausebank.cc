@@ -1,0 +1,99 @@
+#include "sat/clausebank.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lts::sat
+{
+
+namespace
+{
+
+/** Order-independent-free hash: lits are sorted first, so equal clause
+ *  sets collide deliberately and duplicates are dropped. A hash
+ *  collision between different clauses only suppresses an exchange —
+ *  never a soundness problem. */
+uint64_t
+clauseHash(std::vector<Lit> lits)
+{
+    std::sort(lits.begin(), lits.end());
+    uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    for (Lit l : lits) {
+        h ^= static_cast<uint64_t>(l.index()) + 1;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+int
+ClauseBank::openFamily(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(tableMutex);
+    auto it = familyIds.find(key);
+    if (it != familyIds.end())
+        return it->second;
+    int id = static_cast<int>(families.size());
+    families.push_back(std::make_unique<Family>());
+    familyIds.emplace(key, id);
+    return id;
+}
+
+ClauseBank::Family &
+ClauseBank::family(int id) const
+{
+    std::lock_guard<std::mutex> lock(tableMutex);
+    assert(id >= 0 && id < static_cast<int>(families.size()));
+    return *families[static_cast<size_t>(id)];
+}
+
+int
+ClauseBank::registerProducer(int family_id)
+{
+    Family &f = family(family_id);
+    std::lock_guard<std::mutex> lock(f.mutex);
+    return f.producers++;
+}
+
+bool
+ClauseBank::publish(int family_id, int producer,
+                    const std::vector<Lit> &lits, int lbd)
+{
+    if (lits.empty() || lits.size() > limits_.maxLits || lbd > limits_.maxLbd)
+        return false;
+    uint64_t h = clauseHash(lits);
+    Family &f = family(family_id);
+    std::lock_guard<std::mutex> lock(f.mutex);
+    if (!f.seen.insert(h).second)
+        return false;
+    f.entries.push_back(Entry{lits, lbd, producer});
+    return true;
+}
+
+void
+ClauseBank::fetch(int family_id, int producer, size_t &cursor,
+                  std::vector<Entry> &out) const
+{
+    Family &f = family(family_id);
+    std::lock_guard<std::mutex> lock(f.mutex);
+    for (size_t i = cursor; i < f.entries.size(); i++) {
+        if (f.entries[i].producer != producer)
+            out.push_back(f.entries[i]);
+    }
+    cursor = f.entries.size();
+}
+
+uint64_t
+ClauseBank::published() const
+{
+    std::lock_guard<std::mutex> lock(tableMutex);
+    uint64_t total = 0;
+    for (const auto &f : families) {
+        std::lock_guard<std::mutex> flock(f->mutex);
+        total += f->entries.size();
+    }
+    return total;
+}
+
+} // namespace lts::sat

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared learnt-clause bank for sharded synthesis workers.
+ *
+ * Shard jobs that solve structurally identical problems — the from-scratch
+ * engine's per-(axiom, size) solvers all assert the same base encoding at
+ * a given size — waste work re-deriving each other's learnt clauses. The
+ * bank lets them exchange the good ones: a solver connected via
+ * Solver::connectBank *exports* learnt clauses that pass an LBD/size
+ * quality filter and whose literals all fall inside the family's shared
+ * variable prefix, and *imports* every sibling's exports at restart
+ * boundaries (decision level 0), where attaching foreign clauses is
+ * trivially safe.
+ *
+ * Soundness contract: a family groups solvers whose variable prefixes
+ * [0, sharedVarLimit) were created by an identical deterministic
+ * construction (same base formula, same simplification), so a clause over
+ * prefix variables means the same thing in every member. Exported clauses
+ * are learnt, hence implied by the exporter's clause set; the guard-literal
+ * discipline of activation groups (a derivation through a grouped clause
+ * always carries the group's selector literal, and selectors live outside
+ * the prefix) plus the definitional nature of Tseitin extensions make any
+ * guard-free prefix clause implied by the shared base alone — see
+ * DESIGN.md. Imports are therefore sound in every member, and since they
+ * are implied clauses, enumeration results are byte-identical with
+ * sharing on or off; only the search effort changes.
+ *
+ * Thread safety: every method may be called concurrently; each family is
+ * guarded by its own mutex, and readers track their position with a
+ * caller-owned cursor so fetching is wait-free with respect to other
+ * families.
+ */
+
+#ifndef LTS_SAT_CLAUSEBANK_HH
+#define LTS_SAT_CLAUSEBANK_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace lts::sat
+{
+
+/** Shared pool of exchanged learnt clauses, partitioned into families. */
+class ClauseBank
+{
+  public:
+    /** Quality filter: only clauses at or below both bounds are kept. */
+    struct Limits
+    {
+        int maxLbd = 4;
+        size_t maxLits = 10;
+    };
+
+    /** One exchanged clause. */
+    struct Entry
+    {
+        std::vector<Lit> lits;
+        int lbd = 0;
+        int producer = -1;
+    };
+
+    ClauseBank() = default;
+    explicit ClauseBank(Limits limits) : limits_(limits) {}
+
+    const Limits &limits() const { return limits_; }
+
+    /**
+     * Get-or-create the family for @p key (e.g. the universe size of a
+     * shard group). Families are cheap; keys only need to agree across
+     * the solvers that may soundly exchange clauses.
+     */
+    int openFamily(const std::string &key);
+
+    /** Register a producer in a family; returns its id within the family. */
+    int registerProducer(int family);
+
+    /**
+     * Publish a clause if it passes the quality filter and is not already
+     * present (clauses are deduplicated by a literal-set hash). Returns
+     * whether the clause was newly added.
+     */
+    bool publish(int family, int producer, const std::vector<Lit> &lits,
+                 int lbd);
+
+    /**
+     * Append every clause published after @p cursor by a *different*
+     * producer to @p out and advance the cursor past the end.
+     */
+    void fetch(int family, int producer, size_t &cursor,
+               std::vector<Entry> &out) const;
+
+    /** Clauses accepted across all families (for stats/tests). */
+    uint64_t published() const;
+
+  private:
+    struct Family
+    {
+        mutable std::mutex mutex;
+        std::vector<Entry> entries;
+        std::unordered_set<uint64_t> seen;
+        int producers = 0;
+    };
+
+    Family &family(int id) const;
+
+    Limits limits_;
+    mutable std::mutex tableMutex;
+    std::unordered_map<std::string, int> familyIds;
+    std::vector<std::unique_ptr<Family>> families;
+};
+
+} // namespace lts::sat
+
+#endif // LTS_SAT_CLAUSEBANK_HH

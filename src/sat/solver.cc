@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sat/clausebank.hh"
+
 namespace lts::sat
 {
 
@@ -21,10 +23,21 @@ Solver::newVar()
     activity.push_back(0.0);
     heapIndex.push_back(-1);
     seen.push_back(0);
+    frozenFlags.push_back(0);
+    elimFlags.push_back(0);
+    selectorFlags.push_back(0);
     watches.emplace_back();
     watches.emplace_back();
     heapInsert(v);
     return v;
+}
+
+void
+Solver::setFrozen(Var v, bool frozen)
+{
+    assert(v >= 0 && v < numVars());
+    assert(!(frozen && elimFlags[v]) && "freezing an eliminated variable");
+    frozenFlags[v] = frozen ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -120,14 +133,25 @@ Solver::addClauseInternal(Clause lits, Group group)
     // Dedupe; drop clause on tautology; drop level-0 falsified literals.
     std::vector<Lit> out;
     Lit prev;
+    bool all_shared = bank != nullptr;
     for (Lit l : lits) {
         assert(l.var() < numVars());
+        assert(!elimFlags[l.var()] &&
+               "clause refers to an eliminated variable");
+        all_shared = all_shared && l.var() < bankVarLimit;
         if (value(l) == LBool::True || (prev.valid() && l == ~prev))
             return true; // satisfied or tautological
         if (value(l) != LBool::False && l != prev)
             out.push_back(l);
         prev = l;
     }
+    // A permanent clause entirely over shared variables is shard-local
+    // state (e.g. a blocking clause) that siblings must not learn from:
+    // from here on this solver only imports. Grouped clauses are fine —
+    // their guard lives outside the prefix and travels with every
+    // derivation (see clausebank.hh).
+    if (all_shared && group == kNoGroup)
+        bankExportPoisoned = true;
 
     if (out.empty()) {
         ok = false;
@@ -158,6 +182,12 @@ Solver::newGroup()
     Group g = static_cast<Group>(groups.size());
     GroupInfo info;
     info.selector = newVar();
+    // The selector is assumed by solve() and pinned by release(): both
+    // uses outlive any simplification pass, so it must never be
+    // eliminated. It is also excluded from clause sharing — a guarded
+    // clause is meaningless in a solver with different groups.
+    setFrozen(info.selector);
+    selectorFlags[info.selector] = 1;
     groups.push_back(std::move(info));
     return g;
 }
@@ -502,7 +532,10 @@ Solver::pickBranchLit()
 {
     while (!heap.empty()) {
         Var v = heapRemoveMax();
-        if (value(v) == LBool::Undef)
+        // Eliminated variables occur in no live clause; deciding them
+        // would only pad the trail. They stay Undef until model
+        // reconstruction assigns them.
+        if (value(v) == LBool::Undef && !elimFlags[v])
             return Lit(v, polarity[v]);
     }
     return Lit();
@@ -612,6 +645,7 @@ Solver::search(int64_t max_conflicts)
             int bt_level = 0;
             int lbd = 0;
             analyze(confl, learnt, bt_level, lbd);
+            maybeExportLearnt(learnt, lbd);
             cancelUntil(bt_level);
             if (learnt.size() == 1) {
                 uncheckedEnqueue(learnt[0], kNoReason);
@@ -692,6 +726,14 @@ Solver::solve(const std::vector<Lit> &assumptions)
     LBool status = LBool::Undef;
     int curr_restarts = 0;
     while (status == LBool::Undef && !hitBudget) {
+        // Restart boundary (and first descent): adopt sibling shards'
+        // learnt clauses while at decision level 0, where attaching is
+        // trivially safe. Imports can expose a root conflict.
+        if (!importSharedClauses()) {
+            status = LBool::False;
+            conflict.clear();
+            break;
+        }
         double base = luby(2.0, curr_restarts) * 100.0;
         status = search(static_cast<int64_t>(base));
         curr_restarts++;
@@ -701,6 +743,7 @@ Solver::solve(const std::vector<Lit> &assumptions)
     if (status == LBool::True) {
         lastResult = SolveResult::Sat;
         haveModel = true;
+        reconstructModel();
         assert(checkModel() && "model violates a problem clause");
     } else if (status == LBool::False) {
         lastResult = SolveResult::Unsat;
@@ -708,6 +751,138 @@ Solver::solve(const std::vector<Lit> &assumptions)
         lastResult = SolveResult::BudgetExhausted;
     }
     return lastResult;
+}
+
+void
+Solver::reconstructModel()
+{
+    // Replay the elimination stack in reverse: a record's clauses never
+    // mention variables eliminated before it (elimination removed those
+    // clauses from the formula first), so by the time a record is
+    // replayed every other variable in its clauses has a model value.
+    for (size_t r = elimStack.size(); r-- > 0;) {
+        const ElimRecord &rec = elimStack[r];
+        // Default false; flip only when some removed clause needs the
+        // variable to satisfy it. The full resolvent set added at
+        // elimination time guarantees all such clauses agree on the
+        // required polarity, so the first unsatisfied one decides.
+        LBool val = LBool::False;
+        for (const auto &cls : rec.clauses) {
+            bool satisfied = false;
+            Lit own;
+            for (Lit l : cls) {
+                if (l.var() == rec.v) {
+                    own = l;
+                    continue;
+                }
+                if (modelValue(l)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied) {
+                assert(own.valid());
+                val = own.sign() ? LBool::False : LBool::True;
+                break;
+            }
+        }
+        model[rec.v] = val;
+    }
+}
+
+void
+Solver::connectBank(ClauseBank &shared, int family, Var shared_var_limit)
+{
+    assert(decisionLevel() == 0);
+    assert(shared_var_limit >= 0 && shared_var_limit <= numVars());
+    bank = &shared;
+    bankFamily = family;
+    bankProducer = shared.registerProducer(family);
+    bankVarLimit = shared_var_limit;
+    bankCursor = 0;
+    bankExportPoisoned = false;
+}
+
+void
+Solver::maybeExportLearnt(const std::vector<Lit> &lits, int lbd)
+{
+    if (!bank || bankExportPoisoned)
+        return;
+    if (lits.empty() || lits.size() > bank->limits().maxLits ||
+        lbd > bank->limits().maxLbd)
+        return;
+    for (Lit l : lits) {
+        Var v = l.var();
+        if (v >= bankVarLimit || selectorFlags[v] || elimFlags[v])
+            return;
+    }
+    if (bank->publish(bankFamily, bankProducer, lits, lbd))
+        statsData.exportedClauses++;
+}
+
+bool
+Solver::importSharedClauses()
+{
+    if (!bank)
+        return ok;
+    assert(decisionLevel() == 0);
+    std::vector<ClauseBank::Entry> fresh;
+    bank->fetch(bankFamily, bankProducer, bankCursor, fresh);
+    for (const ClauseBank::Entry &entry : fresh) {
+        // Root-normalize like addClauseInternal, but attach as a *learnt*
+        // clause: imports are implied, so reduceDB may drop them and
+        // checkModel must not require them.
+        std::vector<Lit> out;
+        bool satisfied = false;
+        for (Lit l : entry.lits) {
+            assert(l.var() < bankVarLimit);
+            if (elimFlags[l.var()] || value(l) == LBool::True) {
+                satisfied = true;
+                break;
+            }
+            if (value(l) != LBool::False)
+                out.push_back(l);
+        }
+        if (satisfied)
+            continue;
+        statsData.importedClauses++;
+        if (out.empty()) {
+            ok = false;
+            return false;
+        }
+        if (out.size() == 1) {
+            uncheckedEnqueue(out[0], kNoReason);
+            if (propagate() != kNoReason) {
+                ok = false;
+                return false;
+            }
+            continue;
+        }
+        ClauseRef cref = allocClause(std::move(out), true);
+        clauses[cref].lbd = std::min(entry.lbd,
+                                     static_cast<int>(clauses[cref].lits.size()));
+        learnts.push_back(cref);
+        attachClause(cref);
+    }
+    return true;
+}
+
+std::vector<Clause>
+Solver::liveClauses(bool include_learned) const
+{
+    std::vector<Clause> out;
+    // Unit facts live on the root trail, not in the clause vector.
+    size_t root_end = trailLims.empty() ? trail.size() : trailLims[0];
+    for (size_t i = 0; i < root_end; i++) {
+        if (reasons[trail[i].var()] == kNoReason)
+            out.push_back({trail[i]});
+    }
+    for (const auto &c : clauses) {
+        if (c.deleted || (c.learned && !include_learned))
+            continue;
+        out.push_back(c.lits);
+    }
+    return out;
 }
 
 bool
@@ -729,6 +904,21 @@ Solver::checkModel() const
         }
         if (!satisfied)
             return false;
+    }
+    // The clauses removed by variable elimination must hold too: the
+    // reconstructed values of eliminated variables stand in for them.
+    for (const ElimRecord &rec : elimStack) {
+        for (const auto &cls : rec.clauses) {
+            bool satisfied = false;
+            for (Lit l : cls) {
+                if (modelValue(l)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied)
+                return false;
+        }
     }
     return true;
 }

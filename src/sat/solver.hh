@@ -25,10 +25,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "sat/simplify.hh"
 #include "sat/types.hh"
 
 namespace lts::sat
 {
+
+class ClauseBank;
 
 /** Aggregate counters exposed for benchmarks and logging. */
 struct SolverStats
@@ -42,6 +45,11 @@ struct SolverStats
     uint64_t minimizedLits = 0;
     uint64_t reduceCalls = 0;     ///< learned-DB reductions performed
     uint64_t releasedGroups = 0;  ///< activation groups retired
+    uint64_t eliminatedVars = 0;  ///< variables removed by simplify()
+    uint64_t subsumedClauses = 0; ///< clauses deleted by subsumption
+    uint64_t strengthenedLits = 0; ///< literals removed by self-subsumption
+    uint64_t importedClauses = 0; ///< clauses adopted from a ClauseBank
+    uint64_t exportedClauses = 0; ///< learnt clauses published to the bank
 };
 
 /**
@@ -140,6 +148,65 @@ class Solver
     /** True once release(g) has been called. */
     bool isReleased(Group g) const;
 
+    // --- simplification (simplify.cc) -------------------------------------
+
+    /**
+     * Freeze @p v: simplify() will never eliminate it. Freeze every
+     * variable the outside world refers to — relation cells, anything
+     * later assumed, pinned, or read back. Group selectors are frozen
+     * automatically by newGroup().
+     */
+    void setFrozen(Var v, bool frozen = true);
+
+    /** Whether @p v is protected from elimination. */
+    bool isFrozen(Var v) const { return frozenFlags[v] != 0; }
+
+    /**
+     * Whether simplify() eliminated @p v. Eliminated variables occur in
+     * no live clause and must not appear in clauses, assumptions, or
+     * groups added later; modelValue() stays total via reconstruction.
+     */
+    bool isEliminated(Var v) const { return elimFlags[v] != 0; }
+
+    /**
+     * Run the SatELite-style preprocessing pass (see simplify.hh):
+     * backward subsumption, self-subsuming resolution, and bounded
+     * variable elimination over the live *ungrouped* problem clauses.
+     * Grouped clauses and every variable occurring in one are left
+     * untouched so retractable layers stay retractable; learnt clauses
+     * are dropped (they are re-derivable). Must be called at decision
+     * level 0; deterministic, so identical solvers simplify identically.
+     * Returns false when simplification proves the formula unsatisfiable.
+     */
+    bool simplify(const SimplifyConfig &cfg = SimplifyConfig());
+
+    // --- cross-solver clause sharing (ClauseBank) --------------------------
+
+    /**
+     * Join a clause-bank family: learnt clauses whose literals all lie in
+     * [0, shared_var_limit) and that pass the bank's quality filter are
+     * exported; sibling exports are imported at every restart boundary.
+     * The caller must guarantee the family's soundness contract (see
+     * clausebank.hh): the first @p shared_var_limit variables of every
+     * member were built identically, and after connecting, constraints
+     * over shared variables are only added through activation groups —
+     * permanent additions must be definitional extensions (Tseitin
+     * lowering of new cones). As a safety net, a permanent clause made
+     * up entirely of shared variables disables exporting from this
+     * solver. The bank must outlive the solver.
+     */
+    void connectBank(ClauseBank &bank, int family, Var shared_var_limit);
+
+    /** Whether connectBank has been called. */
+    bool hasBank() const { return bank != nullptr; }
+
+    /**
+     * Snapshot of the live problem clauses — including the activation
+     * guard literal of grouped clauses — and optionally the learnt ones.
+     * Lets callers round-trip solver state through DIMACS.
+     */
+    std::vector<Clause> liveClauses(bool include_learned = false) const;
+
     // --- solving ----------------------------------------------------------
 
     /** Solve with no assumptions. */
@@ -200,6 +267,7 @@ class Solver
     bool checkModel() const;
 
   private:
+    friend class Simplifier; ///< the preprocessing pass (simplify.cc)
     /** Internal clause representation. */
     struct InternalClause
     {
@@ -239,6 +307,11 @@ class Solver
     void newDecisionLevel() { trailLims.push_back(trail.size()); }
     void uncheckedEnqueue(Lit l, ClauseRef reason);
     void cancelUntil(int level);
+
+    // --- simplification & sharing support --------------------------------
+    void reconstructModel();
+    bool importSharedClauses();
+    void maybeExportLearnt(const std::vector<Lit> &lits, int lbd);
 
     // --- search ----------------------------------------------------------
     ClauseRef propagate();
@@ -293,6 +366,30 @@ class Solver
     std::vector<int> lbdLevels; // scratch for LBD computation
 
     std::vector<GroupInfo> groups;
+
+    // --- simplification state ---------------------------------------------
+    /** Clauses removed by variable elimination, in elimination order;
+     *  replayed in reverse by reconstructModel() so eliminated variables
+     *  get model values satisfying them. */
+    struct ElimRecord
+    {
+        Var v;
+        std::vector<std::vector<Lit>> clauses;
+    };
+
+    std::vector<uint8_t> frozenFlags;   // per var: caller froze it
+    std::vector<uint8_t> elimFlags;     // per var: eliminated by simplify()
+    std::vector<uint8_t> selectorFlags; // per var: a group's selector
+    std::vector<ElimRecord> elimStack;
+
+    // --- clause-bank state --------------------------------------------------
+    ClauseBank *bank = nullptr;
+    int bankFamily = -1;
+    int bankProducer = -1;
+    Var bankVarLimit = 0;
+    size_t bankCursor = 0;
+    bool bankExportPoisoned = false; ///< a shard-local shared-var clause
+                                     ///< was added; stop exporting
 
     bool ok = true;
     double varInc = 1.0;

@@ -32,6 +32,13 @@ synthFlagSpecs()
         {"jobs", "0",
          "parallel synthesis jobs (0 = all hardware threads); output is "
          "byte-identical for any value"},
+        {"simplify", "true",
+         "preprocess each solver's permanent encoding (subsumption, "
+         "self-subsuming resolution, bounded variable elimination); suites "
+         "are byte-identical on or off"},
+        {"share-clauses", "true",
+         "exchange learnt clauses between same-size from-scratch shards; "
+         "suites are byte-identical on or off"},
     };
     return specs;
 }
@@ -60,6 +67,8 @@ synthOptionsFromFlags(const Flags &flags)
     opt.incremental = flags.getBool("incremental");
     opt.symmetryBreaking = flags.getBool("sbp");
     opt.jobs = flags.getInt("jobs");
+    opt.simplify = flags.getBool("simplify");
+    opt.shareClauses = flags.getBool("share-clauses");
     return opt;
 }
 

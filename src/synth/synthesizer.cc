@@ -4,6 +4,7 @@
 #include <cassert>
 #include <functional>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "litmus/canon.hh"
 #include "mm/convert.hh"
 #include "rel/encoder.hh"
+#include "sat/clausebank.hh"
 #include "synth/minimality.hh"
 
 namespace lts::synth
@@ -53,6 +55,24 @@ struct SizeJobResult
     bool truncated = false;
     double seconds = 0;
 };
+
+/** Fold one job solver's SAT counters into the shared progress totals. */
+void
+accumulateSolverStats(SynthProgress *progress, const sat::SolverStats &stats)
+{
+    if (!progress)
+        return;
+    progress->conflicts.fetch_add(stats.conflicts, std::memory_order_relaxed);
+    progress->restarts.fetch_add(stats.restarts, std::memory_order_relaxed);
+    progress->eliminatedVars.fetch_add(stats.eliminatedVars,
+                                       std::memory_order_relaxed);
+    progress->subsumedClauses.fetch_add(stats.subsumedClauses,
+                                        std::memory_order_relaxed);
+    progress->importedClauses.fetch_add(stats.importedClauses,
+                                        std::memory_order_relaxed);
+    progress->exportedClauses.fetch_add(stats.exportedClauses,
+                                        std::memory_order_relaxed);
+}
 
 /** Is each workgroup a contiguous run of thread ids? permuteThreads
  * relabels workgroups by first use, so contiguity means a label never
@@ -323,16 +343,38 @@ installSymmetryBreaking(const mm::Model &model, rel::RelSolver &solver,
     return true;
 }
 
-/** From-scratch engine: enumerate one (track, size) with a private solver. */
+/**
+ * From-scratch engine: enumerate one (track, size) with a private solver.
+ * With a clause bank, the axiom-independent base formula is asserted and
+ * simplified first — giving every same-size shard a byte-identical
+ * variable prefix — the solver joins the size's exchange family, and the
+ * track's criterion goes in as a retractable layer on top. Without one,
+ * the full criterion is a base fact, which lets simplification work
+ * against the whole query. Both shapes activate the same constraint set
+ * in every solve, so the enumerated suite is identical.
+ */
 SizeJobResult
-runSizeJob(const mm::Model &model, const Track &track, int size,
-           const SynthOptions &options)
+runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
+           const Track &track, int size, const SynthOptions &options,
+           sat::ClauseBank *bank)
 {
     size_t n = static_cast<size_t>(size);
     rel::RelSolver solver(model.vocab(), n);
     if (options.conflictBudget)
         solver.satSolver().setConflictBudget(options.conflictBudget);
-    solver.addBaseFact(track.formulaFor(n));
+
+    std::vector<rel::FactHandle> witness_layers;
+    if (bank) {
+        solver.addBaseFact(base(n));
+        if (options.simplify)
+            solver.simplifyBase();
+        solver.connectBank(*bank, std::to_string(size));
+        witness_layers.push_back(solver.addFact(track.layerFor(n)));
+    } else {
+        solver.addBaseFact(track.formulaFor(n));
+        if (options.simplify)
+            solver.simplifyBase();
+    }
     uint64_t sbp_clauses = 0;
     bool sbp_active =
         installSymmetryBreaking(model, solver, n, options, sbp_clauses);
@@ -341,15 +383,10 @@ runSizeJob(const mm::Model &model, const Track &track, int size,
     if (options.blockStaticOnly)
         block_vars = model.staticVarIds();
 
-    // The criterion is a base fact here, so witness solves need no extra
-    // layers — base facts always hold.
-    SizeJobResult result =
-        enumerateTrack(model, solver, block_vars, {}, sbp_active, options);
+    SizeJobResult result = enumerateTrack(model, solver, block_vars,
+                                          witness_layers, sbp_active, options);
     result.sbpClauses = sbp_clauses;
-    if (options.progress) {
-        options.progress->conflicts.fetch_add(
-            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
-    }
+    accumulateSolverStats(options.progress, solver.satSolver().stats());
     return result;
 }
 
@@ -371,6 +408,8 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
 
     rel::RelSolver solver(model.vocab(), n);
     solver.addBaseFact(base(n));
+    if (options.simplify)
+        solver.simplifyBase();
     uint64_t sbp_clauses = 0;
     bool sbp_active =
         installSymmetryBreaking(model, solver, n, options, sbp_clauses);
@@ -396,10 +435,7 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
         solver.retract(layer);
     }
 
-    if (options.progress) {
-        options.progress->conflicts.fetch_add(
-            solver.satSolver().stats().conflicts, std::memory_order_relaxed);
-    }
+    accumulateSolverStats(options.progress, solver.satSolver().stats());
     return out;
 }
 
@@ -459,6 +495,14 @@ runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
     std::vector<std::vector<SizeJobResult>> results(
         tracks.size(), std::vector<SizeJobResult>(num_sizes));
 
+    // Learnt-clause exchange between the from-scratch shards of each size
+    // (they assert the same base encoding, so clauses over it transfer).
+    // The incremental engine has nothing to pair up: one solver already
+    // sweeps every track at a size. The bank must outlive the pool.
+    std::unique_ptr<sat::ClauseBank> bank;
+    if (!options.incremental && options.shareClauses && tracks.size() > 1)
+        bank = std::make_unique<sat::ClauseBank>();
+
     SynthProgress *progress = options.progress;
     auto wrap = [&](auto &&body) {
         if (progress)
@@ -471,8 +515,9 @@ runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
     };
     auto run_scratch = [&](size_t ti, int si) {
         wrap([&] {
-            results[ti][si] =
-                runSizeJob(model, tracks[ti], options.minSize + si, options);
+            results[ti][si] = runSizeJob(model, base, tracks[ti],
+                                         options.minSize + si, options,
+                                         bank.get());
         });
     };
     auto run_incremental = [&](int si) {

@@ -63,9 +63,16 @@ struct SynthProgress
     std::atomic<uint64_t> jobsRunning{0}; ///< jobs currently executing
     std::atomic<uint64_t> jobsDone{0};    ///< jobs finished
     std::atomic<uint64_t> conflicts{0};   ///< SAT conflicts, all jobs
+    std::atomic<uint64_t> restarts{0};    ///< SAT restarts, all jobs
     std::atomic<uint64_t> instances{0};   ///< SAT models enumerated
     std::atomic<uint64_t> sbpClauses{0};  ///< symmetry-breaking clauses
                                           ///< emitted, all solvers
+    std::atomic<uint64_t> eliminatedVars{0};  ///< vars removed by simplify
+    std::atomic<uint64_t> subsumedClauses{0}; ///< clauses removed by simplify
+    std::atomic<uint64_t> importedClauses{0}; ///< learnt clauses adopted from
+                                              ///< sibling shards
+    std::atomic<uint64_t> exportedClauses{0}; ///< learnt clauses published to
+                                              ///< sibling shards
 };
 
 /** Synthesis knobs; defaults mirror the paper's methodology. */
@@ -107,6 +114,27 @@ struct SynthOptions
      * so output is byte-identical for any value.
      */
     int jobs = 1;
+
+    /**
+     * Run the SAT backend's SatELite-style preprocessing pass (subsumption,
+     * self-subsuming resolution, bounded variable elimination — see
+     * sat/simplify.hh) over each solver's permanent encoding before
+     * enumeration. Relation cells and fact-layer selectors are frozen, so
+     * suites are byte-identical with the knob on or off; only the search
+     * effort changes.
+     */
+    bool simplify = true;
+
+    /**
+     * Exchange learnt clauses between the from-scratch engine's per-axiom
+     * shards of the same size through a sat::ClauseBank: the shards share
+     * a byte-identical base encoding, so clauses over it transfer
+     * soundly. Applies even at jobs = 1 (sequential shards still feed
+     * later ones). The incremental engine ignores the knob — it already
+     * shares everything through its one solver per size. Suites are
+     * byte-identical with sharing on or off.
+     */
+    bool shareClauses = true;
 
     /** Optional live counters, updated by every job. Not owned. */
     SynthProgress *progress = nullptr;

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the shared learnt-clause bank: the publish/fetch protocol
+ * (quality filter, deduplication, producer skip), end-to-end solver
+ * exchange through Solver::connectBank, the export-poisoning safety
+ * net, and a multi-threaded stress test that the CI thread-sanitizer
+ * job runs to pin down the locking discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sat/clausebank.hh"
+#include "sat/solver.hh"
+
+namespace lts::sat
+{
+namespace
+{
+
+void
+addPigeonhole(Solver &s, int holes)
+{
+    int pigeons = holes + 1;
+    std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++) {
+        for (int h = 0; h < holes; h++)
+            at[p][h] = s.newVar();
+    }
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(Lit::pos(at[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++) {
+        for (int p1 = 0; p1 < pigeons; p1++) {
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause({Lit::neg(at[p1][h]), Lit::neg(at[p2][h])});
+        }
+    }
+}
+
+TEST(ClauseBankTest, PublishAndFetch)
+{
+    ClauseBank bank;
+    int family = bank.openFamily("f");
+    int p0 = bank.registerProducer(family);
+    int p1 = bank.registerProducer(family);
+
+    EXPECT_TRUE(bank.publish(family, p0, {Lit::pos(0), Lit::neg(1)}, 2));
+    EXPECT_EQ(bank.published(), 1u);
+
+    std::vector<ClauseBank::Entry> got;
+    size_t cursor = 0;
+    bank.fetch(family, p1, cursor, got);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].lits, (std::vector<Lit>{Lit::pos(0), Lit::neg(1)}));
+    EXPECT_EQ(got[0].producer, p0);
+
+    // The cursor advanced: a second fetch sees nothing new.
+    got.clear();
+    bank.fetch(family, p1, cursor, got);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(ClauseBankTest, ProducerDoesNotFetchItsOwnClauses)
+{
+    ClauseBank bank;
+    int family = bank.openFamily("f");
+    int p0 = bank.registerProducer(family);
+    ASSERT_TRUE(bank.publish(family, p0, {Lit::pos(3)}, 1));
+    std::vector<ClauseBank::Entry> got;
+    size_t cursor = 0;
+    bank.fetch(family, p0, cursor, got);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(ClauseBankTest, DeduplicatesByLiteralSet)
+{
+    ClauseBank bank;
+    int family = bank.openFamily("f");
+    int p0 = bank.registerProducer(family);
+    int p1 = bank.registerProducer(family);
+    EXPECT_TRUE(bank.publish(family, p0, {Lit::pos(0), Lit::pos(1)}, 2));
+    // Same literal set, different order and different producer: dropped.
+    EXPECT_FALSE(bank.publish(family, p1, {Lit::pos(1), Lit::pos(0)}, 2));
+    EXPECT_EQ(bank.published(), 1u);
+}
+
+TEST(ClauseBankTest, QualityFilterRejectsWeakClauses)
+{
+    ClauseBank bank(ClauseBank::Limits{2, 3});
+    int family = bank.openFamily("f");
+    int p0 = bank.registerProducer(family);
+    EXPECT_FALSE(
+        bank.publish(family, p0, {Lit::pos(0), Lit::pos(1)}, 3)); // lbd
+    EXPECT_FALSE(bank.publish(family, p0,
+                              {Lit::pos(0), Lit::pos(1), Lit::pos(2),
+                               Lit::pos(3)},
+                              2)); // length
+    EXPECT_TRUE(bank.publish(family, p0, {Lit::pos(0), Lit::pos(1)}, 2));
+}
+
+TEST(ClauseBankTest, FamiliesAreIsolated)
+{
+    ClauseBank bank;
+    int f1 = bank.openFamily("size-3");
+    int f2 = bank.openFamily("size-4");
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(bank.openFamily("size-3"), f1);
+    int p1 = bank.registerProducer(f1);
+    int p2 = bank.registerProducer(f2);
+    ASSERT_TRUE(bank.publish(f1, p1, {Lit::pos(0)}, 1));
+    std::vector<ClauseBank::Entry> got;
+    size_t cursor = 0;
+    bank.fetch(f2, p2, cursor, got);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(ClauseBankTest, SolversExchangeAndAgree)
+{
+    // Two identically built solvers on an UNSAT instance: the second
+    // imports the first's learnt clauses and must reach the same
+    // answer with no more conflicts than it caused alone.
+    Solver alone;
+    addPigeonhole(alone, 6);
+    ASSERT_EQ(alone.solve(), SolveResult::Unsat);
+
+    ClauseBank bank;
+    int family = bank.openFamily("ph6");
+    Solver first, second;
+    addPigeonhole(first, 6);
+    addPigeonhole(second, 6);
+    first.connectBank(bank, family, first.numVars());
+    second.connectBank(bank, family, second.numVars());
+    ASSERT_EQ(first.solve(), SolveResult::Unsat);
+    EXPECT_GT(first.stats().exportedClauses, 0u);
+    ASSERT_EQ(second.solve(), SolveResult::Unsat);
+    EXPECT_GT(second.stats().importedClauses, 0u);
+    EXPECT_LE(second.stats().conflicts, alone.stats().conflicts);
+}
+
+TEST(ClauseBankTest, SharingPreservesSatAnswersAndModels)
+{
+    // A satisfiable shard pair: imports are implied clauses, so the
+    // second solver still finds a model that checks out.
+    ClauseBank bank;
+    int family = bank.openFamily("sat");
+    std::vector<Solver> solvers(2);
+    for (Solver &s : solvers) {
+        std::vector<Var> v;
+        for (int i = 0; i < 20; i++)
+            v.push_back(s.newVar());
+        for (int i = 0; i + 2 < 20; i++) {
+            s.addClause({Lit::neg(v[i]), Lit::pos(v[i + 1]),
+                         Lit::pos(v[i + 2])});
+            s.addClause({Lit::pos(v[i]), Lit::neg(v[i + 1]),
+                         Lit::neg(v[i + 2])});
+        }
+        s.connectBank(bank, family, s.numVars());
+    }
+    ASSERT_EQ(solvers[0].solve(), SolveResult::Sat);
+    EXPECT_TRUE(solvers[0].checkModel());
+    ASSERT_EQ(solvers[1].solve(), SolveResult::Sat);
+    EXPECT_TRUE(solvers[1].checkModel());
+}
+
+TEST(ClauseBankTest, PermanentSharedClauseStopsExports)
+{
+    // Adding a shard-local permanent clause over shared variables voids
+    // the family's soundness contract for exports; the safety net must
+    // silence this producer (imports remain fine).
+    ClauseBank bank;
+    int family = bank.openFamily("poison");
+    Solver s;
+    addPigeonhole(s, 6);
+    s.connectBank(bank, family, s.numVars());
+    ASSERT_TRUE(s.addClause({Lit::pos(0), Lit::pos(1)}));
+    ASSERT_EQ(s.solve(), SolveResult::Unsat);
+    EXPECT_EQ(s.stats().exportedClauses, 0u);
+}
+
+TEST(ClauseBankStressTest, ConcurrentSolversShareOneFamily)
+{
+    // The CI TSan job runs this: several threads, each with a private
+    // solver on the same formula, exchanging through one family while
+    // solving concurrently.
+    ClauseBank bank;
+    int family = bank.openFamily("stress");
+    const int num_threads = 4;
+    std::vector<std::thread> threads;
+    std::vector<SolveResult> results(num_threads, SolveResult::Sat);
+    for (int t = 0; t < num_threads; t++) {
+        threads.emplace_back([&, t] {
+            Solver s;
+            addPigeonhole(s, 6);
+            s.connectBank(bank, family, s.numVars());
+            results[t] = s.solve();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < num_threads; t++)
+        EXPECT_EQ(results[t], SolveResult::Unsat) << "thread " << t;
+    EXPECT_GT(bank.published(), 0u);
+}
+
+TEST(ClauseBankStressTest, RawPublishFetchHammer)
+{
+    // Protocol-level hammer with no solver in the way: writers publish
+    // distinct clauses while readers drain with private cursors.
+    ClauseBank bank;
+    int family = bank.openFamily("hammer");
+    const int num_writers = 3, num_readers = 3, per_writer = 500;
+    std::vector<int> writer_ids;
+    for (int w = 0; w < num_writers; w++)
+        writer_ids.push_back(bank.registerProducer(family));
+    int reader_id = bank.registerProducer(family);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < num_writers; w++) {
+        threads.emplace_back([&, w] {
+            for (int i = 0; i < per_writer; i++) {
+                Var base = static_cast<Var>(w * per_writer + i) * 2;
+                bank.publish(family, writer_ids[w],
+                             {Lit::pos(base), Lit::neg(base + 1)}, 2);
+            }
+        });
+    }
+    std::vector<size_t> drained(num_readers, 0);
+    for (int r = 0; r < num_readers; r++) {
+        threads.emplace_back([&, r] {
+            size_t cursor = 0;
+            std::vector<ClauseBank::Entry> got;
+            while (drained[r] < num_writers * per_writer) {
+                got.clear();
+                bank.fetch(family, reader_id, cursor, got);
+                drained[r] += got.size();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(bank.published(),
+              static_cast<uint64_t>(num_writers) * per_writer);
+    for (int r = 0; r < num_readers; r++)
+        EXPECT_EQ(drained[r], static_cast<size_t>(num_writers) * per_writer);
+}
+
+} // namespace
+} // namespace lts::sat

@@ -183,6 +183,19 @@ main(int argc, char **argv)
                          progress.conflicts.load()),
                      static_cast<unsigned long long>(
                          progress.instances.load()));
+        std::fprintf(stderr,
+                     "  solver: %llu restarts; simplify removed %llu vars, "
+                     "%llu clauses; shared %llu out / %llu in\n",
+                     static_cast<unsigned long long>(
+                         progress.restarts.load()),
+                     static_cast<unsigned long long>(
+                         progress.eliminatedVars.load()),
+                     static_cast<unsigned long long>(
+                         progress.subsumedClauses.load()),
+                     static_cast<unsigned long long>(
+                         progress.exportedClauses.load()),
+                     static_cast<unsigned long long>(
+                         progress.importedClauses.load()));
     }
 
     if (!flags.get("bench-json").empty()) {
@@ -193,14 +206,25 @@ main(int argc, char **argv)
                                                : "from-scratch");
         if (!opt.symmetryBreaking)
             run.mode += "-nosbp";
+        if (!opt.simplify)
+            run.mode += "-nosimp";
+        if (!opt.shareClauses)
+            run.mode += "-noshare";
         run.sbp = opt.symmetryBreaking;
+        run.simplify = opt.simplify;
+        run.shareClauses = opt.shareClauses;
         run.wallSeconds = wall.seconds();
         run.cpuSeconds = suite.totalSeconds();
         run.jobsQueued = progress.jobsQueued.load();
         run.jobsDone = progress.jobsDone.load();
         run.conflicts = progress.conflicts.load();
+        run.restarts = progress.restarts.load();
         run.instances = progress.instances.load();
         run.sbpClauses = progress.sbpClauses.load();
+        run.eliminatedVars = progress.eliminatedVars.load();
+        run.subsumedClauses = progress.subsumedClauses.load();
+        run.importedClauses = progress.importedClauses.load();
+        run.exportedClauses = progress.exportedClauses.load();
         run.instancesBySize = suite.instancesBySize;
         run.keptBySize = suite.testsBySize;
         run.sbpClausesBySize = suite.sbpClausesBySize;
