@@ -1,0 +1,386 @@
+#include "litmus/cxx.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hh"
+#include "litmus/herd.hh"
+
+namespace lts::litmus
+{
+
+namespace
+{
+
+std::string
+cxxOrderName(MemOrder order)
+{
+    switch (order) {
+      case MemOrder::Plain: return "std::memory_order_relaxed";
+      // Promoted: consume is acquire on every shipping implementation.
+      case MemOrder::Consume: return "std::memory_order_acquire";
+      case MemOrder::Acquire: return "std::memory_order_acquire";
+      case MemOrder::Release: return "std::memory_order_release";
+      case MemOrder::AcqRel: return "std::memory_order_acq_rel";
+      case MemOrder::SeqCst: return "std::memory_order_seq_cst";
+    }
+    return "std::memory_order_seq_cst";
+}
+
+MemOrder
+joinOrders(MemOrder a, MemOrder b)
+{
+    if (a == b)
+        return a;
+    auto has = [&](MemOrder o) { return a == o || b == o; };
+    if (has(MemOrder::SeqCst))
+        return MemOrder::SeqCst;
+    if (has(MemOrder::AcqRel))
+        return MemOrder::AcqRel;
+    bool acq = has(MemOrder::Acquire) || has(MemOrder::Consume);
+    bool rel = has(MemOrder::Release);
+    if (acq && rel)
+        return MemOrder::AcqRel;
+    if (acq)
+        return MemOrder::Acquire;
+    if (rel)
+        return MemOrder::Release;
+    return has(MemOrder::Consume) ? MemOrder::Consume : MemOrder::Plain;
+}
+
+int
+rmwPartner(const LitmusTest &test, size_t r)
+{
+    for (size_t j = 0; j < test.size(); j++) {
+        if (test.rmw.test(r, j))
+            return static_cast<int>(j);
+    }
+    return -1;
+}
+
+bool
+isRmwWrite(const LitmusTest &test, size_t w)
+{
+    for (size_t i = 0; i < test.size(); i++) {
+        if (test.rmw.test(i, w))
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+regNames(const LitmusTest &test)
+{
+    std::vector<std::string> names(test.size());
+    int k = 0;
+    for (size_t i = 0; i < test.size(); i++) {
+        if (test.events[i].isRead())
+            names[i] = "r" + std::to_string(k++);
+    }
+    return names;
+}
+
+} // namespace
+
+std::string
+writeCxxHarness(const LitmusTest &test, const CxxOptions &options)
+{
+    auto values = herdWriteValues(test);
+    auto regs = regNames(test);
+    std::string name = test.name.empty() ? "unnamed" : test.name;
+
+    // The outcome signature: register values in read order, then final
+    // values of multiply-written locations — the projection the herd
+    // exists-condition constrains.
+    std::vector<std::string> sig_names;
+    std::vector<int> forbidden_sig;
+    std::vector<int> wcount(test.numLocs, 0);
+    for (const auto &e : test.events) {
+        if (e.isWrite())
+            wcount[e.loc]++;
+    }
+    {
+        std::vector<int> rv, fv;
+        if (test.hasForbidden) {
+            rv = test.registerValues(test.forbidden);
+            fv = test.finalValues(test.forbidden);
+        }
+        for (size_t i = 0; i < test.size(); i++) {
+            if (!test.events[i].isRead())
+                continue;
+            sig_names.push_back(regs[i]);
+            if (test.hasForbidden)
+                forbidden_sig.push_back(rv[i]);
+        }
+        for (int loc = 0; loc < test.numLocs; loc++) {
+            if (wcount[loc] < 2)
+                continue;
+            sig_names.push_back(herdLocName(loc));
+            if (test.hasForbidden)
+                forbidden_sig.push_back(fv[loc]);
+        }
+    }
+
+    auto depSources = [&](const BitMatrix &m, std::vector<int> targets) {
+        std::vector<int> out;
+        for (size_t i = 0; i < test.size(); i++) {
+            for (int j : targets) {
+                if (m.test(i, j)) {
+                    out.push_back(static_cast<int>(i));
+                    break;
+                }
+            }
+        }
+        return out;
+    };
+    auto xorZero = [&](const std::vector<int> &sources) {
+        std::string s;
+        for (size_t k = 0; k < sources.size(); k++) {
+            s += k ? " + " : "";
+            s += "(" + regs[sources[k]] + " ^ " + regs[sources[k]] + ")";
+        }
+        return s;
+    };
+    // Address dependencies become index arithmetic on the location's
+    // address; the index is always zero, but the compiler cannot know.
+    auto addrExpr = [&](int loc, const std::vector<int> &sources) {
+        std::string base = herdLocName(loc);
+        if (sources.empty())
+            return base;
+        return "(&" + base + ")[" + xorZero(sources) + "]";
+    };
+    auto valueExpr = [&](int value, const std::vector<int> &sources) {
+        std::string s = std::to_string(value);
+        if (!sources.empty())
+            s += " + " + xorZero(sources);
+        return s;
+    };
+    auto guardPrefix = [&](const std::vector<int> &sources) {
+        std::string s;
+        for (int i : sources)
+            s += "if (" + regs[i] + " >= 0) ";
+        return s;
+    };
+
+    std::ostringstream out;
+    out << "// Stress harness for litmus test '" << name << "'";
+    if (!options.modelName.empty())
+        out << " (model " << options.modelName << ")";
+    out << ".\n";
+    out << "// Generated by lts; build with: c++ -std=c++11 -O2 -pthread\n";
+    if (test.hasForbidden) {
+        out << "// Exits 1 iff the forbidden outcome";
+        for (size_t k = 0; k < sig_names.size(); k++)
+            out << (k ? " " : " [") << sig_names[k] << "="
+                << forbidden_sig[k];
+        if (!sig_names.empty())
+            out << "]";
+        out << " is observed: a nonzero exit is a\n"
+            << "// witness that this machine/compiler exhibits an "
+               "execution the model forbids.\n";
+    } else {
+        out << "// No forbidden outcome declared: the harness only "
+               "histograms outcomes.\n";
+    }
+    out << "\n"
+        << "#include <atomic>\n"
+        << "#include <cstdio>\n"
+        << "#include <cstdlib>\n"
+        << "#include <map>\n"
+        << "#include <string>\n"
+        << "#include <thread>\n"
+        << "#include <vector>\n"
+        << "\n"
+        << "namespace {\n"
+        << "\n";
+
+    for (int loc = 0; loc < test.numLocs; loc++)
+        out << "std::atomic<int> " << herdLocName(loc) << "(0);\n";
+    bool any_read = false;
+    for (size_t i = 0; i < test.size(); i++) {
+        if (test.events[i].isRead()) {
+            out << (any_read ? ", " : "int ") << regs[i];
+            any_read = true;
+        }
+    }
+    if (any_read)
+        out << ";\n";
+    out << "long g_iters = " << options.defaultIterations << ";\n"
+        << "\n"
+        << "// Sense-reversing barrier; every wait() pair synchronizes the\n"
+        << "// workers with the collector, so resets and reads of the\n"
+        << "// plain-int registers never race (TSan-clean by "
+           "happens-before).\n"
+        << "class Barrier {\n"
+        << "  public:\n"
+        << "    explicit Barrier(int parties)\n"
+        << "        : parties(parties), arrived(0), phase(0) {}\n"
+        << "    void wait() {\n"
+        << "        int p = phase.load(std::memory_order_acquire);\n"
+        << "        if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1"
+           " == parties) {\n"
+        << "            arrived.store(0, std::memory_order_relaxed);\n"
+        << "            phase.fetch_add(1, std::memory_order_acq_rel);\n"
+        << "        } else {\n"
+        << "            while (phase.load(std::memory_order_acquire) == p)\n"
+        << "                std::this_thread::yield();\n"
+        << "        }\n"
+        << "    }\n"
+        << "  private:\n"
+        << "    const int parties;\n"
+        << "    std::atomic<int> arrived;\n"
+        << "    std::atomic<int> phase;\n"
+        << "};\n"
+        << "\n"
+        << "Barrier barrier(" << test.numThreads + 1 << ");\n";
+
+    for (int t = 0; t < test.numThreads; t++) {
+        out << "\n"
+            << "void thread" << t << "() {\n"
+            << "    for (long i = 0; i < g_iters; i++) {\n"
+            << "        barrier.wait();\n";
+        for (int id : test.threadEvents(t)) {
+            const Event &e = test.events[id];
+            if (e.isWrite() && isRmwWrite(test, id))
+                continue; // emitted with its paired read
+            std::string stmt;
+            if (e.isFence()) {
+                stmt = guardPrefix(depSources(test.ctrlDep, {id})) +
+                       "std::atomic_thread_fence(" + cxxOrderName(e.order) +
+                       ");";
+            } else if (e.isWrite()) {
+                stmt = guardPrefix(depSources(test.ctrlDep, {id})) +
+                       addrExpr(e.loc, depSources(test.addrDep, {id})) +
+                       ".store(" +
+                       valueExpr(values[id],
+                                 depSources(test.dataDep, {id})) +
+                       ", " + cxxOrderName(e.order) + ");";
+            } else {
+                int w = rmwPartner(test, id);
+                std::vector<int> halves = w >= 0 ? std::vector<int>{id, w}
+                                                 : std::vector<int>{id};
+                std::string guards =
+                    guardPrefix(depSources(test.ctrlDep, halves));
+                std::string addr =
+                    addrExpr(e.loc, depSources(test.addrDep, halves));
+                if (w >= 0) {
+                    stmt = guards + regs[id] + " = " + addr + ".exchange(" +
+                           valueExpr(values[w],
+                                     depSources(test.dataDep, {w})) +
+                           ", " +
+                           cxxOrderName(joinOrders(e.order,
+                                                   test.events[w].order)) +
+                           ");";
+                } else {
+                    stmt = guards + regs[id] + " = " + addr + ".load(" +
+                           cxxOrderName(e.order) + ");";
+                }
+            }
+            out << "        " << stmt << "\n";
+        }
+        out << "        barrier.wait();\n"
+            << "    }\n"
+            << "}\n";
+    }
+
+    out << "\n"
+        << "} // namespace\n"
+        << "\n"
+        << "int main(int argc, char **argv) {\n"
+        << "    if (argc > 1)\n"
+        << "        g_iters = std::atol(argv[1]);\n"
+        << "    std::map<std::vector<int>, long> histogram;\n"
+        << "    std::thread workers[] = {";
+    for (int t = 0; t < test.numThreads; t++)
+        out << (t ? ", " : "") << "std::thread(thread" << t << ")";
+    out << "};\n"
+        << "    for (long i = 0; i < g_iters; i++) {\n";
+    for (int loc = 0; loc < test.numLocs; loc++) {
+        out << "        " << herdLocName(loc)
+            << ".store(0, std::memory_order_relaxed);\n";
+    }
+    if (any_read) {
+        out << "        ";
+        bool first = true;
+        for (size_t i = 0; i < test.size(); i++) {
+            if (test.events[i].isRead()) {
+                out << (first ? "" : " ") << regs[i] << " = 0;";
+                first = false;
+            }
+        }
+        out << "\n";
+    }
+    out << "        barrier.wait(); // release workers into iteration i\n"
+        << "        barrier.wait(); // wait for every thread body\n"
+        << "        histogram[std::vector<int>{";
+    {
+        bool first = true;
+        for (size_t i = 0; i < test.size(); i++) {
+            if (test.events[i].isRead()) {
+                out << (first ? "" : ", ") << regs[i];
+                first = false;
+            }
+        }
+        for (int loc = 0; loc < test.numLocs; loc++) {
+            if (wcount[loc] < 2)
+                continue;
+            out << (first ? "" : ", ") << herdLocName(loc)
+                << ".load(std::memory_order_relaxed)";
+            first = false;
+        }
+    }
+    out << "}]++;\n"
+        << "    }\n"
+        << "    for (auto &w : workers)\n"
+        << "        w.join();\n"
+        << "\n"
+        << "    const char *const sig_names[] = {";
+    for (size_t k = 0; k < sig_names.size(); k++)
+        out << (k ? ", " : "") << "\"" << sig_names[k] << "\"";
+    out << "};\n";
+    if (test.hasForbidden) {
+        out << "    const std::vector<int> forbidden{";
+        for (size_t k = 0; k < forbidden_sig.size(); k++)
+            out << (k ? ", " : "") << forbidden_sig[k];
+        out << "};\n";
+    }
+    out << "    long seen = 0;\n"
+        << "    for (const auto &entry : histogram) {\n"
+        << "        std::string label;\n"
+        << "        char buf[64];\n"
+        << "        for (size_t k = 0; k < entry.first.size(); k++) {\n"
+        << "            std::snprintf(buf, sizeof buf, \"%s%s=%d\",\n"
+        << "                          k ? \" \" : \"\", sig_names[k],\n"
+        << "                          entry.first[k]);\n"
+        << "            label += buf;\n"
+        << "        }\n";
+    if (test.hasForbidden) {
+        out << "        bool bad = entry.first == forbidden;\n"
+            << "        if (bad)\n"
+            << "            seen = entry.second;\n"
+            << "        std::printf(\"%10ld  %s%s\\n\", entry.second, "
+               "label.c_str(),\n"
+            << "                    bad ? \"  <- FORBIDDEN\" : \"\");\n";
+    } else {
+        out << "        std::printf(\"%10ld  %s\\n\", entry.second, "
+               "label.c_str());\n";
+    }
+    out << "    }\n";
+    if (test.hasForbidden) {
+        out << "    if (seen) {\n"
+            << "        std::printf(\"forbidden outcome observed %ld "
+               "time(s) in %ld iterations\\n\",\n"
+            << "                    seen, g_iters);\n"
+            << "        return 1;\n"
+            << "    }\n"
+            << "    std::printf(\"forbidden outcome not observed in %ld "
+               "iterations\\n\", g_iters);\n";
+    } else {
+        out << "    (void)seen;\n";
+    }
+    out << "    return 0;\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace lts::litmus

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Self-contained C++11 stress-harness emission.
+ *
+ * For each litmus test this emits one translation unit that needs
+ * nothing beyond -std=c++11 -pthread: the test's locations become
+ * std::atomic<int> globals, each thread's events become a function using
+ * the exact memory orders of the IR (memory_order_consume is promoted to
+ * acquire in the harness only — real compilers do the same), and a
+ * sense-reversing barrier brackets every iteration so the main thread
+ * can reset state and collect the outcome race-free (the harness is
+ * clean under ThreadSanitizer).
+ *
+ * The harness runs N iterations (default 20000, argv[1] overrides),
+ * histograms the observed outcome signatures — register values per read
+ * plus final values of multiply-written locations, the same projection
+ * the herd exists-condition uses — and, when the test carries a
+ * forbidden outcome, exits 1 if that signature was ever observed. A
+ * nonzero exit is a *witness*: the target machine/compiler exhibited the
+ * outcome the model forbids. A zero exit is only absence of evidence.
+ *
+ * Write values follow the same co-position convention as the herd
+ * exporter (litmus/herd.hh), so an outcome tuple printed by the harness
+ * can be cross-checked against herd7 on the matching .litmus file and
+ * against the operational simulator.
+ */
+
+#ifndef LTS_LITMUS_CXX_HH
+#define LTS_LITMUS_CXX_HH
+
+#include <string>
+
+#include "litmus/test.hh"
+
+namespace lts::litmus
+{
+
+/** Emission knobs for writeCxxHarness. */
+struct CxxOptions
+{
+    /** Iterations when the harness is run with no arguments. */
+    long defaultIterations = 20000;
+
+    /** Model name embedded in the banner comment (informational). */
+    std::string modelName;
+};
+
+/** Emit one self-contained C++11 stress-harness program for @p test. */
+std::string writeCxxHarness(const LitmusTest &test,
+                            const CxxOptions &options = {});
+
+} // namespace lts::litmus
+
+#endif // LTS_LITMUS_CXX_HH

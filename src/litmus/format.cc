@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/strings.hh"
+#include "litmus/parse_util.hh"
 
 namespace lts::litmus
 {
@@ -26,35 +27,10 @@ scopeSuffix(const Event &e)
     return e.scope == Scope::System ? "" : "@" + toString(e.scope);
 }
 
-MemOrder
-parseAnnot(const std::string &s, const std::string &context)
-{
-    if (s.empty())
-        return MemOrder::Plain;
-    if (s == "cns")
-        return MemOrder::Consume;
-    if (s == "acq")
-        return MemOrder::Acquire;
-    if (s == "rel")
-        return MemOrder::Release;
-    if (s == "ar")
-        return MemOrder::AcqRel;
-    if (s == "sc")
-        return MemOrder::SeqCst;
-    throw std::runtime_error("bad annotation '" + s + "' in " + context);
-}
-
 std::string
 locName(int loc)
 {
     return "m" + std::to_string(loc);
-}
-
-[[noreturn]] void
-fail(const std::string &line, const std::string &why)
-{
-    throw std::runtime_error("litmus parse error: " + why + " in '" + line +
-                             "'");
 }
 
 } // namespace
@@ -139,6 +115,9 @@ writeLitmus(const LitmusTest &test)
                 }
             }
         }
+        // The line is emitted even when no part constrains the outcome
+        // (no reads, no location written twice): its *presence* is what
+        // distinguishes an empty forbidden outcome from no outcome.
         out << "forbidden: " << join(parts, " ; ") << "\n";
     }
     out << "end\n";
@@ -166,14 +145,33 @@ parseLitmus(const std::string &text)
 namespace
 {
 
+MemOrder
+parseAnnot(const LineReader &reader, const std::string &s)
+{
+    if (s.empty())
+        return MemOrder::Plain;
+    if (s == "cns")
+        return MemOrder::Consume;
+    if (s == "acq")
+        return MemOrder::Acquire;
+    if (s == "rel")
+        return MemOrder::Release;
+    if (s == "ar")
+        return MemOrder::AcqRel;
+    if (s == "sc")
+        return MemOrder::SeqCst;
+    reader.fail("bad annotation '" + s + "'");
+}
+
 /** Parse one instruction like "St.rel [m0]" or "Ld r0 = [m1]". */
 void
-parseInstruction(TestBuilder &builder, int tid, const std::string &instr)
+parseInstruction(const LineReader &reader, TestBuilder &builder, int tid,
+                 const std::string &instr)
 {
     std::string s = trim(instr);
     if (s.empty())
-        fail(instr, "empty instruction");
-    // Opcode (with optional .annotation).
+        reader.fail("empty instruction");
+    // Opcode (with optional .annotation and @scope).
     size_t sp = s.find(' ');
     std::string opcode = sp == std::string::npos ? s : s.substr(0, sp);
     std::string rest = sp == std::string::npos ? "" : trim(s.substr(sp));
@@ -190,7 +188,7 @@ parseInstruction(TestBuilder &builder, int tid, const std::string &instr)
         annot = base.substr(dot + 1);
         base = base.substr(0, dot);
     }
-    MemOrder order = parseAnnot(annot, instr);
+    MemOrder order = parseAnnot(reader, annot);
     Scope scope = Scope::System;
     if (!scope_str.empty()) {
         if (scope_str == "wg")
@@ -200,14 +198,14 @@ parseInstruction(TestBuilder &builder, int tid, const std::string &instr)
         else if (scope_str == "wi")
             scope = Scope::WorkItem;
         else if (scope_str != "sys")
-            fail(instr, "bad scope '" + scope_str + "'");
+            reader.fail("bad scope '" + scope_str + "'");
     }
 
     auto parseLoc = [&](const std::string &piece) {
         size_t lb = piece.find('[');
         size_t rb = piece.find(']');
         if (lb == std::string::npos || rb == std::string::npos || rb < lb)
-            fail(instr, "missing [location]");
+            reader.fail("missing [location]");
         return trim(piece.substr(lb + 1, rb - lb - 1));
     };
 
@@ -218,12 +216,12 @@ parseInstruction(TestBuilder &builder, int tid, const std::string &instr)
         // "rK = [loc]": the register name is ignored.
         size_t eq = rest.find('=');
         if (eq == std::string::npos)
-            fail(instr, "load without '='");
+            reader.fail("load without '='");
         ev = builder.read(tid, parseLoc(rest.substr(eq + 1)), order);
     } else if (base == "Fence") {
         ev = builder.fence(tid, order);
     } else {
-        fail(instr, "unknown opcode '" + base + "'");
+        reader.fail("unknown opcode '" + base + "'");
     }
     builder.setScope(ev, scope);
 }
@@ -234,33 +232,38 @@ std::vector<LitmusTest>
 parseLitmusSuite(std::istream &in)
 {
     std::vector<LitmusTest> out;
+    LineReader reader(in);
     std::string line;
 
     bool in_test = false;
+    SourceLine test_start;
     std::string name;
     TestBuilder builder;
-    std::vector<std::pair<int, std::string>> thread_lines;
-    std::vector<std::string> dep_lines, rmw_lines;
-    std::string forbidden_line;
+    std::vector<SourceLine> dep_lines, rmw_lines;
+    SourceLine forbidden_line;
+    bool forbidden_seen = false;
 
     auto finish = [&]() {
         // Threads were declared in order; builder events were added when
         // thread lines were parsed, so just apply deps/rmw/outcome.
-        auto parseEdge = [&](const std::string &body, const char *sep) {
+        auto parseEdge = [&](const SourceLine &at, const std::string &body,
+                             const char *sep) {
             auto pieces = split(body, ' ');
             // e.g. {"0", "->", "1"}
-            if (pieces.size() != 3 || pieces[1] != sep)
-                fail(body, "expected 'A " + std::string(sep) + " B'");
-            return std::make_pair(std::stoi(pieces[0]),
-                                  std::stoi(pieces[2]));
+            if (pieces.size() != 3 || pieces[1] != sep) {
+                reader.failAt(at, "expected 'A " + std::string(sep) +
+                                      " B' after the keyword");
+            }
+            return std::make_pair(
+                reader.parseInt(at, pieces[0], "event id"),
+                reader.parseInt(at, pieces[2], "event id"));
         };
         for (const auto &d : dep_lines) {
-            auto pieces = split(d, ' ');
+            auto pieces = split(d.text, ' ');
             if (pieces.size() != 5)
-                fail(d, "expected 'dep kind A -> B'");
-            auto [from, to] =
-                parseEdge(pieces[2] + " " + pieces[3] + " " + pieces[4],
-                          "->");
+                reader.failAt(d, "expected 'dep kind A -> B'");
+            auto [from, to] = parseEdge(
+                d, pieces[2] + " " + pieces[3] + " " + pieces[4], "->");
             if (pieces[1] == "addr")
                 builder.addrDepend(from, to);
             else if (pieces[1] == "data")
@@ -268,82 +271,115 @@ parseLitmusSuite(std::istream &in)
             else if (pieces[1] == "ctrl")
                 builder.ctrlDepend(from, to);
             else
-                fail(d, "unknown dependency kind");
+                reader.failAt(d, "unknown dependency kind '" + pieces[1] +
+                                     "'");
         }
         for (const auto &r : rmw_lines) {
-            auto pieces = split(r, ' ');
+            auto pieces = split(r.text, ' ');
             if (pieces.size() != 3)
-                fail(r, "expected 'rmw R W'");
-            builder.pairRmw(std::stoi(pieces[1]), std::stoi(pieces[2]));
+                reader.failAt(r, "expected 'rmw R W'");
+            builder.pairRmw(reader.parseInt(r, pieces[1], "event id"),
+                            reader.parseInt(r, pieces[2], "event id"));
         }
-        if (!forbidden_line.empty()) {
-            for (const auto &raw : split(forbidden_line, ';')) {
+        if (forbidden_seen) {
+            // An empty directive list is still an outcome declaration:
+            // it distinguishes "forbids the trivial execution" from "no
+            // forbidden outcome" (which has no 'forbidden:' line at all).
+            builder.markForbidden();
+            for (const auto &raw : split(forbidden_line.text, ';')) {
                 std::string part = trim(raw);
                 if (part.empty())
                     continue;
+                SourceLine at{forbidden_line.number, part};
                 if (startsWith(part, "rf ")) {
-                    auto [w, r] = parseEdge(part.substr(3), "->");
+                    auto [w, r] = parseEdge(at, part.substr(3), "->");
                     builder.readsFrom(w, r);
                 } else if (startsWith(part, "init ")) {
-                    builder.readsInitial(std::stoi(part.substr(5)));
+                    builder.readsInitial(
+                        reader.parseInt(at, trim(part.substr(5)),
+                                        "event id"));
                 } else if (startsWith(part, "co ")) {
-                    auto [a, b] = parseEdge(part.substr(3), "<");
+                    auto [a, b] = parseEdge(at, part.substr(3), "<");
                     builder.coOrder(a, b);
                 } else {
-                    fail(part, "unknown outcome directive");
+                    reader.failAt(at, "unknown outcome directive");
                 }
             }
         }
-        out.push_back(builder.build(name));
+        try {
+            out.push_back(builder.build(name));
+        } catch (const std::out_of_range &) {
+            // Thrown by the builder's .at()-checked edge remapping.
+            reader.failAt(test_start,
+                          "an edge names an event id outside the test");
+        } catch (const std::logic_error &e) {
+            reader.failAt(test_start, std::string("invalid test: ") +
+                                          e.what());
+        }
         builder = TestBuilder();
         dep_lines.clear();
         rmw_lines.clear();
-        forbidden_line.clear();
+        forbidden_seen = false;
+        forbidden_line = SourceLine{};
         in_test = false;
+        reader.clearContext();
     };
 
-    while (std::getline(in, line)) {
+    while (reader.next(line)) {
         std::string s = trim(line);
         if (s.empty() || s[0] == '#')
             continue;
         if (startsWith(s, "LTS ")) {
             if (in_test)
-                fail(s, "nested test (missing 'end'?)");
+                reader.fail("nested test (missing 'end'?)");
             in_test = true;
             name = trim(s.substr(4));
+            test_start = reader.here(s);
+            reader.setContext(name);
             continue;
         }
         if (!in_test)
-            fail(s, "content outside a test");
+            reader.fail("content outside a test");
         if (startsWith(s, "thread ")) {
             size_t colon = s.find(':');
             if (colon == std::string::npos)
-                fail(s, "thread line without ':'");
-            int declared = std::stoi(trim(s.substr(7, colon - 7)));
+                reader.fail("thread line without ':'");
+            int declared = reader.parseInt(
+                reader.here(s), trim(s.substr(7, colon - 7)), "thread id");
             int tid = builder.newThread();
             if (tid != declared)
-                fail(s, "threads must be declared densely in order");
+                reader.fail("threads must be declared densely in order");
             for (const auto &instr : split(s.substr(colon + 1), ';'))
-                parseInstruction(builder, tid, instr);
+                parseInstruction(reader, builder, tid, instr);
         } else if (startsWith(s, "wg:")) {
             auto labels = split(s.substr(3), ' ');
-            for (size_t t = 0; t < labels.size(); t++)
-                builder.setWorkgroup(static_cast<int>(t),
-                                     std::stoi(labels[t]));
+            for (size_t t = 0; t < labels.size(); t++) {
+                int wg = reader.parseInt(reader.here(s), labels[t],
+                                         "workgroup label");
+                try {
+                    builder.setWorkgroup(static_cast<int>(t), wg);
+                } catch (const std::out_of_range &) {
+                    reader.fail("workgroup list names more threads than "
+                                "declared");
+                }
+            }
         } else if (startsWith(s, "dep ")) {
-            dep_lines.push_back(s);
+            dep_lines.push_back(reader.here(s));
         } else if (startsWith(s, "rmw ")) {
-            rmw_lines.push_back(s);
+            rmw_lines.push_back(reader.here(s));
         } else if (startsWith(s, "forbidden:")) {
-            forbidden_line = trim(s.substr(10));
+            forbidden_seen = true;
+            forbidden_line = reader.here(trim(s.substr(10)));
         } else if (s == "end") {
             finish();
         } else {
-            fail(s, "unrecognized line");
+            reader.fail("unrecognized line");
         }
     }
-    if (in_test)
-        throw std::runtime_error("unterminated test (missing 'end')");
+    if (in_test) {
+        reader.failAt(test_start,
+                      "unterminated test (missing 'end')");
+    }
     return out;
 }
 

@@ -1,0 +1,67 @@
+#include "litmus/parse_util.hh"
+
+#include <cctype>
+#include <istream>
+#include <stdexcept>
+
+namespace lts::litmus
+{
+
+bool
+LineReader::next(std::string &line)
+{
+    if (!std::getline(input, line))
+        return false;
+    line_no++;
+    current = line;
+    return true;
+}
+
+namespace
+{
+
+[[noreturn]] void
+raise(int line_no, const std::string &context, const std::string &text,
+      const std::string &why)
+{
+    std::string msg = "litmus parse error at line " + std::to_string(line_no);
+    if (!context.empty())
+        msg += ", test '" + context + "'";
+    msg += ": " + why;
+    if (!text.empty())
+        msg += " in '" + text + "'";
+    throw std::runtime_error(msg);
+}
+
+} // namespace
+
+void
+LineReader::fail(const std::string &why) const
+{
+    raise(line_no, context, current, why);
+}
+
+void
+LineReader::failAt(const SourceLine &at, const std::string &why) const
+{
+    raise(at.number, context, at.text, why);
+}
+
+int
+LineReader::parseInt(const SourceLine &at, const std::string &s,
+                     const std::string &what) const
+{
+    if (s.empty())
+        failAt(at, "missing " + what);
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            failAt(at, "bad " + what + " '" + s + "' (expected a number)");
+    }
+    try {
+        return std::stoi(s);
+    } catch (const std::exception &) {
+        failAt(at, "bad " + what + " '" + s + "' (out of range)");
+    }
+}
+
+} // namespace lts::litmus

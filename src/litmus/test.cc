@@ -238,6 +238,12 @@ TestBuilder::newThread()
     return threads++;
 }
 
+int
+TestBuilder::declareLoc(const std::string &loc)
+{
+    return locId(loc);
+}
+
 void
 TestBuilder::setWorkgroup(int tid, int wg)
 {
@@ -324,6 +330,12 @@ TestBuilder::coOrder(int earlier, int later)
     coEdges.emplace_back(earlier, later);
 }
 
+void
+TestBuilder::markForbidden()
+{
+    forceForbidden = true;
+}
+
 LitmusTest
 TestBuilder::build(const std::string &name)
 {
@@ -388,28 +400,31 @@ TestBuilder::build(const std::string &name)
     test.dataDep = BitMatrix(n);
     test.ctrlDep = BitMatrix(n);
     test.rmw = BitMatrix(n);
+    // .at() everywhere an edge endpoint indexes the remap: declared edges
+    // come straight from parsers, and an out-of-range event id must
+    // surface as a catchable error, not out-of-bounds vector access.
     for (auto [a, b] : addrDeps)
-        test.addrDep.set(old_to_new[a], old_to_new[b]);
+        test.addrDep.set(old_to_new.at(a), old_to_new.at(b));
     for (auto [a, b] : dataDeps)
-        test.dataDep.set(old_to_new[a], old_to_new[b]);
+        test.dataDep.set(old_to_new.at(a), old_to_new.at(b));
     for (auto [a, b] : ctrlDeps)
-        test.ctrlDep.set(old_to_new[a], old_to_new[b]);
+        test.ctrlDep.set(old_to_new.at(a), old_to_new.at(b));
     for (auto [a, b] : rmws)
-        test.rmw.set(old_to_new[a], old_to_new[b]);
+        test.rmw.set(old_to_new.at(a), old_to_new.at(b));
 
-    bool any_outcome = !rfEdges.empty() || !coEdges.empty() ||
-                       !initialReads.empty();
+    bool any_outcome = forceForbidden || !rfEdges.empty() ||
+                       !coEdges.empty() || !initialReads.empty();
     test.forbidden = Outcome(n);
     if (any_outcome) {
         test.hasForbidden = true;
         for (auto [w, r] : rfEdges)
-            test.forbidden.rf.set(old_to_new[w], old_to_new[r]);
+            test.forbidden.rf.set(old_to_new.at(w), old_to_new.at(r));
 
         // Complete co into a strict total order per location: respect the
         // declared edges, break ties by event id.
         BitMatrix declared(n);
         for (auto [a, b] : coEdges)
-            declared.set(old_to_new[a], old_to_new[b]);
+            declared.set(old_to_new.at(a), old_to_new.at(b));
         declared = declared.transitiveClosure();
         for (int loc = 0; loc < test.numLocs; loc++) {
             std::vector<int> writes;

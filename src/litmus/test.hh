@@ -155,6 +155,14 @@ class TestBuilder
     /** Start a new thread; subsequent events go to it by thread id. */
     int newThread();
 
+    /**
+     * Pre-register a location name so it gets the next dense id even if
+     * its first access comes later. Parsers that see a declaration
+     * section (the herd init block) use this to preserve the exporting
+     * test's location numbering; repeated registration is a no-op.
+     */
+    int declareLoc(const std::string &loc);
+
     /** Append a read; returns the event id. */
     int read(int tid, const std::string &loc,
              MemOrder order = MemOrder::Plain);
@@ -196,6 +204,17 @@ class TestBuilder
     void coOrder(int earlier, int later);
 
     /**
+     * Declare that the test carries a forbidden outcome even if no rf,
+     * init, or co constraint was recorded — the outcome of a test whose
+     * reads all have explicit edges elsewhere may be entirely empty
+     * (e.g. writes to distinct locations only). Without this mark such a
+     * test would round-trip to "no outcome", which is a different thing:
+     * an empty outcome forbids the unique trivial execution, no outcome
+     * forbids nothing.
+     */
+    void markForbidden();
+
+    /**
      * Assemble the test. Events are renumbered so each thread's events
      * are contiguous; co is transitively closed; for locations whose
      * writes were left unordered, the per-thread/declaration order is
@@ -222,6 +241,7 @@ class TestBuilder
     std::vector<std::pair<int, int>> addrDeps, dataDeps, ctrlDeps, rmws;
     std::vector<std::pair<int, int>> rfEdges, coEdges;
     std::vector<int> initialReads;
+    bool forceForbidden = false;
 };
 
 } // namespace lts::litmus

@@ -11,8 +11,24 @@ using litmus::EventType;
 using litmus::LitmusTest;
 using litmus::Outcome;
 
+namespace
+{
+
+/** The historical default value assignment: write event id + 1. */
+std::vector<int>
+defaultWriteValues(const LitmusTest &test)
+{
+    std::vector<int> values(test.size());
+    for (size_t i = 0; i < test.size(); i++)
+        values[i] = static_cast<int>(i) + 1;
+    return values;
+}
+
+} // namespace
+
 Signature
-observableSignature(const LitmusTest &test, const Outcome &outcome)
+observableSignature(const LitmusTest &test, const Outcome &outcome,
+                    const std::vector<int> &write_values)
 {
     Signature sig(test.size(), -1);
     for (size_t j = 0; j < test.size(); j++) {
@@ -21,7 +37,7 @@ observableSignature(const LitmusTest &test, const Outcome &outcome)
         sig[j] = 0;
         for (size_t i = 0; i < test.size(); i++) {
             if (outcome.rf.test(i, j))
-                sig[j] = static_cast<int>(i) + 1;
+                sig[j] = write_values[i];
         }
     }
     for (int loc = 0; loc < test.numLocs; loc++) {
@@ -36,11 +52,17 @@ observableSignature(const LitmusTest &test, const Outcome &outcome)
                     last = false;
             }
             if (last)
-                final_value = static_cast<int>(i) + 1;
+                final_value = write_values[i];
         }
         sig.push_back(final_value);
     }
     return sig;
+}
+
+Signature
+observableSignature(const LitmusTest &test, const Outcome &outcome)
+{
+    return observableSignature(test, outcome, defaultWriteValues(test));
 }
 
 namespace
@@ -70,7 +92,8 @@ struct MachineState
  * Common exploration engine; @p with_buffers selects TSO vs SC.
  */
 std::set<Signature>
-explore(const LitmusTest &test, bool with_buffers)
+explore(const LitmusTest &test, bool with_buffers,
+        const std::vector<int> &write_values)
 {
     if (test.depMatrix().any())
         throw std::invalid_argument(
@@ -136,7 +159,7 @@ explore(const LitmusTest &test, bool with_buffers)
                             continue;
                         next.reads[id] = next.memory[e.loc];
                         next.memory[test.events[paired_write].loc] =
-                            paired_write + 1;
+                            write_values[paired_write];
                         next.pc[t]++; // consume the write half too
                         break;
                     }
@@ -153,9 +176,9 @@ explore(const LitmusTest &test, bool with_buffers)
                   case EventType::Write:
                     if (with_buffers) {
                         next.buffers[t].push_back(
-                            BufferEntry{e.loc, id + 1});
+                            BufferEntry{e.loc, write_values[id]});
                     } else {
-                        next.memory[e.loc] = id + 1;
+                        next.memory[e.loc] = write_values[id];
                     }
                     break;
                 }
@@ -181,13 +204,25 @@ explore(const LitmusTest &test, bool with_buffers)
 std::set<Signature>
 scOutcomes(const LitmusTest &test)
 {
-    return explore(test, false);
+    return explore(test, false, defaultWriteValues(test));
+}
+
+std::set<Signature>
+scOutcomes(const LitmusTest &test, const std::vector<int> &write_values)
+{
+    return explore(test, false, write_values);
 }
 
 std::set<Signature>
 tsoOutcomes(const LitmusTest &test)
 {
-    return explore(test, true);
+    return explore(test, true, defaultWriteValues(test));
+}
+
+std::set<Signature>
+tsoOutcomes(const LitmusTest &test, const std::vector<int> &write_values)
+{
+    return explore(test, true, write_values);
 }
 
 } // namespace lts::sim

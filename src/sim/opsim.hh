@@ -43,11 +43,31 @@ using Signature = std::vector<int>;
 Signature observableSignature(const litmus::LitmusTest &test,
                               const litmus::Outcome &outcome);
 
+/**
+ * Same projection under a custom value-per-write assignment (indexed by
+ * event id; entries for non-writes are ignored). The exported .litmus
+ * files and C++11 harnesses assign co-position values rather than
+ * (id + 1), and this overload lets the simulators speak that value
+ * space so an outcome tuple printed by a harness can be checked against
+ * the machine directly (litmus::herdWriteValues supplies the vector).
+ */
+Signature observableSignature(const litmus::LitmusTest &test,
+                              const litmus::Outcome &outcome,
+                              const std::vector<int> &write_values);
+
 /** Exhaustive interleaving exploration under sequential consistency. */
 std::set<Signature> scOutcomes(const litmus::LitmusTest &test);
 
+/** SC outcomes under a custom value-per-write assignment. */
+std::set<Signature> scOutcomes(const litmus::LitmusTest &test,
+                               const std::vector<int> &write_values);
+
 /** Exhaustive exploration of the x86-TSO store-buffer machine. */
 std::set<Signature> tsoOutcomes(const litmus::LitmusTest &test);
+
+/** TSO outcomes under a custom value-per-write assignment. */
+std::set<Signature> tsoOutcomes(const litmus::LitmusTest &test,
+                                const std::vector<int> &write_values);
 
 } // namespace lts::sim
 

@@ -14,6 +14,12 @@
  * match the size and containment relationships reported in Table 4
  * (which test contains which minimal core); each such entry is marked
  * reconstructed in its note.
+ *
+ * The reconstruction is externally checkable: every entry exports
+ * through litmus/herd.hh as a herd7 .litmus file (and back, losslessly
+ * — tests/integration/interop_test.cc pins the round trip), so the
+ * transcriptions here can be diffed against the published files and
+ * run through herd or on hardware via the litmus/cxx.hh harnesses.
  */
 
 #ifndef LTS_SUITES_OWENS_HH

@@ -80,7 +80,15 @@ rel::FormulaPtr minimalityFormulaUnion(const mm::Model &model, size_t n);
 bool isMinimalInstance(const mm::Model &model, const std::string &axiom_name,
                        const rel::Instance &inst);
 
-/** Whether a minimality audit actually ran to completion. */
+/**
+ * Whether a minimality audit actually ran to completion.
+ *
+ * Callers must keep the two failure modes distinct: an Audited test
+ * with an empty axiom list is over-synchronized, an Unsupported test is
+ * simply unchecked. `ltsgen --audit --strict-audit` maps them to exit
+ * codes 2 and 3 respectively, with 3 taking precedence so "could not
+ * check" never masquerades as a pass or fail in CI.
+ */
 enum class AuditStatus
 {
     Audited,     ///< the returned axiom list is authoritative

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Interop integration tests: every synthesized suite, for every model in
+ * the registry, must survive the .litmus export -> parse -> canonicalize
+ * loop byte-identically, the Owens/Cambridge baselines included; and the
+ * oracle triangle must close — the operational simulators, run in the
+ * exported artifacts' value space (co positions, via herdWriteValues),
+ * must agree that the declared forbidden outcome is unobservable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/canon.hh"
+#include "litmus/cxx.hh"
+#include "litmus/format.hh"
+#include "litmus/herd.hh"
+#include "litmus/print.hh"
+#include "mm/registry.hh"
+#include "sim/opsim.hh"
+#include "suites/cambridge.hh"
+#include "suites/owens.hh"
+#include "synth/options.hh"
+#include "synth/synthesizer.hh"
+
+namespace lts
+{
+namespace
+{
+
+using litmus::LitmusTest;
+
+/** Export to .litmus, re-ingest, and demand byte-identity. */
+void
+expectHerdRoundTrip(const LitmusTest &t, const std::string &model_name)
+{
+    litmus::HerdOptions opt;
+    opt.modelName = model_name;
+    std::string text = litmus::writeHerd(t, opt);
+    LitmusTest back;
+    try {
+        back = litmus::parseHerd(text);
+    } catch (const std::exception &e) {
+        FAIL() << "re-ingest failed for " << t.name << ": " << e.what()
+               << "\n" << text;
+    }
+    EXPECT_EQ(litmus::fullSerialize(back), litmus::fullSerialize(t))
+        << text;
+    // Canonical forms must agree too (same equivalence class).
+    EXPECT_EQ(litmus::fullSerialize(
+                  litmus::canonicalize(back, litmus::CanonMode::Exact)),
+              litmus::fullSerialize(
+                  litmus::canonicalize(t, litmus::CanonMode::Exact)))
+        << t.name;
+}
+
+TEST(InteropTest, RegistryWideHerdRoundTrip)
+{
+    for (const std::string &name : mm::modelNames()) {
+        auto model = mm::makeModel(name);
+        synth::SynthOptions opt;
+        opt.minSize = 2;
+        // Scoped models explode combinatorially; size 3 already covers
+        // scopes, workgroups, RMWs, and split orders.
+        opt.maxSize = (name == "scc" || name == "sscc") ? 3 : 4;
+        auto suites = synth::synthesizeAll(*model, opt);
+        const synth::Suite &u = suites.back();
+        ASSERT_FALSE(u.tests.empty()) << name;
+        for (const auto &t : u.tests)
+            expectHerdRoundTrip(t, name);
+    }
+}
+
+TEST(InteropTest, BaselineCatalogsRoundTrip)
+{
+    for (const auto &entry : suites::owensSuite())
+        expectHerdRoundTrip(entry.test, "tso");
+    for (const auto &entry : suites::cambridgeSuite())
+        expectHerdRoundTrip(entry.test, "power");
+}
+
+TEST(InteropTest, InterchangeAndHerdAgreeOnSynthesizedTso)
+{
+    auto tso = mm::makeModel("tso");
+    synth::SynthOptions opt;
+    opt.minSize = 2;
+    opt.maxSize = 4;
+    auto suites = synth::synthesizeAll(*tso, opt);
+    for (const auto &t : suites.back().tests) {
+        // The two interchange paths must land on the same test.
+        LitmusTest via_lts = litmus::parseLitmus(litmus::writeLitmus(t));
+        litmus::HerdOptions hopt;
+        hopt.modelName = "tso";
+        LitmusTest via_herd = litmus::parseHerd(litmus::writeHerd(t, hopt));
+        EXPECT_EQ(litmus::fullSerialize(via_lts),
+                  litmus::fullSerialize(via_herd))
+            << t.name;
+    }
+}
+
+TEST(InteropTest, OracleTriangleForbiddenUnobservableInHarnessValueSpace)
+{
+    auto tso = mm::makeModel("tso");
+    synth::SynthOptions opt;
+    opt.minSize = 2;
+    opt.maxSize = 4;
+    auto suites = synth::synthesizeAll(*tso, opt);
+    int checked = 0;
+    for (const auto &t : suites.back().tests) {
+        if (t.depMatrix().any())
+            continue; // the operational machine does not model deps
+        auto values = litmus::herdWriteValues(t);
+        // The signature a conforming harness would report for the
+        // forbidden execution must not be reachable on the store-buffer
+        // machine speaking the same value space.
+        auto forbidden =
+            sim::observableSignature(t, t.forbidden, values);
+        auto op = sim::tsoOutcomes(t, values);
+        EXPECT_EQ(op.count(forbidden), 0u) << litmus::toString(t);
+        // Sanity: SC outcomes (same value space) are a subset of TSO's.
+        for (const auto &sig : sim::scOutcomes(t, values))
+            EXPECT_EQ(op.count(sig), 1u) << litmus::toString(t);
+        checked++;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+} // namespace
+} // namespace lts

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the C++11 stress-harness emitter: structural checks on the
+ * generated program text and consistency with the herd exporter's
+ * write-value convention. (Compile-and-run coverage lives in the
+ * interop ctest, which drives a real compiler.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/cxx.hh"
+#include "litmus/herd.hh"
+
+namespace lts::litmus
+{
+namespace
+{
+
+LitmusTest
+mpRelAcq()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y", MemOrder::Release);
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y", MemOrder::Acquire);
+    int rd = b.read(t1, "x");
+    b.readsFrom(wf, rf);
+    b.readsInitial(rd);
+    return b.build("MP+rel+acq");
+}
+
+TEST(CxxTest, HarnessHasExpectedStructure)
+{
+    std::string s = writeCxxHarness(mpRelAcq());
+    EXPECT_NE(s.find("#include <atomic>"), std::string::npos);
+    EXPECT_NE(s.find("std::atomic<int> x(0);"), std::string::npos);
+    EXPECT_NE(s.find("std::atomic<int> y(0);"), std::string::npos);
+    EXPECT_NE(s.find("class Barrier"), std::string::npos);
+    EXPECT_NE(s.find("void thread0()"), std::string::npos);
+    EXPECT_NE(s.find("void thread1()"), std::string::npos);
+    EXPECT_NE(s.find("std::memory_order_release"), std::string::npos);
+    EXPECT_NE(s.find("std::memory_order_acquire"), std::string::npos);
+    EXPECT_NE(s.find("int main("), std::string::npos);
+    // The forbidden outcome is checked and drives the exit code.
+    EXPECT_NE(s.find("FORBIDDEN"), std::string::npos);
+    EXPECT_NE(s.find("return 1"), std::string::npos);
+}
+
+TEST(CxxTest, ValuesMatchHerdConvention)
+{
+    LitmusTest t = mpRelAcq();
+    auto values = herdWriteValues(t);
+    std::string s = writeCxxHarness(t);
+    // Store statements use the same co-position values the .litmus
+    // exporter assigns, so one observed tuple means the same execution
+    // in both artifacts.
+    EXPECT_NE(s.find("x.store(" + std::to_string(values[0])),
+              std::string::npos);
+    EXPECT_NE(s.find("y.store(" + std::to_string(values[1])),
+              std::string::npos);
+}
+
+TEST(CxxTest, ConsumePromotedToAcquire)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int w = b.write(t0, "x", MemOrder::Release);
+    int t1 = b.newThread();
+    int r = b.read(t1, "x", MemOrder::Consume);
+    b.readsFrom(w, r);
+    std::string s = writeCxxHarness(b.build("consume"));
+    EXPECT_EQ(s.find("memory_order_consume"), std::string::npos);
+    EXPECT_NE(s.find("std::memory_order_acquire"), std::string::npos);
+}
+
+TEST(CxxTest, NoForbiddenMeansNoWitnessExit)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.read(t0, "x");
+    std::string s = writeCxxHarness(b.build("no-outcome"));
+    // Without a forbidden outcome the harness only reports a histogram.
+    EXPECT_EQ(s.find("FORBIDDEN"), std::string::npos);
+    EXPECT_EQ(s.find("return 1"), std::string::npos);
+}
+
+TEST(CxxTest, EmitterIsDeterministic)
+{
+    LitmusTest t = mpRelAcq();
+    EXPECT_EQ(writeCxxHarness(t), writeCxxHarness(t));
+}
+
+TEST(CxxTest, IterationDefaultIsConfigurable)
+{
+    CxxOptions opt;
+    opt.defaultIterations = 12345;
+    std::string s = writeCxxHarness(mpRelAcq(), opt);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+} // namespace
+} // namespace lts::litmus

@@ -195,3 +195,103 @@ TEST(FormatTest, BadScopeRejected)
 
 } // namespace
 } // namespace lts::litmus
+// Appended: interchange-bugfix round coverage — line-numbered
+// diagnostics for every parser error path, and the distinction between
+// "no forbidden outcome" and an explicitly-empty one.
+namespace lts::litmus
+{
+namespace
+{
+
+/** Parse @p text, expecting failure; return the diagnostic message. */
+std::string
+parseError(const std::string &text)
+{
+    try {
+        parseLitmus(text);
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected parse failure for: " << text;
+    return "";
+}
+
+TEST(FormatTest, DiagnosticsNameLineAndTest)
+{
+    struct Case
+    {
+        const char *text;
+        const char *line;  ///< expected "line N" fragment
+        const char *why;   ///< expected reason fragment
+    };
+    const Case cases[] = {
+        {"LTS a\nthread 0: Hm [x]\nend\n", "line 2", "unknown opcode"},
+        {"LTS a\nthread 0: St.zz [x]\nend\n", "line 2", "bad annotation"},
+        {"LTS a\nthread 0: St.rel@zz [x]\nend\n", "line 2", "bad scope"},
+        {"LTS a\nthread 0: Ld [x]\nend\n", "line 2", "load without '='"},
+        {"LTS a\nthread 0: St x\nend\n", "line 2", "missing [location]"},
+        {"LTS a\nthread 0: St [x] ; ; St [x]\nend\n", "line 2",
+         "empty instruction"},
+        {"LTS a\nthread 1: St [x]\nend\n", "line 2",
+         "threads must be declared densely"},
+        {"LTS a\nthread 0 St [x]\nend\n", "line 2",
+         "thread line without ':'"},
+        {"LTS a\nthread 0: St [x]\nzap\nend\n", "line 3",
+         "unrecognized line"},
+        {"LTS a\nthread 0: St [x]\ndep addr 0 -> \nend\n", "line 3",
+         "expected 'dep kind A -> B'"},
+        {"LTS a\nthread 0: St [x]\ndep foo 0 -> 0\nend\n", "line 3",
+         "unknown dependency kind"},
+        {"LTS a\nthread 0: Ld r0 = [x] ; St [x]\nrmw 0\nend\n", "line 3",
+         "expected 'rmw R W'"},
+        {"LTS a\nthread 0: St [x]\nforbidden: zap 1\nend\n", "line 3",
+         "unknown outcome directive"},
+        {"LTS a\nthread 0: St [x]\nforbidden: co 9 < 0\nend\n", "line 1",
+         "outside the test"},
+        {"LTS a\nthread 0: St [x]\nforbidden: init q\nend\n", "line 3",
+         "event id"},
+        {"LTS a\nthread 0: St [x]\nwg: 0 1\nend\n", "line 3",
+         "workgroup list names more threads"},
+        {"LTS a\nthread 0: St [x]\nLTS b\nend\n", "line 3",
+         "nested test"},
+        {"thread 0: St [x]\nend\n", "line 1", "content outside a test"},
+        {"LTS a\nthread 0: St [x]\n", "line 1", "missing 'end'"},
+    };
+    for (const auto &c : cases) {
+        std::string msg = parseError(c.text);
+        EXPECT_NE(msg.find(c.line), std::string::npos)
+            << "in: " << c.text << "got: " << msg;
+        EXPECT_NE(msg.find(c.why), std::string::npos)
+            << "in: " << c.text << "got: " << msg;
+        EXPECT_NE(msg.find("'a'") != std::string::npos ||
+                      msg.find("test") != std::string::npos,
+                  false)
+            << "diagnostic should name the test: " << msg;
+    }
+}
+
+TEST(FormatTest, EmptyForbiddenIsNotNoForbidden)
+{
+    // Same program text, differing only in the presence of an (empty)
+    // forbidden: line. These are semantically different tests — one
+    // forbids the all-initial execution, the other forbids nothing —
+    // and must round-trip without collapsing into each other.
+    std::string with_line = "LTS a\nthread 0: St [x]\nforbidden:\nend\n";
+    std::string without = "LTS a\nthread 0: St [x]\nend\n";
+
+    LitmusTest t1 = parseLitmus(with_line);
+    LitmusTest t2 = parseLitmus(without);
+    EXPECT_TRUE(t1.hasForbidden);
+    EXPECT_FALSE(t2.hasForbidden);
+    EXPECT_NE(fullSerialize(t1), fullSerialize(t2));
+
+    LitmusTest r1 = parseLitmus(writeLitmus(t1));
+    LitmusTest r2 = parseLitmus(writeLitmus(t2));
+    EXPECT_TRUE(r1.hasForbidden);
+    EXPECT_FALSE(r2.hasForbidden);
+    EXPECT_EQ(fullSerialize(r1), fullSerialize(t1));
+    EXPECT_EQ(fullSerialize(r2), fullSerialize(t2));
+}
+
+} // namespace
+} // namespace lts::litmus

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the herd7 .litmus exporter/importer: dialect selection, the
+ * co-position write-value convention, metadata round trips, tolerance
+ * for herd-ecosystem syntax, and parser diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/canon.hh"
+#include "litmus/format.hh"
+#include "litmus/herd.hh"
+
+namespace lts::litmus
+{
+namespace
+{
+
+/** Classic SB with MFENCEs: x86-expressible under tso. */
+LitmusTest
+sbFences()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.fence(t0);
+    int r0 = b.read(t0, "y");
+    int t1 = b.newThread();
+    b.write(t1, "y");
+    b.fence(t1);
+    int r1 = b.read(t1, "x");
+    b.readsInitial(r0);
+    b.readsInitial(r1);
+    return b.build("SB+mfences");
+}
+
+/** A dependency forces the generic C dialect even under tso. */
+LitmusTest
+lbDeps()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r0 = b.read(t0, "x");
+    int w0 = b.write(t0, "y");
+    b.dataDepend(r0, w0);
+    int t1 = b.newThread();
+    int r1 = b.read(t1, "y");
+    int w1 = b.write(t1, "x");
+    b.addrDepend(r1, w1);
+    b.readsFrom(w1, r0);
+    b.readsFrom(w0, r1);
+    return b.build("LB+deps");
+}
+
+LitmusTest
+rmwTest()
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "x");
+    b.pairRmw(r, w);
+    int t1 = b.newThread();
+    int w2 = b.write(t1, "x");
+    b.readsInitial(r);
+    b.coOrder(w2, w);
+    return b.build("rmw+co");
+}
+
+TEST(HerdTest, DialectSelection)
+{
+    EXPECT_EQ(herdDialectFor(sbFences(), "tso"), HerdDialect::X86);
+    // Same test under another model name: generic C.
+    EXPECT_EQ(herdDialectFor(sbFences(), "power"), HerdDialect::C);
+    // Dependencies are not expressible in the x86 column syntax.
+    EXPECT_EQ(herdDialectFor(lbDeps(), "tso"), HerdDialect::C);
+}
+
+TEST(HerdTest, X86EmitsMnemonics)
+{
+    HerdOptions opt;
+    opt.modelName = "tso";
+    std::string s = writeHerd(sbFences(), opt);
+    EXPECT_EQ(s.rfind("X86 ", 0), 0u);
+    EXPECT_NE(s.find("MFENCE"), std::string::npos);
+    EXPECT_NE(s.find("MOV [x],$1"), std::string::npos);
+    EXPECT_NE(s.find("MOV EAX,[y]"), std::string::npos);
+    EXPECT_NE(s.find("exists (0:EAX=0 /\\ 1:EAX=0)"), std::string::npos);
+}
+
+TEST(HerdTest, X86EmitsXchgForRmw)
+{
+    HerdOptions opt;
+    opt.modelName = "tso";
+    std::string s = writeHerd(rmwTest(), opt);
+    EXPECT_NE(s.find("XCHG [x],EAX"), std::string::npos);
+}
+
+TEST(HerdTest, CDialectEmitsAtomics)
+{
+    std::string s = writeHerd(lbDeps());
+    EXPECT_EQ(s.rfind("C ", 0), 0u);
+    EXPECT_NE(s.find("atomic_load_explicit"), std::string::npos);
+    EXPECT_NE(s.find("atomic_store_explicit"), std::string::npos);
+    // The data dependency shows up as the value-identity idiom and the
+    // address dependency as pointer arithmetic.
+    EXPECT_NE(s.find("1 + (r0 ^ r0)"), std::string::npos);
+    EXPECT_NE(s.find("x + (r1 ^ r1)"), std::string::npos);
+}
+
+TEST(HerdTest, RoundTripExact)
+{
+    for (const LitmusTest &t : {sbFences(), lbDeps(), rmwTest()}) {
+        HerdOptions opt;
+        opt.modelName = "tso";
+        LitmusTest back = parseHerd(writeHerd(t, opt));
+        EXPECT_EQ(fullSerialize(back), fullSerialize(t)) << t.name;
+        EXPECT_EQ(fullSerialize(canonicalize(back, CanonMode::Exact)),
+                  fullSerialize(canonicalize(t, CanonMode::Exact)))
+            << t.name;
+    }
+}
+
+TEST(HerdTest, WriteValuesAreCoPositions)
+{
+    LitmusTest t = rmwTest();
+    auto values = herdWriteValues(t);
+    // Event 1 is the RMW write, event 2 the remote store; co orders the
+    // remote store first, so it gets value 1 and the RMW write value 2.
+    EXPECT_EQ(values[2], 1);
+    EXPECT_EQ(values[1], 2);
+    EXPECT_EQ(values[0], -1); // the read carries no write value
+}
+
+TEST(HerdTest, ScopeAndWorkgroupMetadataRoundTrip)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    int wf = b.write(t0, "y", MemOrder::Release);
+    b.setScope(wf, Scope::WorkGroup);
+    int t1 = b.newThread();
+    int rf = b.read(t1, "y", MemOrder::Acquire);
+    b.read(t1, "x");
+    b.setWorkgroup(t0, 0);
+    b.setWorkgroup(t1, 0);
+    b.readsFrom(wf, rf);
+    LitmusTest t = b.build("scoped-mp");
+
+    std::string s = writeHerd(t);
+    EXPECT_NE(s.find("LTS-Scopes=1:wg"), std::string::npos);
+    EXPECT_NE(s.find("LTS-Wg=0 0"), std::string::npos);
+    LitmusTest back = parseHerd(s);
+    EXPECT_EQ(fullSerialize(back), fullSerialize(t));
+    EXPECT_EQ(back.events[1].scope, Scope::WorkGroup);
+}
+
+TEST(HerdTest, SplitRmwOrderRoundTrip)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x", MemOrder::Plain);
+    int w = b.write(t0, "x", MemOrder::Release);
+    b.pairRmw(r, w);
+    b.readsInitial(r);
+    LitmusTest t = b.build("split-rmw");
+
+    std::string s = writeHerd(t);
+    // The exchange carries the joined order on the surface and the true
+    // per-half orders in metadata.
+    EXPECT_NE(s.find("LTS-RmwOrders=0:pln:rel"), std::string::npos);
+    LitmusTest back = parseHerd(s);
+    EXPECT_EQ(fullSerialize(back), fullSerialize(t));
+    EXPECT_EQ(back.events[0].order, MemOrder::Plain);
+    EXPECT_EQ(back.events[1].order, MemOrder::Release);
+}
+
+TEST(HerdTest, DepOntoRmwHalfUsesMetadataOnly)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    int r = b.read(t0, "x");
+    int w = b.write(t0, "x");
+    b.pairRmw(r, w);
+    b.ctrlDepend(r, w); // targets the RMW's own write half
+    b.readsInitial(r);
+    LitmusTest t = b.build("dep-into-rmw");
+
+    std::string s = writeHerd(t);
+    EXPECT_NE(s.find("LTS-Deps=c:0>1"), std::string::npos);
+    // No surface idiom: the exchange cannot reference the register it
+    // itself defines.
+    EXPECT_EQ(s.find("r0 ^ r0"), std::string::npos);
+    EXPECT_EQ(s.find("if (r0"), std::string::npos);
+    LitmusTest back = parseHerd(s);
+    EXPECT_EQ(fullSerialize(back), fullSerialize(t));
+}
+
+TEST(HerdTest, NoForbiddenOutcomeRoundTripsDistinctly)
+{
+    TestBuilder b;
+    int t0 = b.newThread();
+    b.write(t0, "x");
+    b.read(t0, "x");
+    LitmusTest t = b.build("no-outcome");
+    ASSERT_FALSE(t.hasForbidden);
+
+    std::string s = writeHerd(t);
+    EXPECT_EQ(s.find("exists"), std::string::npos);
+    LitmusTest back = parseHerd(s);
+    EXPECT_FALSE(back.hasForbidden);
+    EXPECT_EQ(fullSerialize(back), fullSerialize(t));
+
+    // An explicitly-empty forbidden outcome is a different test and must
+    // stay one: it emits a (vacuous) exists clause.
+    TestBuilder b2;
+    int u0 = b2.newThread();
+    b2.write(u0, "x");
+    b2.read(u0, "x");
+    b2.markForbidden();
+    LitmusTest t2 = b2.build("empty-outcome");
+    ASSERT_TRUE(t2.hasForbidden);
+    std::string s2 = writeHerd(t2);
+    EXPECT_NE(s2.find("exists"), std::string::npos);
+    LitmusTest back2 = parseHerd(s2);
+    EXPECT_TRUE(back2.hasForbidden);
+    EXPECT_NE(fullSerialize(t), fullSerialize(t2));
+}
+
+TEST(HerdTest, ToleratesHerdEcosystemSyntax)
+{
+    std::string text = R"(C tolerant
+"the classic message-passing shape"
+(* a block comment
+   spanning lines *)
+Generator=diy7
+{ x=0; y=0; }
+
+P0 (atomic_int* x, atomic_int* y) {
+    *x = 1;
+    atomic_store(y, 1);
+}
+
+P1 (atomic_int* x, atomic_int* y) {
+    int r0 = atomic_load(y);
+    int r1 = *x;
+}
+
+locations [x; y;]
+exists (1:r0=1 /\ 1:r1=0)
+)";
+    LitmusTest t = parseHerd(text);
+    EXPECT_EQ(t.name, "tolerant");
+    EXPECT_EQ(t.events[0].order, MemOrder::Plain);   // *x = 1
+    EXPECT_EQ(t.events[1].order, MemOrder::SeqCst);  // non-_explicit
+    EXPECT_EQ(t.events[3].order, MemOrder::Plain);   // int r1 = *x
+    EXPECT_TRUE(t.hasForbidden);
+    EXPECT_TRUE(t.forbidden.rf.test(1, 2));
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HerdTest, TildeExistsIsForbiddenToo)
+{
+    std::string text = "C neg\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                       "    int r0 = atomic_load_explicit(x, "
+                       "memory_order_seq_cst);\n}\n\n~exists (0:r0=0)\n";
+    LitmusTest t = parseHerd(text);
+    EXPECT_TRUE(t.hasForbidden);
+    EXPECT_TRUE(t.forbidden.rf.none()); // reads initial
+}
+
+TEST(HerdTest, SanitizeTestName)
+{
+    EXPECT_EQ(sanitizeTestName("tso/union#12"), "tso_union_12");
+    EXPECT_EQ(sanitizeTestName("MP+rel+acq"), "MP_rel_acq");
+    EXPECT_EQ(sanitizeTestName("a--b"), "a--b");
+    EXPECT_EQ(sanitizeTestName("###"), "test");
+    EXPECT_EQ(sanitizeTestName(""), "test");
+}
+
+/** Parse @p text, expecting failure; return the diagnostic. */
+std::string
+herdError(const std::string &text)
+{
+    try {
+        parseHerd(text);
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected parse failure for: " << text;
+    return "";
+}
+
+TEST(HerdTest, DiagnosticsCarryLineAndTestName)
+{
+    // Unknown mnemonic in an x86 row, on line 4.
+    std::string msg = herdError("X86 bad\n{ x=0; }\n P0 ;\n FOO [x] ;\n");
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bad'"), std::string::npos) << msg;
+
+    // Condition naming an unknown register, on line 6.
+    msg = herdError("C bad2\n{ x=0; }\n\nP0 (atomic_int* x) {\n}\n"
+                    "exists (0:r9=1)\n");
+    EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bad2'"), std::string::npos) << msg;
+}
+
+TEST(HerdTest, RejectsMalformedInput)
+{
+    // forall conditions are outside the forbidden-outcome IR.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    int r0 = atomic_load(x);\n}\n"
+                           "forall (0:r0=0)\n"),
+                 std::runtime_error);
+    // Disjunction cannot be represented.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    int r0 = atomic_load(x);\n}\n"
+                           "exists (0:r0=0 \\/ 0:r0=1)\n"),
+                 std::runtime_error);
+    // Nonzero initial values are not representable.
+    EXPECT_THROW(parseHerd("C a\n{ x=7; }\n\nP0 (atomic_int* x) {\n}\n"),
+                 std::runtime_error);
+    // Contradictory register constraints.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    int r0 = atomic_load(x);\n"
+                           "    atomic_store(x, 1);\n}\n"
+                           "exists (0:r0=1 /\\ 0:r0=0)\n"),
+                 std::runtime_error);
+    // A condition value no write produces.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    int r0 = atomic_load(x);\n"
+                           "    atomic_store(x, 1);\n}\n"
+                           "exists (0:r0=9)\n"),
+                 std::runtime_error);
+    // Duplicate register declaration.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    int r0 = atomic_load(x);\n"
+                           "    int r0 = atomic_load(x);\n}\n"),
+                 std::runtime_error);
+    // LTS metadata is only defined for the C dialect.
+    EXPECT_THROW(parseHerd("X86 a\nLTS-Wg=0\n{ x=0; }\n P0 ;\n"
+                           " MOV [x],$1 ;\n"),
+                 std::runtime_error);
+    // Dangling MOV reg,$v with no XCHG consuming it.
+    EXPECT_THROW(parseHerd("X86 a\n{ x=0; }\n P0           ;\n"
+                           " MOV EAX,$1   ;\n"),
+                 std::runtime_error);
+    // Unsupported architecture header.
+    EXPECT_THROW(parseHerd("PPC a\n{ x=0; }\n"), std::runtime_error);
+}
+
+TEST(HerdTest, DuplicateWriteValuesRejected)
+{
+    // Two same-location stores of the same value under a condition: co
+    // cannot be reconstructed from values, so ingest must refuse.
+    EXPECT_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                           "    atomic_store(x, 1);\n"
+                           "    atomic_store(x, 1);\n}\n"
+                           "exists (true)\n"),
+                 std::runtime_error);
+    // Without a condition there is nothing to reconstruct, so the same
+    // program is acceptable (values are not part of the IR).
+    EXPECT_NO_THROW(parseHerd("C a\n{ x=0; }\n\nP0 (atomic_int* x) {\n"
+                              "    atomic_store(x, 1);\n"
+                              "    atomic_store(x, 1);\n}\n"));
+}
+
+} // namespace
+} // namespace lts::litmus

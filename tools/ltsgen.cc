@@ -12,16 +12,25 @@
  *   ltsgen --model=scc --out=scc.litmus --stats
  *   ltsgen --model=power --max-size=5 --jobs=8       # sharded synthesis
  *   ltsgen --audit=suite.litmus --model=tso          # minimality audit
+ *   ltsgen --model=tso --emit-litmus=out/            # herd7 .litmus files
+ *   ltsgen --model=c11 --emit-cxx=out/               # C++11 harnesses
+ *   ltsgen --import-litmus=out/ --out=suite.txt      # .litmus -> interchange
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_util.hh"
 #include "common/flags.hh"
+#include "common/strings.hh"
 #include "common/timer.hh"
+#include "litmus/cxx.hh"
 #include "litmus/format.hh"
+#include "litmus/herd.hh"
 #include "litmus/print.hh"
 #include "mm/registry.hh"
 #include "synth/minimality.hh"
@@ -33,26 +42,148 @@ using namespace lts;
 namespace
 {
 
-int
-runAudit(const mm::Model &model, const std::string &path)
+// Distinct --strict-audit exit codes so CI can tell verdicts apart.
+constexpr int kExitNotMinimal = 2;
+constexpr int kExitUnsupported = 3;
+
+/** True iff @p text is our interchange format (vs a herd7 .litmus file). */
+bool
+looksLikeInterchange(const std::string &text)
 {
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "ltsgen: cannot open %s\n", path.c_str());
-        return 1;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string s = trim(line);
+        if (s.empty() || s[0] == '#')
+            continue;
+        return startsWith(s, "LTS ");
     }
+    return false;
+}
+
+/**
+ * Load tests from @p path: an interchange suite, a single .litmus file
+ * (format auto-detected), or a directory of .litmus files (sorted by
+ * name, so the NNN_ prefixes --emit-litmus writes preserve suite order).
+ */
+bool
+loadTests(const std::string &path, std::vector<litmus::LitmusTest> &out)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (const auto &entry : fs::directory_iterator(path, ec)) {
+            if (entry.path().extension() == ".litmus")
+                files.push_back(entry.path());
+        }
+        if (files.empty()) {
+            std::fprintf(stderr, "ltsgen: no .litmus files in %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::sort(files.begin(), files.end());
+    } else {
+        files.emplace_back(path);
+    }
+    for (const auto &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "ltsgen: cannot open %s\n",
+                         file.string().c_str());
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string text = buf.str();
+        try {
+            if (looksLikeInterchange(text)) {
+                std::istringstream suite_in(text);
+                auto suite = litmus::parseLitmusSuite(suite_in);
+                out.insert(out.end(), suite.begin(), suite.end());
+            } else {
+                out.push_back(litmus::parseHerd(text));
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "ltsgen: %s: %s\n",
+                         file.string().c_str(), e.what());
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Write one file per test into @p dir (NNN_name.litmus or .cc) plus an
+ * @all index listing them in suite order.
+ */
+bool
+emitSuiteFiles(const std::vector<litmus::LitmusTest> &tests,
+               const std::string &dir, bool cxx_mode,
+               const std::string &model_name)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "ltsgen: cannot create %s: %s\n", dir.c_str(),
+                     ec.message().c_str());
+        return false;
+    }
+    std::ofstream index(dir + "/@all");
+    if (!index) {
+        std::fprintf(stderr, "ltsgen: cannot write %s/@all\n", dir.c_str());
+        return false;
+    }
+    // Index prefixes must sort lexically in suite order, so pad them to
+    // a uniform width (≥3) covering the largest index.
+    int width = 3;
+    for (size_t n = tests.size(); n > 1000; n = (n + 9) / 10)
+        width++;
+    for (size_t i = 0; i < tests.size(); i++) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "%0*u", width,
+                      static_cast<unsigned>(i));
+        std::string fname = std::string(prefix) + "_" +
+                            litmus::sanitizeTestName(tests[i].name) +
+                            (cxx_mode ? ".cc" : ".litmus");
+        std::ofstream f(dir + "/" + fname);
+        if (!f) {
+            std::fprintf(stderr, "ltsgen: cannot write %s/%s\n",
+                         dir.c_str(), fname.c_str());
+            return false;
+        }
+        if (cxx_mode) {
+            litmus::CxxOptions opt;
+            opt.modelName = model_name;
+            f << litmus::writeCxxHarness(tests[i], opt);
+        } else {
+            litmus::HerdOptions opt;
+            opt.modelName = model_name;
+            f << litmus::writeHerd(tests[i], opt);
+        }
+        index << fname << "\n";
+    }
+    return true;
+}
+
+int
+runAudit(const mm::Model &model, const std::string &path, bool strict)
+{
     std::vector<litmus::LitmusTest> tests;
-    try {
-        tests = litmus::parseLitmusSuite(in);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+    if (!loadTests(path, tests))
         return 1;
-    }
     int redundant = 0;
     int unsupported = 0;
     for (const auto &t : tests) {
         synth::AuditStatus status;
-        auto axioms = synth::minimalAxioms(model, t, &status);
+        std::vector<std::string> axioms;
+        try {
+            axioms = synth::minimalAxioms(model, t, &status);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "ltsgen: %s: %s\n", t.name.c_str(),
+                         e.what());
+            return 1;
+        }
         if (status == synth::AuditStatus::Unsupported) {
             // Not a minimality verdict: the lone-sc workaround cannot
             // audit tests with more than two SC fences.
@@ -76,6 +207,14 @@ runAudit(const mm::Model &model, const std::string &path)
                     "configuration)\n",
                     unsupported);
     }
+    if (strict) {
+        // Unsupported outranks not-minimal: "could not check" must never
+        // read as a (failed or passed) minimality verdict.
+        if (unsupported)
+            return kExitUnsupported;
+        if (redundant)
+            return kExitNotMinimal;
+    }
     return 0;
 }
 
@@ -95,8 +234,21 @@ main(int argc, char **argv)
     flags.declare("pretty", "false",
                   "print human-readable tables instead of .litmus text");
     flags.declare("audit", "",
-                  "audit an existing .litmus suite for minimality "
-                  "instead of synthesizing");
+                  "audit an existing suite for minimality instead of "
+                  "synthesizing (interchange or herd7 format, "
+                  "auto-detected; a directory audits its *.litmus files)");
+    flags.declare("strict-audit", "false",
+                  "with --audit: exit 2 if any test is not minimally "
+                  "synchronized, 3 if any test could not be audited");
+    flags.declare("emit-litmus", "",
+                  "also write each test as a herd7 NNN_name.litmus file "
+                  "into this directory (plus an @all index)");
+    flags.declare("emit-cxx", "",
+                  "also write each test as a self-contained C++11 stress "
+                  "harness NNN_name.cc into this directory");
+    flags.declare("import-litmus", "",
+                  "skip synthesis; load tests from this file or directory "
+                  "of .litmus files and re-emit them (--out, --emit-*)");
     flags.declare("bench-json", "",
                   "write a BENCH_*.json baseline for this run ('' = skip); "
                   "emitted even when no tests are found, so sweeps always "
@@ -112,8 +264,51 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (!flags.get("audit").empty())
-        return runAudit(*model, flags.get("audit"));
+    if (!flags.get("audit").empty()) {
+        return runAudit(*model, flags.get("audit"),
+                        flags.getBool("strict-audit"));
+    }
+
+    if (!flags.get("import-litmus").empty()) {
+        std::vector<litmus::LitmusTest> tests;
+        if (!loadTests(flags.get("import-litmus"), tests))
+            return 1;
+        bool emitted = false;
+        if (!flags.get("emit-litmus").empty()) {
+            if (!emitSuiteFiles(tests, flags.get("emit-litmus"), false,
+                                model->name()))
+                return 1;
+            emitted = true;
+        }
+        if (!flags.get("emit-cxx").empty()) {
+            if (!emitSuiteFiles(tests, flags.get("emit-cxx"), true,
+                                model->name()))
+                return 1;
+            emitted = true;
+        }
+        // Emitting per-test files makes a stdout suite dump noise, but an
+        // explicit --out still gets the interchange form.
+        if (emitted && flags.get("out") == "-")
+            return 0;
+        std::ofstream file;
+        std::ostream *out = &std::cout;
+        if (flags.get("out") != "-") {
+            file.open(flags.get("out"));
+            if (!file) {
+                std::fprintf(stderr, "ltsgen: cannot write %s\n",
+                             flags.get("out").c_str());
+                return 1;
+            }
+            out = &file;
+        }
+        if (flags.getBool("pretty")) {
+            for (const auto &t : tests)
+                *out << litmus::toString(t) << "\n";
+        } else {
+            litmus::writeLitmusSuite(*out, tests);
+        }
+        return 0;
+    }
 
     synth::SynthOptions opt;
     try {
@@ -141,23 +336,41 @@ main(int argc, char **argv)
         suite = synth::synthesizeAxiom(*model, axiom, opt);
     }
 
-    std::ofstream file;
-    std::ostream *out = &std::cout;
-    if (flags.get("out") != "-") {
-        file.open(flags.get("out"));
-        if (!file) {
-            std::fprintf(stderr, "ltsgen: cannot write %s\n",
-                         flags.get("out").c_str());
+    bool emitted = false;
+    if (!flags.get("emit-litmus").empty()) {
+        if (!emitSuiteFiles(suite.tests, flags.get("emit-litmus"), false,
+                            model->name()))
             return 1;
-        }
-        out = &file;
+        emitted = true;
+    }
+    if (!flags.get("emit-cxx").empty()) {
+        if (!emitSuiteFiles(suite.tests, flags.get("emit-cxx"), true,
+                            model->name()))
+            return 1;
+        emitted = true;
     }
 
-    if (flags.getBool("pretty")) {
-        for (const auto &t : suite.tests)
-            *out << litmus::toString(t) << "\n";
-    } else {
-        litmus::writeLitmusSuite(*out, suite.tests);
+    // Per-test emission replaces the stdout dump unless --out was given
+    // explicitly; stats and bench-json below still run either way.
+    if (!emitted || flags.get("out") != "-") {
+        std::ofstream file;
+        std::ostream *out = &std::cout;
+        if (flags.get("out") != "-") {
+            file.open(flags.get("out"));
+            if (!file) {
+                std::fprintf(stderr, "ltsgen: cannot write %s\n",
+                             flags.get("out").c_str());
+                return 1;
+            }
+            out = &file;
+        }
+
+        if (flags.getBool("pretty")) {
+            for (const auto &t : suite.tests)
+                *out << litmus::toString(t) << "\n";
+        } else {
+            litmus::writeLitmusSuite(*out, suite.tests);
+        }
     }
 
     if (flags.getBool("stats")) {
