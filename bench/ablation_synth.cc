@@ -81,7 +81,7 @@ main(int argc, char **argv)
         opt.minSize = 2;
         opt.maxSize = max_size;
         Timer merged_timer;
-        auto suites = synth::synthesizeAll(*model, opt);
+        auto suites = bench::querySuites(*model, opt);
         double merged_s = merged_timer.seconds();
         Timer direct_timer;
         synth::Suite direct = synth::synthesizeUnionDirect(*model, opt);

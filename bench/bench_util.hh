@@ -17,6 +17,8 @@
 #include "common/strings.hh"
 #include "common/timer.hh"
 #include "litmus/canon.hh"
+#include "litmus/digest.hh"
+#include "synth/service.hh"
 #include "synth/synthesizer.hh"
 
 namespace lts::bench
@@ -180,27 +182,47 @@ struct ModeRun
 };
 
 /**
- * Stable digest of a suite's content: every test's full canonical
- * serialization folded into one 64-bit hash. Two runs produce the same
- * digest iff their suites are byte-identical, which is how the bench
- * smoke job asserts SBP on/off equivalence without shipping suites.
+ * Stable digest of a suite's content, in the versioned
+ * litmus::suiteDigest format ("lts-suite-v1:<16 hex>"). Two runs
+ * produce the same digest iff their suites are byte-identical, which is
+ * how the bench smoke job asserts SBP on/off equivalence without
+ * shipping suites — and how these digests stay comparable with the ones
+ * the suite store and ltsd report.
  */
 inline std::string
 suiteDigest(const synth::Suite &suite)
 {
-    uint64_t h = hashInit();
-    for (const auto &test : suite.tests)
-        h = hashCombine(h, litmus::fullSerialize(test));
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return litmus::suiteDigest(suite.tests);
 }
 
 /**
- * Run synthesizeAll under one engine mode and record the solver-work
- * and runtime numbers the BENCH_*.json files report. The suites go to
- * *out when the caller also wants the figure tables.
+ * Synthesize every per-axiom suite (plus the union) for @p model
+ * through the service layer — the one front door into synthesis. A
+ * store-less Service degenerates to a plain engine run honoring every
+ * knob in @p opt, so benches measure exactly what they always measured.
+ */
+inline std::vector<synth::Suite>
+querySuites(const mm::Model &model, const synth::SynthOptions &opt,
+            synth::SuiteResult *result_out = nullptr)
+{
+    synth::SuiteRequest request;
+    request.model = model.name();
+    request.maxSize = opt.maxSize;
+    request.options = opt;
+    synth::Service service;
+    synth::SuiteResult result = service.query(model, request);
+    if (result_out) {
+        *result_out = std::move(result);
+        return result_out->suites;
+    }
+    return std::move(result.suites);
+}
+
+/**
+ * Run one full synthesis under one engine mode and record the
+ * solver-work and runtime numbers the BENCH_*.json files report. Counts
+ * come from the SuiteResult's SynthProgress snapshot, not live atomics.
+ * The suites go to *out when the caller also wants the figure tables.
  */
 inline ModeRun
 measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
@@ -208,10 +230,10 @@ measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
 {
     opt.incremental = incremental;
     opt.symmetryBreaking = sbp;
-    synth::SynthProgress progress;
-    opt.progress = &progress;
     Timer wall;
-    auto suites = synth::synthesizeAll(model, opt);
+    synth::SuiteResult result;
+    querySuites(model, opt, &result);
+    const synth::SynthProgressSnapshot &progress = result.progress;
     ModeRun run;
     run.mode = incremental ? "incremental" : "from-scratch";
     if (!sbp)
@@ -224,23 +246,23 @@ measureMode(const mm::Model &model, synth::SynthOptions opt, bool incremental,
     run.simplify = opt.simplify;
     run.shareClauses = opt.shareClauses;
     run.wallSeconds = wall.seconds();
-    run.cpuSeconds = aggregateCpuSeconds(suites);
-    run.jobsQueued = progress.jobsQueued.load();
-    run.jobsDone = progress.jobsDone.load();
-    run.conflicts = progress.conflicts.load();
-    run.restarts = progress.restarts.load();
-    run.instances = progress.instances.load();
-    run.sbpClauses = progress.sbpClauses.load();
-    run.eliminatedVars = progress.eliminatedVars.load();
-    run.subsumedClauses = progress.subsumedClauses.load();
-    run.importedClauses = progress.importedClauses.load();
-    run.exportedClauses = progress.exportedClauses.load();
-    run.instancesBySize = suites.back().instancesBySize;
-    run.keptBySize = suites.back().testsBySize;
-    run.sbpClausesBySize = suites.back().sbpClausesBySize;
-    run.suiteDigest = suiteDigest(suites.back());
+    run.cpuSeconds = aggregateCpuSeconds(result.suites);
+    run.jobsQueued = progress.jobsQueued;
+    run.jobsDone = progress.jobsDone;
+    run.conflicts = progress.conflicts;
+    run.restarts = progress.restarts;
+    run.instances = progress.instances;
+    run.sbpClauses = progress.sbpClauses;
+    run.eliminatedVars = progress.eliminatedVars;
+    run.subsumedClauses = progress.subsumedClauses;
+    run.importedClauses = progress.importedClauses;
+    run.exportedClauses = progress.exportedClauses;
+    run.instancesBySize = result.unionSuite().instancesBySize;
+    run.keptBySize = result.unionSuite().testsBySize;
+    run.sbpClausesBySize = result.unionSuite().sbpClausesBySize;
+    run.suiteDigest = result.suiteDigest;
     if (out)
-        *out = std::move(suites);
+        *out = std::move(result.suites);
     return run;
 }
 

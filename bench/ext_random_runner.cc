@@ -40,7 +40,7 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = flags.getInt("max-size");
-    auto suites = synth::synthesizeAll(*tso, opt);
+    auto suites = bench::querySuites(*tso, opt);
     const auto &tests = suites.back().tests;
 
     sim::RunnerOptions calm;

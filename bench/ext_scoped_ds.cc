@@ -80,7 +80,7 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
-    auto suites = synth::synthesizeAll(*sscc, opt);
+    auto suites = bench::querySuites(*sscc, opt);
     std::printf("\nTests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);
     std::printf("\nSuite generation runtime (seconds)\n");

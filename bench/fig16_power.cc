@@ -116,7 +116,7 @@ main(int argc, char **argv)
     if (flags.getBool("arm")) {
         std::printf("\nARMv7 (Power skeleton without lwsync):\n");
         auto arm = mm::makeModel("armv7");
-        auto arm_suites = synth::synthesizeAll(*arm, opt);
+        auto arm_suites = bench::querySuites(*arm, opt);
         bench::printSuiteTable(arm_suites, 2, max_size);
     }
 

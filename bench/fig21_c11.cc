@@ -41,7 +41,7 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
-    auto suites = synth::synthesizeAll(*c11, opt);
+    auto suites = bench::querySuites(*c11, opt);
 
     std::printf("\nTests per axiom per size bound\n");
     bench::printSuiteTable(suites, 2, max_size);

@@ -40,7 +40,7 @@ main(int argc, char **argv)
     synth::SynthOptions opt;
     opt.minSize = 2;
     opt.maxSize = max_size;
-    auto suites = synth::synthesizeAll(*tso, opt);
+    auto suites = bench::querySuites(*tso, opt);
     const synth::Suite &u = suites.back();
     std::printf("synthesized tso-union: %zu tests (bound %d, %.1fs)\n\n",
                 u.tests.size(), max_size, u.totalSeconds());

@@ -1,0 +1,35 @@
+#include "litmus/digest.hh"
+
+#include <cstdio>
+
+#include "common/hash.hh"
+#include "litmus/canon.hh"
+
+namespace lts::litmus
+{
+
+uint64_t
+suiteDigestValue(const std::vector<LitmusTest> &tests)
+{
+    uint64_t h = hashInit();
+    for (const auto &test : tests)
+        h = hashCombine(h, fullSerialize(test));
+    return h;
+}
+
+std::string
+formatSuiteDigest(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(kSuiteDigestFormat) + ":" + buf;
+}
+
+std::string
+suiteDigest(const std::vector<LitmusTest> &tests)
+{
+    return formatSuiteDigest(suiteDigestValue(tests));
+}
+
+} // namespace lts::litmus

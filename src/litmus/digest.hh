@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Versioned suite digests — the content addresses of the service layer.
+ *
+ * A suite digest is a stable 64-bit hash of every test's full canonical
+ * serialization, rendered as "<format-tag>:<16 hex digits>". Two suites
+ * share a digest iff they are byte-identical in the interchange sense,
+ * which is what the bench smoke jobs, the suite store, and the ltsd
+ * cache all key on. The format tag names the serialization contract:
+ * any change to fullSerialize (or to this hash) must bump the tag so
+ * stale store entries and cross-version CI comparisons miss loudly
+ * instead of colliding silently. The current tag is pinned by
+ * tests/litmus/digest_test.cc.
+ */
+
+#ifndef LTS_LITMUS_DIGEST_HH
+#define LTS_LITMUS_DIGEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace lts::litmus
+{
+
+/**
+ * The digest format tag. Bump when fullSerialize or the fold changes:
+ * the tag is baked into every rendered digest, so store lookups keyed
+ * on an old format can never return bytes the new code misreads.
+ */
+inline constexpr const char *kSuiteDigestFormat = "lts-suite-v1";
+
+/** Raw 64-bit suite hash (fullSerialize of each test, folded in order). */
+uint64_t suiteDigestValue(const std::vector<LitmusTest> &tests);
+
+/** Rendered digest: "<kSuiteDigestFormat>:<16 hex digits>". */
+std::string suiteDigest(const std::vector<LitmusTest> &tests);
+
+/** Render an already-computed 64-bit hash in the versioned format. */
+std::string formatSuiteDigest(uint64_t value);
+
+} // namespace lts::litmus
+
+#endif // LTS_LITMUS_DIGEST_HH

@@ -1,8 +1,11 @@
 #include "mm/model.hh"
 
+#include <cstdio>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 
+#include "common/hash.hh"
 #include "mm/exprs.hh"
 
 namespace lts::mm
@@ -84,6 +87,88 @@ Model::axiom(const std::string &name) const
             return a;
     }
     throw std::out_of_range("model " + modelName + " has no axiom " + name);
+}
+
+Axiom &
+Model::axiomMut(const std::string &name)
+{
+    for (auto &a : axiomList) {
+        if (a.name == name) {
+            // The caller may swap predicates through this reference at
+            // any later point, so memoization is permanently unsound for
+            // this model — not just stale now.
+            digestMemoDisabled = true;
+            digestMemo.clear();
+            return a;
+        }
+    }
+    throw std::out_of_range("model " + modelName + " has no axiom " + name);
+}
+
+std::string
+Model::digest() const
+{
+    if (!digestMemo.empty())
+        return digestMemo;
+    // The digest covers everything a formula can observe about the
+    // definition, rendered at two probe sizes: formulas are functions of
+    // n, and n = 2 alone can hide size-dependent structure (closures over
+    // constants, the index order) that n = 3 exposes. Rendering via
+    // toString makes the digest a pure function of the definition —
+    // independent of pointer values, process layout, or build — at the
+    // cost of being conservative: two syntactically different but
+    // equivalent predicates hash apart and merely miss the cache.
+    uint64_t h = hashInit();
+    h = hashCombine(h, std::string_view("lts-model-v1"));
+    h = hashCombine(h, modelName);
+    for (bool flag : {feats.fences, feats.deps, feats.rmw,
+                      feats.acqRelAccess, feats.scAccess, feats.acqRelFence,
+                      feats.scFence, feats.scOrder, feats.scopes})
+        h = hashCombine(h, static_cast<uint64_t>(flag));
+    for (size_t i = 0; i < vocabulary.size(); i++) {
+        const VarDecl &d = vocabulary.decl(static_cast<int>(i));
+        h = hashCombine(h, d.name);
+        h = hashCombine(h, static_cast<uint64_t>(d.arity));
+    }
+    for (size_t n : {size_t(2), size_t(3)}) {
+        h = hashCombine(h, static_cast<uint64_t>(n));
+        for (const auto &fact : wellFormedFacts(n)) {
+            h = hashCombine(h, fact.label);
+            h = hashCombine(h, fact.formula->toString());
+        }
+        for (const auto &a : axiomList) {
+            h = hashCombine(h, a.name);
+            h = hashCombine(h, a.pred(*this, baseEnv, n)->toString());
+            if (a.relaxedPred) {
+                h = hashCombine(h,
+                                a.relaxedPred(*this, baseEnv, n)->toString());
+            }
+        }
+        for (const auto &r : relaxList) {
+            h = hashCombine(h, toString(r.tag));
+            h = hashCombine(h, r.name);
+            h = hashCombine(h, r.demoteFrom.value_or(""));
+            h = hashCombine(h, r.demoteTo.value_or(""));
+            h = hashCombine(h, r.demoteCarrier);
+            for (size_t e = 0; e < n; e++) {
+                ExprPtr ev = singleton(e, n);
+                h = hashCombine(h, r.applies(baseEnv, ev, n)->toString());
+                // The perturbation is a function on environments; its
+                // observable effect is how the axioms read through the
+                // perturbed relations, so hash that rendering.
+                Env perturbed = r.perturb(baseEnv, ev, n);
+                h = hashCombine(
+                    h, allAxiomsRelaxed(perturbed, n)->toString());
+            }
+        }
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    if (digestMemoDisabled)
+        return buf;
+    digestMemo = buf;
+    return digestMemo;
 }
 
 std::vector<NamedFact>

@@ -132,8 +132,28 @@ class Model
     /** Find an axiom by name (throws if absent). */
     const Axiom &axiom(const std::string &name) const;
 
-    void addAxiom(Axiom axiom) { axiomList.push_back(std::move(axiom)); }
-    void addRelaxation(Relaxation r) { relaxList.push_back(std::move(r)); }
+    /**
+     * Mutable access to an axiom by name (throws if absent), for edit
+     * and perturbation tooling: the service layer's shard-invalidation
+     * tests swap an axiom's predicate in place and assert that only
+     * that axiom's cache shards re-synthesize. digest() reflects the
+     * edit on its next call.
+     */
+    Axiom &axiomMut(const std::string &name);
+
+    void
+    addAxiom(Axiom axiom)
+    {
+        digestMemo.clear();
+        axiomList.push_back(std::move(axiom));
+    }
+
+    void
+    addRelaxation(Relaxation r)
+    {
+        digestMemo.clear();
+        relaxList.push_back(std::move(r));
+    }
 
     /** Extra well-formedness facts specific to this model. */
     void
@@ -149,6 +169,7 @@ class Model
         std::string label,
         std::function<rel::FormulaPtr(const Model &, const Env &, size_t)> f)
     {
+        digestMemo.clear();
         extraFacts.push_back({std::move(label), std::move(f)});
     }
 
@@ -205,6 +226,19 @@ class Model
      */
     rel::SymmetrySpec symmetrySpec(size_t n) const;
 
+    /**
+     * Stable canonical digest of the model *definition*: a 16-hex-digit
+     * hash over the name, feature switches, vocabulary, well-formedness
+     * facts, every axiom's (plain and relaxed) predicate, and every
+     * relaxation's applicability and perturbation effect, each rendered
+     * at small probe sizes. Two processes — today's and a restarted
+     * one — compute the same digest for the same definition, so it is
+     * usable as a persistent cache key (the suite store and ltsd key on
+     * it); any semantic edit to the model changes it. A format-version
+     * tag is folded in, so digest changes across format revisions too.
+     */
+    std::string digest() const;
+
     /** The relation-variable ids forming a test's *static* part. */
     std::vector<int> staticVarIds() const;
 
@@ -225,6 +259,14 @@ class Model
     std::vector<Axiom> axiomList;
     std::vector<Relaxation> relaxList;
     std::vector<ExtraFact> extraFacts;
+
+    /// digest() memoization; cleared by every mutator (axiomMut,
+    /// addAxiom, addRelaxation, addExtraFact) so edits re-hash. axiomMut
+    /// additionally disables memoization for good: the reference it
+    /// returns lets callers mutate predicates at any later point, where
+    /// a repopulated memo would silently go stale.
+    mutable std::string digestMemo;
+    bool digestMemoDisabled = false;
 };
 
 // --- generic relaxation builders (Figure 6 made reusable) -------------------

@@ -1,0 +1,37 @@
+#include "store/crc32.hh"
+
+#include <array>
+
+namespace lts::store
+{
+
+namespace
+{
+
+/** The 256-entry lookup table for the reflected IEEE polynomial. */
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; i++) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; i++)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return crc;
+}
+
+} // namespace lts::store

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC-32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320) for the
+ * suite store's record checksums. Self-contained — the project does not
+ * link zlib — and byte-order independent: the checksum is a function of
+ * the byte stream only, so segment files move between machines.
+ */
+
+#ifndef LTS_STORE_CRC32_HH
+#define LTS_STORE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lts::store
+{
+
+/** Incremental CRC-32: fold @p len bytes at @p data into @p crc.
+ *  Start chains from crc32Init() and finish with crc32Final(). */
+uint32_t crc32Update(uint32_t crc, const void *data, size_t len);
+
+/** Initial value of an incremental CRC-32 chain. */
+inline uint32_t
+crc32Init()
+{
+    return 0xffffffffu;
+}
+
+/** Close an incremental chain (final bit inversion). */
+inline uint32_t
+crc32Final(uint32_t crc)
+{
+    return crc ^ 0xffffffffu;
+}
+
+/** One-shot CRC-32 of a byte string. */
+inline uint32_t
+crc32(std::string_view bytes)
+{
+    return crc32Final(crc32Update(crc32Init(), bytes.data(), bytes.size()));
+}
+
+} // namespace lts::store
+
+#endif // LTS_STORE_CRC32_HH

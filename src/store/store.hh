@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The content-addressed suite store (the persistence layer behind ltsd
+ * and `ltsgen query`).
+ *
+ * A SuiteStore is a single log-structured segment file plus an in-memory
+ * index rebuilt by scanning it on open. Values are canonical suite/shard
+ * bytes keyed by digest-derived strings (see synth/service.hh for the
+ * key scheme: (modelDigest, bound, optionsDigest) manifests pointing at
+ * content-addressed shard records). The format is deliberately dumb:
+ *
+ *   record := magic  u32 LE   ("LTS1", 0x3153544c)
+ *             type   u8       (1 = put, 2 = tombstone)
+ *             keyLen u32 LE
+ *             valLen u32 LE   (0 for tombstones)
+ *             key    bytes
+ *             value  bytes
+ *             crc    u32 LE   (CRC-32 of type..value)
+ *
+ * Appends are single write(2) calls; a crash can only tear the tail.
+ * On open, the scan stops at the first record that is incomplete or
+ * fails its CRC and truncates the file there — everything after a torn
+ * record is unreachable by construction in an append-only log, so
+ * dropping it loses at most the writes that never returned. Updates
+ * append a fresh record (the index keeps the newest offset); compact()
+ * rewrites only live records into a temp segment and renames it into
+ * place, which is atomic within a directory.
+ *
+ * Reads go through an LRU page cache bounded by a byte budget, so a
+ * daemon answering repeat queries serves hot suites from memory without
+ * holding the whole store. The class is not thread-safe; ltsd serializes
+ * requests onto one thread.
+ */
+
+#ifndef LTS_STORE_STORE_HH
+#define LTS_STORE_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lts::store
+{
+
+/** Counters reported by `lts-store stats` and the daemon's status line. */
+struct StoreStats
+{
+    uint64_t liveKeys = 0;   ///< keys with a current value
+    uint64_t records = 0;    ///< records in the segment (incl. superseded)
+    uint64_t fileBytes = 0;  ///< segment file size
+    uint64_t liveBytes = 0;  ///< bytes of live records
+    uint64_t deadBytes = 0;  ///< bytes reclaimable by compact()
+    uint64_t tornBytesDropped = 0; ///< tail bytes truncated on open
+    uint64_t cacheBytes = 0;     ///< value bytes resident in the LRU cache
+    uint64_t cacheHits = 0;      ///< get() answered from cache
+    uint64_t cacheMisses = 0;    ///< get() read from the segment
+    uint64_t cacheEvictions = 0; ///< values evicted to fit the budget
+};
+
+/** Result of a full-segment integrity scan (`lts-store fsck`). */
+struct FsckReport
+{
+    uint64_t records = 0;   ///< intact records scanned
+    uint64_t liveKeys = 0;  ///< distinct keys with a live value
+    uint64_t badCrc = 0;    ///< records whose checksum failed
+    uint64_t tornBytes = 0; ///< trailing bytes not forming a whole record
+
+    bool
+    clean() const
+    {
+        return badCrc == 0 && tornBytes == 0;
+    }
+
+    std::string summary() const;
+};
+
+/**
+ * Read-only integrity scan of a segment file. Unlike opening a
+ * SuiteStore (which truncates a torn tail as part of recovery), this
+ * never modifies the file — it is what `lts-store fsck` runs. Throws
+ * std::runtime_error when the file cannot be opened.
+ */
+FsckReport fsckSegment(const std::string &segment_path);
+
+class SuiteStore
+{
+  public:
+    static constexpr size_t kDefaultCacheBudget = 64u << 20;
+
+    /**
+     * Open (creating if needed) the store rooted at directory @p dir;
+     * the segment lives at dir/segment.log. Scans the segment to
+     * rebuild the index, truncating a torn tail. Throws
+     * std::runtime_error when the directory or segment is unusable.
+     */
+    explicit SuiteStore(std::string dir,
+                        size_t cache_budget = kDefaultCacheBudget);
+    ~SuiteStore();
+
+    SuiteStore(const SuiteStore &) = delete;
+    SuiteStore &operator=(const SuiteStore &) = delete;
+
+    /** Store @p value under @p key (appends; supersedes prior values). */
+    void put(const std::string &key, const std::string &value);
+
+    /** Fetch the live value for @p key, via the LRU cache. */
+    std::optional<std::string> get(const std::string &key);
+
+    /** True iff @p key has a live value (no I/O). */
+    bool contains(const std::string &key) const;
+
+    /** Tombstone @p key (no-op when absent). */
+    void erase(const std::string &key);
+
+    /** Live keys in unspecified order. */
+    std::vector<std::string> keys() const;
+
+    StoreStats stats() const;
+
+    /** Re-scan the whole segment, checking every record's CRC. */
+    FsckReport fsck() const;
+
+    /**
+     * Rewrite live records into a fresh segment (temp file + atomic
+     * rename), dropping superseded records and tombstones. Returns the
+     * number of bytes reclaimed.
+     */
+    uint64_t compact();
+
+    /** fsync the segment (appends are otherwise only write(2)-durable). */
+    void flush();
+
+    const std::string &directory() const { return dir; }
+    std::string segmentPath() const;
+
+  private:
+    struct Entry
+    {
+        uint64_t valueOffset = 0; ///< file offset of the value bytes
+        uint32_t valueLen = 0;
+        uint64_t recordBytes = 0; ///< whole-record size, for dead-byte math
+    };
+
+    void openSegment();
+    void scanSegment();
+    void appendRecord(uint8_t type, const std::string &key,
+                      const std::string &value);
+    void cacheInsert(const std::string &key, std::string value);
+    void cacheErase(const std::string &key);
+
+    std::string dir;
+    int fd = -1;
+    uint64_t fileSize = 0;
+
+    std::unordered_map<std::string, Entry> index;
+    uint64_t deadBytes = 0;
+    uint64_t recordCount = 0;
+    uint64_t tornDropped = 0;
+
+    // LRU cache: most-recent at the front; lookup maps key -> list node.
+    size_t cacheBudget;
+    size_t cacheBytes = 0;
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::
+                           iterator>
+        cacheMap;
+    mutable uint64_t hits = 0, misses = 0, evictions = 0;
+};
+
+} // namespace lts::store
+
+#endif // LTS_STORE_STORE_HH

@@ -1,0 +1,93 @@
+#include "store/wire.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace lts::store
+{
+
+namespace
+{
+
+bool
+writeAll(int fd, const char *p, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, char *p, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-frame
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameType type, std::string_view payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    char header[5] = {
+        static_cast<char>(len & 0xff),
+        static_cast<char>((len >> 8) & 0xff),
+        static_cast<char>((len >> 16) & 0xff),
+        static_cast<char>((len >> 24) & 0xff),
+        static_cast<char>(type),
+    };
+    // One buffered write keeps frames contiguous even if a signal lands
+    // between header and payload on the slow path.
+    std::string buf;
+    buf.reserve(sizeof header + payload.size());
+    buf.append(header, sizeof header);
+    buf.append(payload);
+    return writeAll(fd, buf.data(), buf.size());
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    char header[5];
+    if (!readAll(fd, header, sizeof header))
+        return false;
+    uint32_t len = static_cast<uint32_t>(static_cast<unsigned char>(header[0])) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
+                    << 8) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
+                    << 16) |
+                   (static_cast<uint32_t>(static_cast<unsigned char>(header[3]))
+                    << 24);
+    if (len > kMaxFramePayload)
+        return false;
+    out.type = static_cast<FrameType>(header[4]);
+    out.payload.assign(len, '\0');
+    if (len > 0 && !readAll(fd, out.payload.data(), len))
+        return false;
+    return true;
+}
+
+} // namespace lts::store

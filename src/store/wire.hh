@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Length-prefixed frames for the ltsd wire protocol.
+ *
+ * Every message on the daemon's unix-domain socket is one frame:
+ *
+ *   frame := payloadLen u32 LE   (bytes of payload only)
+ *            type       u8
+ *            payload    bytes
+ *
+ * The protocol is a strict request/response exchange with streamed
+ * progress: the client sends one Request frame, the server replies with
+ * zero or more Progress frames followed by exactly one Result or Error
+ * frame. Shutdown asks the server to exit after acknowledging with an
+ * empty Result. Payloads are the line-oriented texts defined in
+ * synth/service.hh (serializeSuiteRequest / serializeSuiteResult);
+ * framing is payload-agnostic.
+ */
+
+#ifndef LTS_STORE_WIRE_HH
+#define LTS_STORE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lts::store
+{
+
+enum class FrameType : uint8_t
+{
+    Request = 1,  ///< client -> server: a serialized SuiteRequest
+    Progress = 2, ///< server -> client: human-readable progress line
+    Result = 3,   ///< server -> client: a serialized SuiteResult
+    Error = 4,    ///< server -> client: diagnostic text; ends the exchange
+    Ping = 5,     ///< client -> server: liveness probe (empty Result back)
+    Shutdown = 6, ///< client -> server: exit after the empty Result ack
+};
+
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Refuse frames beyond this size rather than allocating blindly. */
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+/**
+ * Write one frame to @p fd, looping over partial writes. Returns false
+ * on any write error (EPIPE when the peer vanished included).
+ */
+bool writeFrame(int fd, FrameType type, std::string_view payload);
+
+/**
+ * Read one frame from @p fd. Returns false on clean EOF before any
+ * byte, on a truncated frame, or on an oversized length prefix.
+ */
+bool readFrame(int fd, Frame &out);
+
+} // namespace lts::store
+
+#endif // LTS_STORE_WIRE_HH

@@ -41,21 +41,6 @@ struct Track
 /** The formula shared by every track at a given size (incremental). */
 using BaseFormulaFn = std::function<rel::FormulaPtr(size_t)>;
 
-/**
- * Result of one (track, size) query family: tests are canonicalized
- * (per the options), deduplicated within the job, and sorted by their
- * canonical serialization so merge order never depends on enumeration
- * order.
- */
-struct SizeJobResult
-{
-    std::vector<LitmusTest> tests;
-    uint64_t rawInstances = 0;
-    uint64_t sbpClauses = 0;
-    bool truncated = false;
-    double seconds = 0;
-};
-
 /** Fold one job solver's SAT counters into the shared progress totals. */
 void
 accumulateSolverStats(SynthProgress *progress, const sat::SolverStats &stats)
@@ -140,14 +125,14 @@ validArrangements(const LitmusTest &test, bool by_full_key)
  * and blocking every valid image (orbit blocking), keeping the output
  * byte-identical to a run without symmetry breaking.
  */
-SizeJobResult
+ShardResult
 enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
                const std::vector<int> &block_vars,
                const std::vector<rel::FactHandle> &witness_layers,
                bool sbp_active, const SynthOptions &options)
 {
     Timer timer;
-    SizeJobResult result;
+    ShardResult result;
     size_t n = solver.encoder().universe();
     bool static_mode = !block_vars.empty();
     bool exact_canon =
@@ -353,7 +338,7 @@ installSymmetryBreaking(const mm::Model &model, rel::RelSolver &solver,
  * against the whole query. Both shapes activate the same constraint set
  * in every solve, so the enumerated suite is identical.
  */
-SizeJobResult
+ShardResult
 runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
            const Track &track, int size, const SynthOptions &options,
            sat::ClauseBank *bank)
@@ -383,7 +368,7 @@ runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
     if (options.blockStaticOnly)
         block_vars = model.staticVarIds();
 
-    SizeJobResult result = enumerateTrack(model, solver, block_vars,
+    ShardResult result = enumerateTrack(model, solver, block_vars,
                                           witness_layers, sbp_active, options);
     result.sbpClauses = sbp_clauses;
     accumulateSolverStats(options.progress, solver.satSolver().stats());
@@ -396,15 +381,20 @@ runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
  * enumerated with its blocking clauses guarded by the same layer, and
  * retracted before the next track — so learned clauses about the shared
  * encoding persist across the whole sweep while everything
- * track-specific dies with its layer.
+ * track-specific dies with its layer. @p mask, when non-null, selects
+ * which tracks to sweep (skipped tracks keep an empty result); each
+ * track's result is independent of which others run, because every
+ * track-specific clause dies with its layer.
  */
-std::vector<SizeJobResult>
+std::vector<ShardResult>
 runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
                       const std::vector<Track> &tracks, int size,
-                      const SynthOptions &options)
+                      const SynthOptions &options,
+                      const std::vector<char> *mask = nullptr)
 {
     size_t n = static_cast<size_t>(size);
-    std::vector<SizeJobResult> out(tracks.size());
+    std::vector<ShardResult> out(tracks.size());
+    auto selected = [&](size_t ti) { return !mask || (*mask)[ti]; };
 
     rel::RelSolver solver(model.vocab(), n);
     solver.addBaseFact(base(n));
@@ -413,25 +403,28 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
     uint64_t sbp_clauses = 0;
     bool sbp_active =
         installSymmetryBreaking(model, solver, n, options, sbp_clauses);
-    // The layer is shared by every track on this solver; attribute its
-    // clauses to the first track so per-size sums count them once.
-    out[0].sbpClauses = sbp_clauses;
 
     std::vector<int> block_vars;
     if (options.blockStaticOnly)
         block_vars = model.staticVarIds();
 
+    // The SBP layer is shared by every track on this solver; attribute
+    // its clauses to the first swept track so per-size sums count them
+    // once.
+    bool attributed_sbp = false;
     for (size_t ti = 0; ti < tracks.size(); ti++) {
+        if (!selected(ti))
+            continue;
         rel::FactHandle layer = solver.addFact(tracks[ti].layerFor(n));
         if (options.conflictBudget) {
             // Re-arm: the budget bounds each (axiom, size) query family,
             // not the lifetime of the shared solver.
             solver.satSolver().setConflictBudget(options.conflictBudget);
         }
-        uint64_t attributed = out[ti].sbpClauses;
         out[ti] = enumerateTrack(model, solver, block_vars, {layer},
                                  sbp_active, options);
-        out[ti].sbpClauses = attributed;
+        out[ti].sbpClauses = attributed_sbp ? 0 : sbp_clauses;
+        attributed_sbp = true;
         solver.retract(layer);
     }
 
@@ -440,60 +433,43 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
 }
 
 /**
- * Deterministic merge of one track's per-size results into a Suite:
- * sizes ascending, tests in canonical-key order within each size,
- * renamed "model/label#i" by final position.
+ * Run every selected shard job — inline for jobs <= 1, on a thread pool
+ * otherwise — returning the raw per-(track, size) results. The
+ * incremental engine shards per size (selected tracks swept on one
+ * shared solver); the from-scratch engine shards per (track, size).
+ * Each job owns its own RelSolver, so no SAT or relational state
+ * crosses threads. Deselected shards are skipped entirely: no job is
+ * queued and their result slots stay empty — the service layer fills
+ * them from the suite store.
  */
-Suite
-assembleSuite(const mm::Model &model, const std::string &label,
-              const std::vector<SizeJobResult> &by_size, int min_size)
-{
-    Suite suite;
-    suite.model = model.name();
-    suite.axiom = label;
-
-    std::set<std::string> seen;
-    for (size_t si = 0; si < by_size.size(); si++) {
-        const SizeJobResult &r = by_size[si];
-        int size = min_size + static_cast<int>(si);
-        int kept = 0;
-        for (const LitmusTest &test : r.tests) {
-            std::string key = litmus::staticSerialize(test);
-            if (seen.count(key))
-                continue;
-            seen.insert(key);
-            LitmusTest named = test;
-            named.name = model.name() + "/" + label + "#" +
-                         std::to_string(suite.tests.size());
-            suite.tests.push_back(std::move(named));
-            kept++;
-        }
-        suite.rawInstances += r.rawInstances;
-        suite.truncated = suite.truncated || r.truncated;
-        suite.testsBySize[size] = kept;
-        suite.secondsBySize[size] = r.seconds;
-        suite.instancesBySize[size] = r.rawInstances;
-        suite.sbpClausesBySize[size] = r.sbpClauses;
-    }
-    return suite;
-}
-
-/**
- * Run every shard job — inline for jobs <= 1, on a thread pool
- * otherwise — and assemble one Suite per track. The incremental engine
- * shards per size (all tracks swept on one shared solver); the
- * from-scratch engine shards per (track, size). Each job owns its own
- * RelSolver, so no SAT or relational state crosses threads; the merge
- * makes the output independent of scheduling.
- */
-std::vector<Suite>
-runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
-                   const std::vector<Track> &tracks,
-                   const SynthOptions &options)
+std::vector<std::vector<ShardResult>>
+runShardTracks(const mm::Model &model, const BaseFormulaFn &base,
+               const std::vector<Track> &tracks, const SynthOptions &options,
+               const ShardSelector &selector)
 {
     int num_sizes = std::max(0, options.maxSize - options.minSize + 1);
-    std::vector<std::vector<SizeJobResult>> results(
-        tracks.size(), std::vector<SizeJobResult>(num_sizes));
+    std::vector<std::vector<ShardResult>> results(
+        tracks.size(), std::vector<ShardResult>(num_sizes));
+
+    // mask[si][ti]: sweep track ti at size minSize + si.
+    std::vector<std::vector<char>> mask(
+        static_cast<size_t>(num_sizes),
+        std::vector<char>(tracks.size(), 1));
+    if (selector) {
+        for (int si = 0; si < num_sizes; si++) {
+            for (size_t ti = 0; ti < tracks.size(); ti++) {
+                mask[si][ti] = selector(tracks[ti].label,
+                                        options.minSize + si);
+            }
+        }
+    }
+    auto sizeSelected = [&](int si) {
+        for (char m : mask[si]) {
+            if (m)
+                return true;
+        }
+        return false;
+    };
 
     // Learnt-clause exchange between the from-scratch shards of each size
     // (they assert the same base encoding, so clauses over it transfer).
@@ -522,17 +498,25 @@ runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
     };
     auto run_incremental = [&](int si) {
         wrap([&] {
-            std::vector<SizeJobResult> per_track = runIncrementalSizeJob(
-                model, base, tracks, options.minSize + si, options);
-            for (size_t ti = 0; ti < tracks.size(); ti++)
-                results[ti][si] = std::move(per_track[ti]);
+            std::vector<ShardResult> per_track = runIncrementalSizeJob(
+                model, base, tracks, options.minSize + si, options,
+                &mask[static_cast<size_t>(si)]);
+            for (size_t ti = 0; ti < tracks.size(); ti++) {
+                if (mask[static_cast<size_t>(si)][ti])
+                    results[ti][si] = std::move(per_track[ti]);
+            }
         });
     };
 
-    uint64_t total_jobs =
-        options.incremental
-            ? static_cast<uint64_t>(num_sizes)
-            : static_cast<uint64_t>(tracks.size()) * num_sizes;
+    uint64_t total_jobs = 0;
+    for (int si = 0; si < num_sizes; si++) {
+        if (options.incremental) {
+            total_jobs += sizeSelected(si) ? 1 : 0;
+        } else {
+            for (size_t ti = 0; ti < tracks.size(); ti++)
+                total_jobs += mask[si][ti] ? 1 : 0;
+        }
+    }
     if (progress)
         progress->jobsQueued.fetch_add(total_jobs,
                                        std::memory_order_relaxed);
@@ -541,33 +525,53 @@ runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
     bool serial = options.jobs == 1 || threads <= 1 || total_jobs <= 1;
     if (options.incremental) {
         if (serial) {
-            for (int si = 0; si < num_sizes; si++)
-                run_incremental(si);
+            for (int si = 0; si < num_sizes; si++) {
+                if (sizeSelected(si))
+                    run_incremental(si);
+            }
         } else {
             ThreadPool pool(threads);
-            for (int si = 0; si < num_sizes; si++)
-                pool.submit([&run_incremental, si] { run_incremental(si); });
+            for (int si = 0; si < num_sizes; si++) {
+                if (sizeSelected(si))
+                    pool.submit(
+                        [&run_incremental, si] { run_incremental(si); });
+            }
             pool.wait();
         }
     } else if (serial) {
         for (size_t ti = 0; ti < tracks.size(); ti++) {
-            for (int si = 0; si < num_sizes; si++)
-                run_scratch(ti, si);
+            for (int si = 0; si < num_sizes; si++) {
+                if (mask[si][ti])
+                    run_scratch(ti, si);
+            }
         }
     } else {
         ThreadPool pool(threads);
         for (size_t ti = 0; ti < tracks.size(); ti++) {
-            for (int si = 0; si < num_sizes; si++)
-                pool.submit([&run_scratch, ti, si] { run_scratch(ti, si); });
+            for (int si = 0; si < num_sizes; si++) {
+                if (mask[si][ti])
+                    pool.submit(
+                        [&run_scratch, ti, si] { run_scratch(ti, si); });
+            }
         }
         pool.wait();
     }
+    return results;
+}
 
+/** runShardTracks plus the per-track merge into Suites. */
+std::vector<Suite>
+runSynthesisTracks(const mm::Model &model, const BaseFormulaFn &base,
+                   const std::vector<Track> &tracks,
+                   const SynthOptions &options)
+{
+    std::vector<std::vector<ShardResult>> results =
+        runShardTracks(model, base, tracks, options, nullptr);
     std::vector<Suite> suites;
     suites.reserve(tracks.size());
     for (size_t ti = 0; ti < tracks.size(); ti++) {
-        suites.push_back(assembleSuite(model, tracks[ti].label, results[ti],
-                                       options.minSize));
+        suites.push_back(assembleShardSuite(model, tracks[ti].label,
+                                            results[ti], options.minSize));
     }
     return suites;
 }
@@ -658,6 +662,168 @@ synthesizeAll(const mm::Model &model, const SynthOptions &options)
         runSynthesisTracks(model, baseFormula(model), tracks, options);
     suites.push_back(unionSuites(suites, options));
     return suites;
+}
+
+SynthProgressSnapshot
+SynthProgress::snapshot() const
+{
+    SynthProgressSnapshot s;
+    s.jobsQueued = jobsQueued.load(std::memory_order_relaxed);
+    s.jobsRunning = jobsRunning.load(std::memory_order_relaxed);
+    s.jobsDone = jobsDone.load(std::memory_order_relaxed);
+    s.conflicts = conflicts.load(std::memory_order_relaxed);
+    s.restarts = restarts.load(std::memory_order_relaxed);
+    s.instances = instances.load(std::memory_order_relaxed);
+    s.sbpClauses = sbpClauses.load(std::memory_order_relaxed);
+    s.eliminatedVars = eliminatedVars.load(std::memory_order_relaxed);
+    s.subsumedClauses = subsumedClauses.load(std::memory_order_relaxed);
+    s.importedClauses = importedClauses.load(std::memory_order_relaxed);
+    s.exportedClauses = exportedClauses.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+SynthProgress::reset()
+{
+    jobsQueued.store(0, std::memory_order_relaxed);
+    jobsRunning.store(0, std::memory_order_relaxed);
+    jobsDone.store(0, std::memory_order_relaxed);
+    conflicts.store(0, std::memory_order_relaxed);
+    restarts.store(0, std::memory_order_relaxed);
+    instances.store(0, std::memory_order_relaxed);
+    sbpClauses.store(0, std::memory_order_relaxed);
+    eliminatedVars.store(0, std::memory_order_relaxed);
+    subsumedClauses.store(0, std::memory_order_relaxed);
+    importedClauses.store(0, std::memory_order_relaxed);
+    exportedClauses.store(0, std::memory_order_relaxed);
+}
+
+Suite
+assembleShardSuite(const mm::Model &model, const std::string &label,
+                   const std::vector<ShardResult> &by_size, int min_size)
+{
+    Suite suite;
+    suite.model = model.name();
+    suite.axiom = label;
+
+    std::set<std::string> seen;
+    for (size_t si = 0; si < by_size.size(); si++) {
+        const ShardResult &r = by_size[si];
+        int size = min_size + static_cast<int>(si);
+        int kept = 0;
+        for (const LitmusTest &test : r.tests) {
+            std::string key = litmus::staticSerialize(test);
+            if (seen.count(key))
+                continue;
+            seen.insert(key);
+            LitmusTest named = test;
+            named.name = model.name() + "/" + label + "#" +
+                         std::to_string(suite.tests.size());
+            suite.tests.push_back(std::move(named));
+            kept++;
+        }
+        suite.rawInstances += r.rawInstances;
+        suite.truncated = suite.truncated || r.truncated;
+        suite.testsBySize[size] = kept;
+        suite.secondsBySize[size] = r.seconds;
+        suite.instancesBySize[size] = r.rawInstances;
+        suite.sbpClausesBySize[size] = r.sbpClauses;
+    }
+    return suite;
+}
+
+std::vector<std::vector<ShardResult>>
+synthesizeShards(const mm::Model &model, const SynthOptions &options,
+                 const ShardSelector &selector)
+{
+    std::vector<Track> tracks;
+    tracks.reserve(model.axioms().size());
+    for (const auto &axiom : model.axioms())
+        tracks.push_back(axiomTrack(model, axiom.name));
+    return runShardTracks(model, baseFormula(model), tracks, options,
+                          selector);
+}
+
+// --- BaseEncoding: a resident per-(model, size) encoding -------------------
+
+struct BaseEncoding::Impl
+{
+    Impl(const mm::Model &model, int size, const SynthOptions &options)
+        : size(size), solver(model.vocab(), static_cast<size_t>(size))
+    {
+        solver.addBaseFact(minimalityBase(model, static_cast<size_t>(size)));
+        if (options.simplify)
+            solver.simplifyBase();
+        sbpActive = installSymmetryBreaking(
+            model, solver, static_cast<size_t>(size), options, sbpClauses);
+        if (options.blockStaticOnly)
+            blockVars = model.staticVarIds();
+        lastStats = solver.satSolver().stats();
+    }
+
+    int size;
+    rel::RelSolver solver;
+    bool sbpActive = false;
+    uint64_t sbpClauses = 0;
+    bool sbpAttributed = false;
+    std::vector<int> blockVars;
+    sat::SolverStats lastStats;
+};
+
+BaseEncoding::BaseEncoding(const mm::Model &model, int size,
+                           const SynthOptions &options)
+    : impl(std::make_unique<Impl>(model, size, options))
+{
+}
+
+BaseEncoding::~BaseEncoding() = default;
+
+int
+BaseEncoding::size() const
+{
+    return impl->size;
+}
+
+ShardResult
+BaseEncoding::synthesizeShard(const mm::Model &model,
+                              const std::string &axiom_name,
+                              const SynthOptions &options)
+{
+    size_t n = static_cast<size_t>(impl->size);
+    rel::RelSolver &solver = impl->solver;
+    rel::FactHandle layer =
+        solver.addFact(axiomViolation(model, axiom_name, n));
+    if (options.conflictBudget)
+        solver.satSolver().setConflictBudget(options.conflictBudget);
+    if (options.progress) {
+        options.progress->jobsQueued.fetch_add(1, std::memory_order_relaxed);
+        options.progress->jobsRunning.fetch_add(1, std::memory_order_relaxed);
+    }
+    ShardResult result = enumerateTrack(model, solver, impl->blockVars,
+                                        {layer}, impl->sbpActive, options);
+    solver.retract(layer);
+    // Same attribution rule as the incremental sweep: the resident SBP
+    // layer's clauses are counted once, by the first shard swept here.
+    result.sbpClauses = impl->sbpAttributed ? 0 : impl->sbpClauses;
+    impl->sbpAttributed = true;
+
+    // The resident solver's counters are cumulative across shards (and
+    // across requests); report only this sweep's delta.
+    sat::SolverStats now = solver.satSolver().stats();
+    sat::SolverStats delta = now;
+    delta.conflicts -= impl->lastStats.conflicts;
+    delta.restarts -= impl->lastStats.restarts;
+    delta.eliminatedVars -= impl->lastStats.eliminatedVars;
+    delta.subsumedClauses -= impl->lastStats.subsumedClauses;
+    delta.importedClauses -= impl->lastStats.importedClauses;
+    delta.exportedClauses -= impl->lastStats.exportedClauses;
+    impl->lastStats = now;
+    accumulateSolverStats(options.progress, delta);
+    if (options.progress) {
+        options.progress->jobsRunning.fetch_sub(1, std::memory_order_relaxed);
+        options.progress->jobsDone.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
 }
 
 } // namespace lts::synth

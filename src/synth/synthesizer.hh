@@ -39,7 +39,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,9 +53,35 @@ namespace lts::synth
 {
 
 /**
+ * A point-in-time copy of the progress counters: plain integers, safe
+ * to store, compare, and serialize after the run. Drivers should copy
+ * one of these (SynthProgress::snapshot) into their results instead of
+ * reading the live atomics — the snapshot is immutable even if the same
+ * SynthProgress is reused (reset) for a later run.
+ */
+struct SynthProgressSnapshot
+{
+    uint64_t jobsQueued = 0;  ///< shard jobs submitted (per size
+                              ///< incremental, per (axiom, size)
+                              ///< from-scratch / service re-synthesis)
+    uint64_t jobsRunning = 0; ///< jobs executing at snapshot time
+    uint64_t jobsDone = 0;    ///< jobs finished
+    uint64_t conflicts = 0;   ///< SAT conflicts, all jobs
+    uint64_t restarts = 0;    ///< SAT restarts, all jobs
+    uint64_t instances = 0;   ///< SAT models enumerated
+    uint64_t sbpClauses = 0;  ///< symmetry-breaking clauses emitted
+    uint64_t eliminatedVars = 0;  ///< vars removed by simplify
+    uint64_t subsumedClauses = 0; ///< clauses removed by simplify
+    uint64_t importedClauses = 0; ///< learnt clauses adopted from siblings
+    uint64_t exportedClauses = 0; ///< learnt clauses published to siblings
+};
+
+/**
  * Live progress counters for a synthesis run. Safe to read from any
- * thread while jobs execute; a bench harness can poll or print these
- * after the run to report scheduling state and aggregate solver work.
+ * thread while jobs execute; a bench harness can poll these (snapshot)
+ * while jobs run or copy a final snapshot into its results. Drivers
+ * that reuse one SynthProgress across runs call reset() between them
+ * instead of re-zeroing fields ad hoc.
  */
 struct SynthProgress
 {
@@ -73,6 +101,12 @@ struct SynthProgress
                                               ///< sibling shards
     std::atomic<uint64_t> exportedClauses{0}; ///< learnt clauses published to
                                               ///< sibling shards
+
+    /** Copy every counter into a plain-integer snapshot. */
+    SynthProgressSnapshot snapshot() const;
+
+    /** Zero every counter, ready for the next run. */
+    void reset();
 };
 
 /** Synthesis knobs; defaults mirror the paper's methodology. */
@@ -162,6 +196,94 @@ struct Suite
             s += v;
         return s;
     }
+};
+
+/**
+ * The result of one (axiom, size) query family — the unit of work the
+ * engines shard by and the suite store caches by. Tests are canonical
+ * (per the options), deduplicated within the shard, and sorted by their
+ * canonical serialization, so a shard's bytes are a pure function of
+ * (model, axiom, size, semantic options) — independent of engine,
+ * thread count, and enumeration order. assembleShardSuite folds a
+ * size-ascending run of these into a Suite.
+ */
+struct ShardResult
+{
+    std::vector<litmus::LitmusTest> tests;
+    uint64_t rawInstances = 0;
+    uint64_t sbpClauses = 0;
+    bool truncated = false;
+    double seconds = 0;
+};
+
+/**
+ * Which (axiom, size) shards to synthesize; shards the selector rejects
+ * are skipped entirely (no job queued, result left empty). A null
+ * selector keeps every shard. The service layer uses this to
+ * re-synthesize only the shards whose criterion formulas changed.
+ */
+using ShardSelector = std::function<bool(const std::string &axiom, int size)>;
+
+/**
+ * Synthesize per-(axiom, size) shards for every axiom of the model:
+ * result[a][s] is axiom a (declaration order) at size minSize + s.
+ * Scheduling follows the options (engine, jobs) exactly as
+ * synthesizeAll — this *is* synthesizeAll minus the merge.
+ */
+std::vector<std::vector<ShardResult>>
+synthesizeShards(const mm::Model &model, const SynthOptions &options,
+                 const ShardSelector &selector = nullptr);
+
+/**
+ * Deterministic merge of one axiom's per-size shards into a Suite:
+ * sizes ascending, tests in canonical-key order within each size,
+ * cross-size duplicates dropped, renamed "model/label#i" by final
+ * position. by_size[i] is size min_size + i.
+ */
+Suite assembleShardSuite(const mm::Model &model, const std::string &label,
+                         const std::vector<ShardResult> &by_size,
+                         int min_size);
+
+/**
+ * A resident per-(model, size) base encoding: the axiom-independent
+ * criterion asserted and simplified once, symmetry breaking installed,
+ * ready to sweep axiom shards on demand. This is the unit ltsd keeps
+ * hot across requests — re-synthesizing one edited axiom's shard skips
+ * the encoding build entirely. Not thread-safe; one solver, one caller
+ * at a time. Shard output is byte-identical to a fresh engine run (the
+ * enumeration already pins class-canonical representatives, so learned
+ * state never leaks into the bytes).
+ *
+ * No reference to the construction-time Model is retained: the sweep
+ * takes the model by argument, so a daemon may keep the encoding hot
+ * across model *edits* as long as the edited model's minimalityBase at
+ * this size renders identically (the service layer checks exactly that
+ * digest before reusing one).
+ */
+class BaseEncoding
+{
+  public:
+    BaseEncoding(const mm::Model &model, int size,
+                 const SynthOptions &options);
+    ~BaseEncoding();
+    BaseEncoding(const BaseEncoding &) = delete;
+    BaseEncoding &operator=(const BaseEncoding &) = delete;
+
+    /**
+     * Enumerate one axiom's shard on the resident encoding. @p model
+     * must have the same vocabulary and minimalityBase rendering as the
+     * construction-time model (it may be a different instance, e.g.
+     * after an axiom-predicate edit that set relaxedPred explicitly).
+     */
+    ShardResult synthesizeShard(const mm::Model &model,
+                                const std::string &axiom_name,
+                                const SynthOptions &options);
+
+    int size() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
 };
 
 /** Synthesize the suite for one axiom. */

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pins the versioned suite-digest format. The suite store, ltsd, the
+ * benches, and CI all compare these strings across processes and
+ * machines, so both the format tag and the digest of a fixed suite are
+ * pinned as literals: if either assertion fails, the serialization
+ * contract changed and kSuiteDigestFormat must be bumped (which retires
+ * every stored record keyed under the old tag).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "litmus/digest.hh"
+#include "litmus/test.hh"
+
+using namespace lts;
+
+namespace
+{
+
+/** Two fixed tests (message passing + store buffering), built rather
+ *  than parsed so the pin does not also depend on the text parser. */
+std::vector<litmus::LitmusTest>
+fixedSuite()
+{
+    litmus::TestBuilder mp;
+    int t0 = mp.newThread();
+    mp.write(t0, "x");
+    int wf = mp.write(t0, "y", litmus::MemOrder::Release);
+    int t1 = mp.newThread();
+    int rf = mp.read(t1, "y", litmus::MemOrder::Acquire);
+    int rd = mp.read(t1, "x");
+    mp.readsFrom(wf, rf);
+    mp.readsInitial(rd);
+
+    litmus::TestBuilder sb;
+    int u0 = sb.newThread();
+    sb.write(u0, "x");
+    int ra = sb.read(u0, "y");
+    int u1 = sb.newThread();
+    sb.write(u1, "y");
+    int rb = sb.read(u1, "x");
+    sb.readsInitial(ra);
+    sb.readsInitial(rb);
+
+    return {mp.build("mp"), sb.build("sb")};
+}
+
+TEST(SuiteDigestTest, FormatTagIsPinned)
+{
+    // Changing this tag invalidates every store record and BENCH_*.json
+    // comparison in the wild. Bump it deliberately, never drift it.
+    EXPECT_STREQ(litmus::kSuiteDigestFormat, "lts-suite-v1");
+}
+
+TEST(SuiteDigestTest, RenderedFormIsTagColonHex16)
+{
+    std::string d = litmus::suiteDigest(fixedSuite());
+    ASSERT_EQ(d.size(), std::string("lts-suite-v1:").size() + 16);
+    EXPECT_EQ(d.rfind("lts-suite-v1:", 0), 0u);
+    for (size_t i = d.size() - 16; i < d.size(); i++)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(d[i]))) << d;
+}
+
+TEST(SuiteDigestTest, FixedSuiteDigestIsPinned)
+{
+    // The literal pins hashInit/hashCombine and fullSerialize together:
+    // any change to either shows up here before it corrupts a store.
+    EXPECT_EQ(litmus::suiteDigest(fixedSuite()),
+              "lts-suite-v1:379c3ee04d38cb0d");
+}
+
+TEST(SuiteDigestTest, DigestIsOrderAndContentSensitive)
+{
+    auto tests = fixedSuite();
+    std::string whole = litmus::suiteDigest(tests);
+
+    std::vector<litmus::LitmusTest> reversed(tests.rbegin(), tests.rend());
+    EXPECT_NE(litmus::suiteDigest(reversed), whole);
+
+    std::vector<litmus::LitmusTest> prefix(tests.begin(), tests.end() - 1);
+    EXPECT_NE(litmus::suiteDigest(prefix), whole);
+
+    EXPECT_NE(litmus::suiteDigest({}), whole);
+}
+
+TEST(SuiteDigestTest, NamesDoNotAffectTheDigest)
+{
+    // fullSerialize is structure-only; a renamed test is the same test.
+    auto tests = fixedSuite();
+    std::string before = litmus::suiteDigest(tests);
+    for (auto &t : tests)
+        t.name += "-renamed";
+    EXPECT_EQ(litmus::suiteDigest(tests), before);
+}
+
+TEST(SuiteDigestTest, FormatValueRoundTrip)
+{
+    uint64_t value = litmus::suiteDigestValue(fixedSuite());
+    EXPECT_EQ(litmus::formatSuiteDigest(value),
+              litmus::suiteDigest(fixedSuite()));
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Frame protocol tests over a socketpair: round trips, interleaved
+ * frame types, EOF handling, and truncated-frame rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "store/wire.hh"
+
+using namespace lts;
+
+namespace
+{
+
+class WireTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        int fds[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = fds[0];
+        b = fds[1];
+    }
+
+    void
+    TearDown() override
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+
+    int a = -1, b = -1;
+};
+
+TEST_F(WireTest, RoundTripsPayloads)
+{
+    ASSERT_TRUE(store::writeFrame(a, store::FrameType::Request, "hello"));
+    store::Frame frame;
+    ASSERT_TRUE(store::readFrame(b, frame));
+    EXPECT_EQ(frame.type, store::FrameType::Request);
+    EXPECT_EQ(frame.payload, "hello");
+}
+
+TEST_F(WireTest, EmptyPayloadAndBinaryBytes)
+{
+    ASSERT_TRUE(store::writeFrame(a, store::FrameType::Ping, ""));
+    std::string binary("\x00\x01\xff\n\x00", 5);
+    ASSERT_TRUE(store::writeFrame(a, store::FrameType::Result, binary));
+
+    store::Frame frame;
+    ASSERT_TRUE(store::readFrame(b, frame));
+    EXPECT_EQ(frame.type, store::FrameType::Ping);
+    EXPECT_TRUE(frame.payload.empty());
+
+    ASSERT_TRUE(store::readFrame(b, frame));
+    EXPECT_EQ(frame.type, store::FrameType::Result);
+    EXPECT_EQ(frame.payload, binary);
+}
+
+TEST_F(WireTest, SequenceOfFramesInOrder)
+{
+    for (int i = 0; i < 16; i++) {
+        ASSERT_TRUE(store::writeFrame(a, store::FrameType::Progress,
+                                      "line " + std::to_string(i)));
+    }
+    ASSERT_TRUE(store::writeFrame(a, store::FrameType::Result, "done"));
+    store::Frame frame;
+    for (int i = 0; i < 16; i++) {
+        ASSERT_TRUE(store::readFrame(b, frame));
+        EXPECT_EQ(frame.type, store::FrameType::Progress);
+        EXPECT_EQ(frame.payload, "line " + std::to_string(i));
+    }
+    ASSERT_TRUE(store::readFrame(b, frame));
+    EXPECT_EQ(frame.type, store::FrameType::Result);
+}
+
+TEST_F(WireTest, ReadFailsCleanlyOnEof)
+{
+    ::close(a);
+    a = -1;
+    store::Frame frame;
+    EXPECT_FALSE(store::readFrame(b, frame));
+}
+
+TEST_F(WireTest, ReadFailsOnTruncatedFrame)
+{
+    // A header promising more payload than ever arrives: readFrame must
+    // give up when the peer closes, not hang or fabricate bytes.
+    uint32_t len = 1000;
+    uint8_t type = 1;
+    ASSERT_EQ(::write(a, &len, 4), 4);
+    ASSERT_EQ(::write(a, &type, 1), 1);
+    ASSERT_EQ(::write(a, "short", 5), 5);
+    ::close(a);
+    a = -1;
+    store::Frame frame;
+    EXPECT_FALSE(store::readFrame(b, frame));
+}
+
+} // namespace

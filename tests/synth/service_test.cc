@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Service-layer tests: cold/warm byte identity through the store and
+ * the resident (daemon-mode) path, registry-wide agreement with a plain
+ * synthesizeAll run, shard-level invalidation when one axiom is edited,
+ * digest semantics, and the request/result wire payload round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "litmus/canon.hh"
+#include "litmus/digest.hh"
+#include "mm/registry.hh"
+#include "rel/formula.hh"
+#include "synth/service.hh"
+#include "synth/synthesizer.hh"
+
+using namespace lts;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir = (fs::temp_directory_path() /
+               ("lts-service-test-" + std::to_string(::getpid()) + "-" +
+                info->name()))
+                  .string();
+        fs::remove_all(dir);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir);
+    }
+
+    synth::ServiceConfig
+    storeConfig(bool resident = false) const
+    {
+        synth::ServiceConfig config;
+        config.storeDir = dir;
+        config.residentEncodings = resident;
+        return config;
+    }
+
+    std::string dir;
+};
+
+/** Suites compare equal iff their tests serialize identically in order. */
+void
+expectSameTests(const synth::Suite &a, const synth::Suite &b)
+{
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    for (size_t i = 0; i < a.tests.size(); i++) {
+        EXPECT_EQ(litmus::fullSerialize(a.tests[i]),
+                  litmus::fullSerialize(b.tests[i]))
+            << "test " << i << " differs";
+    }
+}
+
+TEST_F(ServiceTest, ColdThenWarmStoreQueryIsByteIdentical)
+{
+    synth::SuiteRequest request;
+    request.model = "tso";
+    request.maxSize = 4;
+
+    synth::Service cold_service(storeConfig());
+    synth::SuiteResult cold = cold_service.query(request);
+    EXPECT_EQ(cold.cache, synth::CacheOutcome::Miss);
+    EXPECT_EQ(cold.shardsCached, 0u);
+    EXPECT_GT(cold.shardsSynthesized, 0u);
+
+    // A separate Service on the same directory models a fresh process.
+    synth::Service warm_service(storeConfig());
+    synth::SuiteResult warm = warm_service.query(request);
+    EXPECT_EQ(warm.cache, synth::CacheOutcome::Hit);
+    EXPECT_EQ(warm.shardsSynthesized, 0u);
+    EXPECT_EQ(warm.shardsCached, cold.shardsSynthesized);
+    for (const auto &shard : warm.shards)
+        EXPECT_TRUE(shard.cached);
+
+    EXPECT_EQ(warm.suiteDigest, cold.suiteDigest);
+    EXPECT_EQ(warm.modelDigest, cold.modelDigest);
+    ASSERT_EQ(warm.suites.size(), cold.suites.size());
+    for (size_t i = 0; i < warm.suites.size(); i++)
+        expectSameTests(warm.suites[i], cold.suites[i]);
+
+    // The warm path must not have touched a solver at all.
+    EXPECT_EQ(warm.progress.jobsQueued, 0u);
+    EXPECT_EQ(warm.progress.instances, 0u);
+}
+
+TEST_F(ServiceTest, RegistryWideWarmResidentMatchesColdSynthesizeAll)
+{
+    // Every registered model: a warm daemon-style answer (resident
+    // encodings + store) must be byte-identical to a plain cold
+    // synthesizeAll run, digest and test bytes alike.
+    for (const std::string &name : mm::modelNames()) {
+        SCOPED_TRACE(name);
+        auto model = mm::makeModel(name);
+
+        // Power and ARMv7 cost ~25s per run at bound 3; bound 2 still
+        // exercises their full axiom set through both paths.
+        const int bound = (name == "power" || name == "armv7") ? 2 : 3;
+        synth::SynthOptions opt;
+        opt.maxSize = bound;
+        auto cold_suites = synth::synthesizeAll(*model, opt);
+
+        synth::SuiteRequest request;
+        request.model = name;
+        request.maxSize = bound;
+
+        synth::Service daemonish(storeConfig(/*resident=*/true));
+        synth::SuiteResult first = daemonish.query(request);
+        synth::SuiteResult warm = daemonish.query(request);
+
+        EXPECT_EQ(warm.cache, synth::CacheOutcome::Hit);
+        EXPECT_EQ(warm.suiteDigest, first.suiteDigest);
+        EXPECT_EQ(warm.suiteDigest,
+                  litmus::suiteDigest(cold_suites.back().tests));
+        ASSERT_EQ(warm.suites.size(), cold_suites.size());
+        for (size_t i = 0; i < warm.suites.size(); i++)
+            expectSameTests(warm.suites[i], cold_suites[i]);
+
+        fs::remove_all(dir); // fresh store for the next model
+    }
+}
+
+TEST_F(ServiceTest, EditingOneAxiomResynthesizesOnlyItsShards)
+{
+    auto model = mm::makeModel("tso");
+    const std::string edited = model->axioms().front().name;
+    const size_t n_axioms = model->axioms().size();
+    ASSERT_GT(n_axioms, 1u);
+
+    // Freeze the relaxed form first: relaxedPred defaults to pred, and
+    // the minimality base renders every axiom's relaxed form, so editing
+    // pred without pinning relaxedPred would invalidate the shared base
+    // encodings (and every shard) instead of one axiom's shards.
+    auto &target = model->axiomMut(edited);
+    target.relaxedPred = target.pred;
+
+    synth::SuiteRequest request;
+    request.model = "tso";
+    request.maxSize = 4;
+    const size_t n_sizes =
+        static_cast<size_t>(request.maxSize - request.options.minSize + 1);
+
+    synth::Service daemonish(storeConfig(/*resident=*/true));
+    synth::SuiteResult before = daemonish.query(*model, request);
+    EXPECT_EQ(before.shardsSynthesized, n_axioms * n_sizes);
+    size_t encodings_before = daemonish.residentEncodings();
+    EXPECT_GT(encodings_before, 0u);
+
+    // Edit the axiom's predicate to a structurally different, logically
+    // equivalent formula: the axiom's violation digest changes, the
+    // shared base formula does not.
+    auto original = target.pred;
+    target.pred = [original](const mm::Model &m, const mm::Env &env,
+                             size_t n) {
+        auto f = original(m, env, n);
+        return rel::mkAnd(f, f);
+    };
+
+    synth::SuiteResult after = daemonish.query(*model, request);
+    EXPECT_EQ(after.cache, synth::CacheOutcome::Partial);
+    EXPECT_EQ(after.shardsSynthesized, n_sizes);
+    EXPECT_EQ(after.shardsCached, (n_axioms - 1) * n_sizes);
+    for (const auto &shard : after.shards) {
+        EXPECT_EQ(shard.cached, shard.axiom != edited)
+            << shard.axiom << "@" << shard.size;
+    }
+    // Only the edited axiom's shards went through a solver...
+    EXPECT_EQ(after.progress.jobsQueued, n_sizes);
+    EXPECT_EQ(after.progress.jobsDone, n_sizes);
+    // ...on the base encodings that stayed resident across the edit.
+    EXPECT_EQ(daemonish.residentEncodings(), encodings_before);
+
+    // The edit was logically a no-op, so the suite bytes must agree.
+    EXPECT_EQ(after.suiteDigest, before.suiteDigest);
+}
+
+TEST_F(ServiceTest, OptionsDigestIgnoresEngineKnobs)
+{
+    synth::SynthOptions semantic;
+    synth::SynthOptions engine = semantic;
+    // Engine knobs: byte-identical output by contract, so repeat queries
+    // under a different execution strategy still hit.
+    engine.incremental = !engine.incremental;
+    engine.jobs = 7;
+    engine.symmetryBreaking = !engine.symmetryBreaking;
+    EXPECT_EQ(synth::optionsDigest(semantic), synth::optionsDigest(engine));
+
+    synth::SynthOptions canon_off = semantic;
+    canon_off.useCanon = false;
+    EXPECT_NE(synth::optionsDigest(semantic),
+              synth::optionsDigest(canon_off));
+
+    synth::SynthOptions capped = semantic;
+    capped.maxTestsPerSize = 5;
+    EXPECT_NE(synth::optionsDigest(semantic), synth::optionsDigest(capped));
+}
+
+TEST_F(ServiceTest, ModelDigestIsStableAndEditSensitive)
+{
+    EXPECT_EQ(mm::makeModel("tso")->digest(), mm::makeModel("tso")->digest());
+    EXPECT_NE(mm::makeModel("tso")->digest(), mm::makeModel("sc")->digest());
+
+    auto model = mm::makeModel("tso");
+    std::string before = model->digest();
+    auto &axiom = model->axiomMut(model->axioms().front().name);
+    axiom.relaxedPred = axiom.pred;
+    auto original = axiom.pred;
+    axiom.pred = [original](const mm::Model &m, const mm::Env &env,
+                            size_t n) {
+        auto f = original(m, env, n);
+        return rel::mkAnd(f, f);
+    };
+    EXPECT_NE(model->digest(), before);
+}
+
+TEST_F(ServiceTest, RequestPayloadRoundTrips)
+{
+    synth::SuiteRequest request;
+    request.model = "scc";
+    request.axiom = "sc";
+    request.maxSize = 5;
+    request.options.minSize = 3;
+    request.options.useCanon = false;
+    request.options.jobs = 4;
+    request.options.incremental = false;
+    request.options.maxTestsPerSize = 17;
+
+    synth::SuiteRequest back =
+        synth::parseSuiteRequest(synth::serializeSuiteRequest(request));
+    EXPECT_EQ(back.model, request.model);
+    EXPECT_EQ(back.axiom, request.axiom);
+    EXPECT_EQ(back.maxSize, request.maxSize);
+    EXPECT_EQ(back.options.minSize, request.options.minSize);
+    EXPECT_EQ(back.options.useCanon, request.options.useCanon);
+    EXPECT_EQ(back.options.jobs, request.options.jobs);
+    EXPECT_EQ(back.options.incremental, request.options.incremental);
+    EXPECT_EQ(back.options.maxTestsPerSize, request.options.maxTestsPerSize);
+}
+
+TEST_F(ServiceTest, ResultPayloadRoundTrips)
+{
+    synth::SuiteRequest request;
+    request.model = "sc";
+    request.maxSize = 3;
+
+    synth::Service service(storeConfig());
+    synth::SuiteResult result = service.query(request);
+
+    synth::SuiteResult back =
+        synth::parseSuiteResult(synth::serializeSuiteResult(result));
+    EXPECT_EQ(back.suiteDigest, result.suiteDigest);
+    EXPECT_EQ(back.modelDigest, result.modelDigest);
+    EXPECT_EQ(back.optionsDigest, result.optionsDigest);
+    EXPECT_EQ(back.cache, result.cache);
+    EXPECT_EQ(back.shardsCached, result.shardsCached);
+    EXPECT_EQ(back.shardsSynthesized, result.shardsSynthesized);
+    EXPECT_EQ(back.progress.jobsQueued, result.progress.jobsQueued);
+    EXPECT_EQ(back.progress.instances, result.progress.instances);
+    ASSERT_EQ(back.shards.size(), result.shards.size());
+    for (size_t i = 0; i < back.shards.size(); i++) {
+        EXPECT_EQ(back.shards[i].axiom, result.shards[i].axiom);
+        EXPECT_EQ(back.shards[i].size, result.shards[i].size);
+        EXPECT_EQ(back.shards[i].cached, result.shards[i].cached);
+        EXPECT_EQ(back.shards[i].tests, result.shards[i].tests);
+    }
+    ASSERT_EQ(back.suites.size(), result.suites.size());
+    for (size_t i = 0; i < back.suites.size(); i++)
+        expectSameTests(back.suites[i], result.suites[i]);
+    // Round-tripped bytes digest to the same suite digest.
+    EXPECT_EQ(litmus::suiteDigest(back.unionSuite().tests),
+              result.suiteDigest);
+}
+
+} // namespace

@@ -1,24 +1,25 @@
 /**
  * @file
- * ltsgen — the command-line front end to the synthesis library.
+ * ltsgen — the command-line front end to the synthesis service.
  *
- * Generates a comprehensive, minimal-by-construction litmus test suite
- * for a chosen memory model and emits it in the textual interchange
- * format (litmus/format.hh) on stdout or into a file, ready to feed
- * into an external testing harness.
+ * Subcommand surface (every path goes through synth::Service, so the
+ * store and daemon answer the same bytes the engines produce):
  *
- *   ltsgen --model=tso --max-size=5                  # union suite
- *   ltsgen --model=power --axiom=observation         # one axiom
- *   ltsgen --model=scc --out=scc.litmus --stats
- *   ltsgen --model=power --max-size=5 --jobs=8       # sharded synthesis
- *   ltsgen --audit=suite.litmus --model=tso          # minimality audit
- *   ltsgen --model=tso --emit-litmus=out/            # herd7 .litmus files
- *   ltsgen --model=c11 --emit-cxx=out/               # C++11 harnesses
- *   ltsgen --import-litmus=out/ --out=suite.txt      # .litmus -> interchange
+ *   ltsgen synth  --model=tso --max-size=5 [--store=DIR]   # synthesize
+ *   ltsgen query  --model=tso [--store=DIR | --socket=S]   # cached query
+ *   ltsgen export --in=suite.txt --litmus=out/ [--cxx=out/]
+ *   ltsgen import --in=out/ --out=suite.txt                # .litmus -> text
+ *   ltsgen audit  --model=tso --in=suite.litmus [--strict]
+ *   ltsgen bench  --model=tso --json=BENCH_tso.json
+ *
+ * The pre-subcommand flag spelling (`ltsgen --model=... --audit=...`)
+ * still works through a deprecation shim that maps each flag bundle to
+ * the verb above and says so on stderr.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,12 +30,15 @@
 #include "common/strings.hh"
 #include "common/timer.hh"
 #include "litmus/cxx.hh"
+#include "litmus/digest.hh"
 #include "litmus/format.hh"
 #include "litmus/herd.hh"
 #include "litmus/print.hh"
 #include "mm/registry.hh"
+#include "synth/daemon.hh"
 #include "synth/minimality.hh"
 #include "synth/options.hh"
+#include "synth/service.hh"
 #include "synth/synthesizer.hh"
 
 using namespace lts;
@@ -64,7 +68,7 @@ looksLikeInterchange(const std::string &text)
 /**
  * Load tests from @p path: an interchange suite, a single .litmus file
  * (format auto-detected), or a directory of .litmus files (sorted by
- * name, so the NNN_ prefixes --emit-litmus writes preserve suite order).
+ * name, so the NNN_ prefixes `ltsgen export` writes preserve order).
  */
 bool
 loadTests(const std::string &path, std::vector<litmus::LitmusTest> &out)
@@ -166,9 +170,73 @@ emitSuiteFiles(const std::vector<litmus::LitmusTest> &tests,
     return true;
 }
 
-int
-runAudit(const mm::Model &model, const std::string &path, bool strict)
+/** Dump tests to --out (or stdout) as interchange or pretty tables. */
+bool
+writeSuiteText(const std::vector<litmus::LitmusTest> &tests,
+               const std::string &out_path, bool pretty)
 {
+    std::ofstream file;
+    std::ostream *out = &std::cout;
+    if (out_path != "-") {
+        file.open(out_path);
+        if (!file) {
+            std::fprintf(stderr, "ltsgen: cannot write %s\n",
+                         out_path.c_str());
+            return false;
+        }
+        out = &file;
+    }
+    if (pretty) {
+        for (const auto &t : tests)
+            *out << litmus::toString(t) << "\n";
+    } else {
+        litmus::writeLitmusSuite(*out, tests);
+    }
+    return true;
+}
+
+// --- shared verb cores -------------------------------------------------------
+
+struct EmitSpec
+{
+    std::string out = "-";
+    std::string litmusDir;
+    std::string cxxDir;
+    bool pretty = false;
+};
+
+/** Emit @p tests per the spec; per-file emission mutes the stdout dump
+ *  unless --out was set explicitly (the historical behavior). */
+int
+emitTests(const std::vector<litmus::LitmusTest> &tests,
+          const std::string &model_name, const EmitSpec &spec)
+{
+    bool emitted = false;
+    if (!spec.litmusDir.empty()) {
+        if (!emitSuiteFiles(tests, spec.litmusDir, false, model_name))
+            return 1;
+        emitted = true;
+    }
+    if (!spec.cxxDir.empty()) {
+        if (!emitSuiteFiles(tests, spec.cxxDir, true, model_name))
+            return 1;
+        emitted = true;
+    }
+    if (emitted && spec.out == "-")
+        return 0;
+    return writeSuiteText(tests, spec.out, spec.pretty) ? 0 : 1;
+}
+
+int
+doAudit(const std::string &model_name, const std::string &path, bool strict)
+{
+    std::unique_ptr<mm::Model> model;
+    try {
+        model = mm::makeModel(model_name);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return 1;
+    }
     std::vector<litmus::LitmusTest> tests;
     if (!loadTests(path, tests))
         return 1;
@@ -178,7 +246,7 @@ runAudit(const mm::Model &model, const std::string &path, bool strict)
         synth::AuditStatus status;
         std::vector<std::string> axioms;
         try {
-            axioms = synth::minimalAxioms(model, t, &status);
+            axioms = synth::minimalAxioms(*model, t, &status);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "ltsgen: %s: %s\n", t.name.c_str(),
                          e.what());
@@ -201,7 +269,7 @@ runAudit(const mm::Model &model, const std::string &path, bool strict)
             redundant++;
     }
     std::printf("%d/%zu tests are not minimally synchronized under %s\n",
-                redundant, tests.size(), model.name().c_str());
+                redundant, tests.size(), model->name().c_str());
     if (unsupported) {
         std::printf("%d tests could not be audited (unsupported SC-fence "
                     "configuration)\n",
@@ -218,21 +286,377 @@ runAudit(const mm::Model &model, const std::string &path, bool strict)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+doImport(const std::string &in_path, const EmitSpec &spec,
+         const std::string &model_name)
 {
-    Flags flags;
-    flags.declare("model", "tso",
-                  "memory model: sc|tso|power|armv7|scc|c11");
-    flags.declare("axiom", "union",
-                  "axiom to target, or 'union' for all");
+    std::vector<litmus::LitmusTest> tests;
+    if (!loadTests(in_path, tests))
+        return 1;
+    return emitTests(tests, model_name, spec);
+}
+
+/** Summarize a service result on stderr (the --stats surface). */
+void
+printResultStats(const synth::SuiteResult &result, double wall_seconds)
+{
+    const synth::Suite &suite = result.unionSuite();
+    std::fprintf(stderr,
+                 "model=%s axiom=%s: %zu tests, wall %.2fs, cpu %.2fs\n",
+                 suite.model.c_str(), suite.axiom.c_str(),
+                 suite.tests.size(), wall_seconds, suite.totalSeconds());
+    for (auto [size, count] : suite.testsBySize) {
+        std::fprintf(stderr, "  size %d: %d tests (%.3fs)%s\n", size, count,
+                     suite.secondsBySize.count(size)
+                         ? suite.secondsBySize.at(size)
+                         : 0.0,
+                     suite.truncated ? " [truncated]" : "");
+    }
+    const synth::SynthProgressSnapshot &p = result.progress;
+    std::fprintf(stderr,
+                 "  jobs: %llu done of %llu queued; "
+                 "%llu SAT conflicts, %llu instances enumerated\n",
+                 static_cast<unsigned long long>(p.jobsDone),
+                 static_cast<unsigned long long>(p.jobsQueued),
+                 static_cast<unsigned long long>(p.conflicts),
+                 static_cast<unsigned long long>(p.instances));
+    std::fprintf(stderr,
+                 "  solver: %llu restarts; simplify removed %llu vars, "
+                 "%llu clauses; shared %llu out / %llu in\n",
+                 static_cast<unsigned long long>(p.restarts),
+                 static_cast<unsigned long long>(p.eliminatedVars),
+                 static_cast<unsigned long long>(p.subsumedClauses),
+                 static_cast<unsigned long long>(p.exportedClauses),
+                 static_cast<unsigned long long>(p.importedClauses));
+    std::fprintf(stderr, "  suite: %s\n", result.suiteDigest.c_str());
+    std::fprintf(stderr, "  cache: %s (%llu shards cached, %llu synthesized)\n",
+                 synth::toString(result.cache).c_str(),
+                 static_cast<unsigned long long>(result.shardsCached),
+                 static_cast<unsigned long long>(result.shardsSynthesized));
+}
+
+void
+writeBenchRecord(const std::string &path, const synth::SuiteRequest &request,
+                 const synth::SuiteResult &result, double wall_seconds)
+{
+    const synth::Suite &suite = result.unionSuite();
+    const synth::SynthProgressSnapshot &p = result.progress;
+    const synth::SynthOptions &opt = request.options;
+    bench::ModeRun run;
+    run.mode =
+        std::string(opt.incremental ? "incremental" : "from-scratch");
+    if (!opt.symmetryBreaking)
+        run.mode += "-nosbp";
+    if (!opt.simplify)
+        run.mode += "-nosimp";
+    if (!opt.shareClauses)
+        run.mode += "-noshare";
+    run.sbp = opt.symmetryBreaking;
+    run.simplify = opt.simplify;
+    run.shareClauses = opt.shareClauses;
+    run.wallSeconds = wall_seconds;
+    run.cpuSeconds = suite.totalSeconds();
+    run.jobsQueued = p.jobsQueued;
+    run.jobsDone = p.jobsDone;
+    run.conflicts = p.conflicts;
+    run.restarts = p.restarts;
+    run.instances = p.instances;
+    run.sbpClauses = p.sbpClauses;
+    run.eliminatedVars = p.eliminatedVars;
+    run.subsumedClauses = p.subsumedClauses;
+    run.importedClauses = p.importedClauses;
+    run.exportedClauses = p.exportedClauses;
+    run.instancesBySize = suite.instancesBySize;
+    run.keptBySize = suite.testsBySize;
+    run.sbpClausesBySize = suite.sbpClausesBySize;
+    run.suiteDigest = bench::suiteDigest(suite);
+    std::string axiom = request.axiom.empty() ? "union" : request.axiom;
+    bench::writeBenchJson(path, "ltsgen-" + request.model + "-" + axiom,
+                          request.model, opt.minSize, opt.maxSize, {run});
+}
+
+/** Build a SuiteRequest from parsed flags (model/axiom/synth knobs). */
+bool
+requestFromFlags(const Flags &flags, synth::SuiteRequest &request)
+{
+    request.model = flags.get("model");
+    request.axiom = flags.get("axiom");
+    if (request.axiom == "union")
+        request.axiom.clear();
+    try {
+        request.options = synth::synthOptionsFromFlags(flags);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return false;
+    }
+    request.maxSize = request.options.maxSize;
+    return true;
+}
+
+/** The synth verb core, shared with the legacy spelling. */
+int
+doSynth(const Flags &flags)
+{
+    synth::SuiteRequest request;
+    if (!requestFromFlags(flags, request))
+        return 1;
+
+    synth::ServiceConfig config;
+    config.storeDir = flags.get("store");
+    synth::Service service(config);
+
+    Timer wall;
+    synth::SuiteResult result;
+    try {
+        result = service.query(request);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return 1;
+    }
+    const synth::Suite &suite = result.unionSuite();
+
+    EmitSpec spec;
+    spec.out = flags.get("out");
+    spec.litmusDir = flags.get("emit-litmus");
+    spec.cxxDir = flags.get("emit-cxx");
+    spec.pretty = flags.getBool("pretty");
+    int rc = emitTests(suite.tests, request.model, spec);
+    if (rc != 0)
+        return rc;
+
+    if (flags.getBool("stats"))
+        printResultStats(result, wall.seconds());
+    if (!flags.get("bench-json").empty()) {
+        writeBenchRecord(flags.get("bench-json"), request, result,
+                         wall.seconds());
+    }
+    return 0;
+}
+
+// --- subcommands -------------------------------------------------------------
+
+void
+declareSynthVerbFlags(Flags &flags)
+{
+    flags.declare("model", "tso", "memory model: sc|tso|power|armv7|scc|c11");
+    flags.declare("axiom", "union", "axiom to target, or 'union' for all");
     synth::declareSynthFlags(flags);
     flags.declare("out", "-", "output file ('-' = stdout)");
     flags.declare("stats", "false", "print per-size counts and runtimes");
     flags.declare("pretty", "false",
                   "print human-readable tables instead of .litmus text");
+    flags.declare("emit-litmus", "",
+                  "also write each test as a herd7 NNN_name.litmus file "
+                  "into this directory (plus an @all index)");
+    flags.declare("emit-cxx", "",
+                  "also write each test as a self-contained C++11 stress "
+                  "harness NNN_name.cc into this directory");
+    flags.declare("store", "",
+                  "content-addressed suite store directory; repeat "
+                  "queries are answered from it byte-identically");
+    flags.declare("bench-json", "",
+                  "write a BENCH_*.json baseline for this run ('' = skip)");
+}
+
+int
+cmdSynth(int argc, char **argv)
+{
+    Flags flags;
+    declareSynthVerbFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 1;
+    return doSynth(flags);
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("model", "tso", "memory model: sc|tso|power|armv7|scc|c11");
+    flags.declare("axiom", "union", "axiom to target, or 'union' for all");
+    synth::declareSynthFlags(flags);
+    flags.declare("store", "",
+                  "suite store directory (local mode; '' = no store)");
+    flags.declare("socket", "",
+                  "query a running ltsd on this socket instead of "
+                  "synthesizing locally");
+    flags.declare("out", "", "also write the suite here ('-' = stdout)");
+    flags.declare("progress", "false", "stream progress lines to stderr");
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    synth::SuiteRequest request;
+    if (!requestFromFlags(flags, request))
+        return 1;
+
+    synth::QueryProgressFn on_progress;
+    if (flags.getBool("progress")) {
+        on_progress = [](const std::string &line) {
+            std::fprintf(stderr, "ltsgen: %s\n", line.c_str());
+        };
+    }
+
+    Timer wall;
+    synth::SuiteResult result;
+    try {
+        if (!flags.get("socket").empty()) {
+            result = synth::queryDaemon(flags.get("socket"), request,
+                                        on_progress);
+        } else {
+            synth::ServiceConfig config;
+            config.storeDir = flags.get("store");
+            synth::Service service(config);
+            result = service.query(request, on_progress);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return 1;
+    }
+
+    // One key per line, grep-friendly: the CI smoke job asserts on
+    // "suite:" (digest equality) and "cache: hit".
+    std::printf("model: %s\n", request.model.c_str());
+    std::printf("bound: %d\n", request.maxSize);
+    std::printf("suite: %s\n", result.suiteDigest.c_str());
+    std::printf("cache: %s\n", synth::toString(result.cache).c_str());
+    std::printf("shards: %llu cached, %llu synthesized\n",
+                static_cast<unsigned long long>(result.shardsCached),
+                static_cast<unsigned long long>(result.shardsSynthesized));
+    std::printf("tests: %zu\n", result.unionSuite().tests.size());
+    std::printf("wall: %.6f\n", wall.seconds());
+
+    if (!flags.get("out").empty()) {
+        if (!writeSuiteText(result.unionSuite().tests, flags.get("out"),
+                            false)) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
+cmdExport(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("model", "tso", "model name stamped into file headers");
+    flags.declare("in", "", "interchange suite (or .litmus file/dir) to read");
+    flags.declare("litmus", "", "write herd7 .litmus files into this dir");
+    flags.declare("cxx", "", "write C++11 stress harnesses into this dir");
+    if (!flags.parse(argc, argv))
+        return 1;
+    if (flags.get("in").empty() ||
+        (flags.get("litmus").empty() && flags.get("cxx").empty())) {
+        std::fprintf(stderr,
+                     "ltsgen export: need --in and --litmus or --cxx\n");
+        return 1;
+    }
+    EmitSpec spec;
+    spec.litmusDir = flags.get("litmus");
+    spec.cxxDir = flags.get("cxx");
+    return doImport(flags.get("in"), spec, flags.get("model"));
+}
+
+int
+cmdImport(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("model", "tso", "model name stamped into emitted headers");
+    flags.declare("in", "", "file or directory of .litmus files to load");
+    flags.declare("out", "-", "interchange output ('-' = stdout)");
+    flags.declare("pretty", "false", "human-readable tables instead");
+    flags.declare("emit-litmus", "", "re-emit herd7 files into this dir");
+    flags.declare("emit-cxx", "", "re-emit C++11 harnesses into this dir");
+    if (!flags.parse(argc, argv))
+        return 1;
+    if (flags.get("in").empty()) {
+        std::fprintf(stderr, "ltsgen import: need --in\n");
+        return 1;
+    }
+    EmitSpec spec;
+    spec.out = flags.get("out");
+    spec.litmusDir = flags.get("emit-litmus");
+    spec.cxxDir = flags.get("emit-cxx");
+    spec.pretty = flags.getBool("pretty");
+    return doImport(flags.get("in"), spec, flags.get("model"));
+}
+
+int
+cmdAudit(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("model", "tso", "model to audit against");
+    flags.declare("in", "", "suite to audit (interchange or herd7)");
+    flags.declare("strict", "false",
+                  "exit 2 if any test is not minimally synchronized, "
+                  "3 if any test could not be audited");
+    if (!flags.parse(argc, argv))
+        return 1;
+    if (flags.get("in").empty()) {
+        std::fprintf(stderr, "ltsgen audit: need --in\n");
+        return 1;
+    }
+    return doAudit(flags.get("model"), flags.get("in"),
+                   flags.getBool("strict"));
+}
+
+int
+cmdBench(int argc, char **argv)
+{
+    Flags flags;
+    flags.declare("model", "tso", "memory model to measure");
+    flags.declare("axiom", "union", "axiom to target, or 'union' for all");
+    synth::declareSynthFlags(flags);
+    flags.declare("store", "", "suite store directory ('' = no store)");
+    flags.declare("json", "", "BENCH_*.json output path (required)");
+    if (!flags.parse(argc, argv))
+        return 1;
+    if (flags.get("json").empty()) {
+        std::fprintf(stderr, "ltsgen bench: need --json\n");
+        return 1;
+    }
+    synth::SuiteRequest request;
+    if (!requestFromFlags(flags, request))
+        return 1;
+    synth::ServiceConfig config;
+    config.storeDir = flags.get("store");
+    synth::Service service(config);
+    Timer wall;
+    synth::SuiteResult result;
+    try {
+        result = service.query(request);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ltsgen: %s\n", e.what());
+        return 1;
+    }
+    writeBenchRecord(flags.get("json"), request, result, wall.seconds());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ltsgen <verb> [flags]   (ltsgen <verb> --help for flags)\n"
+        "  synth   synthesize a suite (optionally store-backed)\n"
+        "  query   answer a suite request from store/daemon/synthesis\n"
+        "  export  interchange suite -> herd7 .litmus / C++11 harnesses\n"
+        "  import  .litmus files -> interchange suite\n"
+        "  audit   check an existing suite for minimality\n"
+        "  bench   measure one synthesis run into BENCH_*.json\n");
+    return 1;
+}
+
+/**
+ * The pre-verb flag surface, kept alive for scripts: parse the union of
+ * the historical flags, say which verb now owns the request, and run
+ * the same cores the verbs run.
+ */
+int
+runLegacy(int argc, char **argv)
+{
+    Flags flags;
+    declareSynthVerbFlags(flags);
     flags.declare("audit", "",
                   "audit an existing suite for minimality instead of "
                   "synthesizing (interchange or herd7 format, "
@@ -240,212 +664,63 @@ main(int argc, char **argv)
     flags.declare("strict-audit", "false",
                   "with --audit: exit 2 if any test is not minimally "
                   "synchronized, 3 if any test could not be audited");
-    flags.declare("emit-litmus", "",
-                  "also write each test as a herd7 NNN_name.litmus file "
-                  "into this directory (plus an @all index)");
-    flags.declare("emit-cxx", "",
-                  "also write each test as a self-contained C++11 stress "
-                  "harness NNN_name.cc into this directory");
     flags.declare("import-litmus", "",
                   "skip synthesis; load tests from this file or directory "
                   "of .litmus files and re-emit them (--out, --emit-*)");
-    flags.declare("bench-json", "",
-                  "write a BENCH_*.json baseline for this run ('' = skip); "
-                  "emitted even when no tests are found, so sweeps always "
-                  "get a schema-complete file");
     if (!flags.parse(argc, argv))
         return 1;
 
-    std::unique_ptr<mm::Model> model;
-    try {
-        model = mm::makeModel(flags.get("model"));
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "ltsgen: %s\n", e.what());
-        return 1;
-    }
-
     if (!flags.get("audit").empty()) {
-        return runAudit(*model, flags.get("audit"),
-                        flags.getBool("strict-audit"));
+        std::fprintf(stderr,
+                     "ltsgen: note: --audit is deprecated; use "
+                     "`ltsgen audit --model=%s --in=%s`\n",
+                     flags.get("model").c_str(), flags.get("audit").c_str());
+        return doAudit(flags.get("model"), flags.get("audit"),
+                       flags.getBool("strict-audit"));
     }
-
     if (!flags.get("import-litmus").empty()) {
-        std::vector<litmus::LitmusTest> tests;
-        if (!loadTests(flags.get("import-litmus"), tests))
-            return 1;
-        bool emitted = false;
-        if (!flags.get("emit-litmus").empty()) {
-            if (!emitSuiteFiles(tests, flags.get("emit-litmus"), false,
-                                model->name()))
-                return 1;
-            emitted = true;
-        }
-        if (!flags.get("emit-cxx").empty()) {
-            if (!emitSuiteFiles(tests, flags.get("emit-cxx"), true,
-                                model->name()))
-                return 1;
-            emitted = true;
-        }
-        // Emitting per-test files makes a stdout suite dump noise, but an
-        // explicit --out still gets the interchange form.
-        if (emitted && flags.get("out") == "-")
-            return 0;
-        std::ofstream file;
-        std::ostream *out = &std::cout;
-        if (flags.get("out") != "-") {
-            file.open(flags.get("out"));
-            if (!file) {
-                std::fprintf(stderr, "ltsgen: cannot write %s\n",
-                             flags.get("out").c_str());
-                return 1;
-            }
-            out = &file;
-        }
-        if (flags.getBool("pretty")) {
-            for (const auto &t : tests)
-                *out << litmus::toString(t) << "\n";
-        } else {
-            litmus::writeLitmusSuite(*out, tests);
-        }
-        return 0;
-    }
-
-    synth::SynthOptions opt;
-    try {
-        opt = synth::synthOptionsFromFlags(flags);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "ltsgen: %s\n", e.what());
-        return 1;
-    }
-    synth::SynthProgress progress;
-    opt.progress = &progress;
-
-    Timer wall;
-    synth::Suite suite;
-    const std::string axiom = flags.get("axiom");
-    if (axiom == "union") {
-        auto suites = synth::synthesizeAll(*model, opt);
-        suite = suites.back();
-    } else {
-        try {
-            model->axiom(axiom);
-        } catch (const std::exception &e) {
-            std::fprintf(stderr, "ltsgen: %s\n", e.what());
-            return 1;
-        }
-        suite = synth::synthesizeAxiom(*model, axiom, opt);
-    }
-
-    bool emitted = false;
-    if (!flags.get("emit-litmus").empty()) {
-        if (!emitSuiteFiles(suite.tests, flags.get("emit-litmus"), false,
-                            model->name()))
-            return 1;
-        emitted = true;
-    }
-    if (!flags.get("emit-cxx").empty()) {
-        if (!emitSuiteFiles(suite.tests, flags.get("emit-cxx"), true,
-                            model->name()))
-            return 1;
-        emitted = true;
-    }
-
-    // Per-test emission replaces the stdout dump unless --out was given
-    // explicitly; stats and bench-json below still run either way.
-    if (!emitted || flags.get("out") != "-") {
-        std::ofstream file;
-        std::ostream *out = &std::cout;
-        if (flags.get("out") != "-") {
-            file.open(flags.get("out"));
-            if (!file) {
-                std::fprintf(stderr, "ltsgen: cannot write %s\n",
-                             flags.get("out").c_str());
-                return 1;
-            }
-            out = &file;
-        }
-
-        if (flags.getBool("pretty")) {
-            for (const auto &t : suite.tests)
-                *out << litmus::toString(t) << "\n";
-        } else {
-            litmus::writeLitmusSuite(*out, suite.tests);
-        }
-    }
-
-    if (flags.getBool("stats")) {
         std::fprintf(stderr,
-                     "model=%s axiom=%s: %zu tests, wall %.2fs, "
-                     "cpu %.2fs\n",
-                     model->name().c_str(), suite.axiom.c_str(),
-                     suite.tests.size(), wall.seconds(),
-                     suite.totalSeconds());
-        for (auto [size, count] : suite.testsBySize) {
-            std::fprintf(stderr, "  size %d: %d tests (%.3fs)%s\n", size,
-                         count, suite.secondsBySize[size],
-                         suite.truncated ? " [truncated]" : "");
-        }
-        std::fprintf(stderr,
-                     "  jobs: %llu done of %llu queued; "
-                     "%llu SAT conflicts, %llu instances enumerated\n",
-                     static_cast<unsigned long long>(
-                         progress.jobsDone.load()),
-                     static_cast<unsigned long long>(
-                         progress.jobsQueued.load()),
-                     static_cast<unsigned long long>(
-                         progress.conflicts.load()),
-                     static_cast<unsigned long long>(
-                         progress.instances.load()));
-        std::fprintf(stderr,
-                     "  solver: %llu restarts; simplify removed %llu vars, "
-                     "%llu clauses; shared %llu out / %llu in\n",
-                     static_cast<unsigned long long>(
-                         progress.restarts.load()),
-                     static_cast<unsigned long long>(
-                         progress.eliminatedVars.load()),
-                     static_cast<unsigned long long>(
-                         progress.subsumedClauses.load()),
-                     static_cast<unsigned long long>(
-                         progress.exportedClauses.load()),
-                     static_cast<unsigned long long>(
-                         progress.importedClauses.load()));
+                     "ltsgen: note: --import-litmus is deprecated; use "
+                     "`ltsgen import --in=%s`\n",
+                     flags.get("import-litmus").c_str());
+        EmitSpec spec;
+        spec.out = flags.get("out");
+        spec.litmusDir = flags.get("emit-litmus");
+        spec.cxxDir = flags.get("emit-cxx");
+        spec.pretty = flags.getBool("pretty");
+        return doImport(flags.get("import-litmus"), spec,
+                        flags.get("model"));
     }
+    std::fprintf(stderr,
+                 "ltsgen: note: flag-only invocation is deprecated; use "
+                 "`ltsgen synth` (or query/export/import/audit/bench)\n");
+    return doSynth(flags);
+}
 
-    if (!flags.get("bench-json").empty()) {
-        // Baseline record for the run that just happened — one ModeRun
-        // built from the same progress counters the figure benches use.
-        bench::ModeRun run;
-        run.mode = std::string(opt.incremental ? "incremental"
-                                               : "from-scratch");
-        if (!opt.symmetryBreaking)
-            run.mode += "-nosbp";
-        if (!opt.simplify)
-            run.mode += "-nosimp";
-        if (!opt.shareClauses)
-            run.mode += "-noshare";
-        run.sbp = opt.symmetryBreaking;
-        run.simplify = opt.simplify;
-        run.shareClauses = opt.shareClauses;
-        run.wallSeconds = wall.seconds();
-        run.cpuSeconds = suite.totalSeconds();
-        run.jobsQueued = progress.jobsQueued.load();
-        run.jobsDone = progress.jobsDone.load();
-        run.conflicts = progress.conflicts.load();
-        run.restarts = progress.restarts.load();
-        run.instances = progress.instances.load();
-        run.sbpClauses = progress.sbpClauses.load();
-        run.eliminatedVars = progress.eliminatedVars.load();
-        run.subsumedClauses = progress.subsumedClauses.load();
-        run.importedClauses = progress.importedClauses.load();
-        run.exportedClauses = progress.exportedClauses.load();
-        run.instancesBySize = suite.instancesBySize;
-        run.keptBySize = suite.testsBySize;
-        run.sbpClausesBySize = suite.sbpClausesBySize;
-        run.suiteDigest = bench::suiteDigest(suite);
-        bench::writeBenchJson(flags.get("bench-json"),
-                              "ltsgen-" + model->name() + "-" + axiom,
-                              model->name(), opt.minSize, opt.maxSize,
-                              {run});
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && argv[1][0] != '-') {
+        const std::string verb = argv[1];
+        // Shift the verb out so each subcommand parses its own flags.
+        if (verb == "synth")
+            return cmdSynth(argc - 1, argv + 1);
+        if (verb == "query")
+            return cmdQuery(argc - 1, argv + 1);
+        if (verb == "export")
+            return cmdExport(argc - 1, argv + 1);
+        if (verb == "import")
+            return cmdImport(argc - 1, argv + 1);
+        if (verb == "audit")
+            return cmdAudit(argc - 1, argv + 1);
+        if (verb == "bench")
+            return cmdBench(argc - 1, argv + 1);
+        std::fprintf(stderr, "ltsgen: unknown verb '%s'\n", verb.c_str());
+        return usage();
     }
-    return 0;
+    if (argc < 2)
+        return usage();
+    return runLegacy(argc, argv);
 }
