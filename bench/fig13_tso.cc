@@ -15,7 +15,10 @@
  * --all-progs-max (explicit-enumeration bound for the "All Progs" line).
  */
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <set>
 
 #include "bench/bench_util.hh"
@@ -50,6 +53,9 @@ main(int argc, char **argv)
     flags.declare("compare-simplify", "true",
                   "also run with simplification and clause sharing disabled "
                   "and report the conflict reduction");
+    flags.declare("compare-proof", "true",
+                  "also run with DRAT proof logging on and report the "
+                  "wall-clock overhead");
     if (!flags.parse(argc, argv))
         return 1;
     int max_size = flags.getInt("max-size");
@@ -111,6 +117,33 @@ main(int argc, char **argv)
                     with_simp.suiteDigest == without_simp.suiteDigest
                         ? "byte-identical"
                         : "DIFFER (bug!)");
+    }
+    if (flags.getBool("compare-proof")) {
+        synth::SynthOptions proved = opt;
+        bool temp_proofs = proved.proofDir.empty();
+        if (temp_proofs) {
+            proved.proofDir = (std::filesystem::temp_directory_path() /
+                               ("fig13-proof-" + std::to_string(::getpid())))
+                                  .string();
+        }
+        std::filesystem::create_directories(proved.proofDir);
+        runs.push_back(bench::measureMode(*tso, proved, opt.incremental,
+                                          opt.symmetryBreaking));
+        runs.back().mode += "-proof";
+        bench::printModeRun(runs.back(), opt.jobs);
+        const bench::ModeRun &without_proof = runs.front();
+        const bench::ModeRun &with_proof = runs.back();
+        std::printf("\nproof logging overhead: %.3fs -> %.3fs wall "
+                    "(%.2fx), suites %s\n",
+                    without_proof.wallSeconds, with_proof.wallSeconds,
+                    without_proof.wallSeconds > 0
+                        ? with_proof.wallSeconds / without_proof.wallSeconds
+                        : 0.0,
+                    with_proof.suiteDigest == without_proof.suiteDigest
+                        ? "byte-identical"
+                        : "DIFFER (bug!)");
+        if (temp_proofs)
+            std::filesystem::remove_all(proved.proofDir);
     }
     const synth::Suite &u = suites.back();
 

@@ -9,6 +9,7 @@ analyzeModel(const mm::Model &model, const AnalysisOptions &opt,
 {
     checkTypes(model, opt.size, report);
     checkDeadDefinitions(model, opt.size, report);
+    checkSymmetry(model, opt.size, report);
     if (opt.probes) {
         ProbeOptions probe = opt.probe;
         probe.size = opt.size;

@@ -10,6 +10,7 @@
 
 #include "analysis/deadcode.hh"
 #include "analysis/report.hh"
+#include "analysis/symmetry.hh"
 #include "analysis/types.hh"
 #include "analysis/vacuity.hh"
 #include "mm/model.hh"

@@ -1,0 +1,264 @@
+#include "analysis/symmetry.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mm/exprs.hh"
+
+namespace lts::analysis
+{
+
+namespace
+{
+
+/** One equal-size contiguous block swap, decomposed from a permutation. */
+struct BlockSwap
+{
+    size_t i = 0; ///< start of the lower block
+    size_t j = 0; ///< start of the upper block
+    size_t s = 0; ///< block size
+};
+
+void
+add(Report &report, Severity sev, const mm::Model &model,
+    const std::string &where, const std::string &code,
+    const std::string &message)
+{
+    report.add({sev, "symmetry", code, model.name(), where, message});
+}
+
+/** Is @p perm a bijection on [0, n)? */
+bool
+isPermutation(const std::vector<size_t> &perm, size_t n)
+{
+    if (perm.size() != n)
+        return false;
+    std::vector<char> seen(n, 0);
+    for (size_t v : perm) {
+        if (v >= n || seen[v])
+            return false;
+        seen[v] = 1;
+    }
+    return true;
+}
+
+/**
+ * Decompose @p perm into an equal-size contiguous block swap. Returns
+ * false when the moved indices have any other shape (unequal blocks,
+ * non-contiguous support, blocks not mapped onto each other intact).
+ */
+bool
+decomposeBlockSwap(const std::vector<size_t> &perm, BlockSwap &out)
+{
+    std::vector<size_t> moved;
+    for (size_t k = 0; k < perm.size(); k++) {
+        if (perm[k] != k)
+            moved.push_back(k);
+    }
+    if (moved.empty() || moved.size() % 2 != 0)
+        return false;
+    size_t s = moved.size() / 2;
+    size_t i = moved.front();
+    size_t j = perm[i];
+    if (j <= i || j < i + s)
+        return false; // overlapping or inverted ranges
+    for (size_t k = 0; k < s; k++) {
+        if (moved[k] != i + k || moved[s + k] != j + k)
+            return false; // support is not two contiguous runs
+        if (perm[i + k] != j + k || perm[j + k] != i + k)
+            return false; // blocks not swapped intact
+    }
+    out = {i, j, s};
+    return true;
+}
+
+bool
+hasCond(const std::vector<rel::CellCond> &conds, int var_id, size_t i,
+        size_t j, bool value)
+{
+    for (const auto &c : conds) {
+        if (c.varId == var_id && c.i == i && c.j == j && c.value == value)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * The complete-block certificate for [start, start+s): boundary-false
+ * po cells at interior edges, chain-true po cells inside (exactly what
+ * Model::symmetrySpec's blockConds emits). Returns a description of the
+ * first missing cell, or "" when the certificate is complete.
+ */
+std::string
+missingBlockCert(const std::vector<rel::CellCond> &conds, int po_id,
+                 size_t start, size_t s, size_t n)
+{
+    auto cell = [](size_t a, size_t b, bool v) {
+        return "po(" + std::to_string(a) + ", " + std::to_string(b) +
+               ") = " + (v ? "true" : "false");
+    };
+    if (start > 0 && !hasCond(conds, po_id, start - 1, start, false))
+        return cell(start - 1, start, false);
+    for (size_t k = 0; k + 1 < s; k++) {
+        if (!hasCond(conds, po_id, start + k, start + k + 1, true))
+            return cell(start + k, start + k + 1, true);
+    }
+    if (start + s < n && !hasCond(conds, po_id, start + s - 1, start + s,
+                                  false))
+        return cell(start + s - 1, start + s, false);
+    return std::string();
+}
+
+/** Validate one guard/pattern cell; reports and returns false when bad. */
+bool
+checkCell(const mm::Model &model, const rel::CellCond &c, size_t n,
+          const std::string &where, Report &report)
+{
+    const rel::Vocabulary &vocab = model.vocab();
+    if (c.varId < 0 || static_cast<size_t>(c.varId) >= vocab.size()) {
+        add(report, Severity::Error, model, where, "bad-guard-cell",
+            "condition references undeclared relation id " +
+                std::to_string(c.varId));
+        return false;
+    }
+    const rel::VarDecl &d = vocab.decl(c.varId);
+    if (c.i >= n || (d.arity == 2 && c.j >= n)) {
+        add(report, Severity::Error, model, where, "bad-guard-cell",
+            "condition on " + d.name + " references atom (" +
+                std::to_string(c.i) + ", " + std::to_string(c.j) +
+                ") outside the size-" + std::to_string(n) + " universe");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+checkSymmetrySpec(const mm::Model &model, const rel::SymmetrySpec &spec,
+                  size_t n, Report &report)
+{
+    const rel::Vocabulary &vocab = model.vocab();
+    if (!vocab.contains(mm::kPo)) {
+        add(report, Severity::Error, model, "spec", "no-po",
+            "model declares no po relation; block-swap guards cannot be "
+            "validated");
+        return;
+    }
+    const int po_id = vocab.find(mm::kPo).id;
+    const bool scoped = model.features().scopes;
+    const int swg_id =
+        scoped && vocab.contains(mm::kSameWg) ? vocab.find(mm::kSameWg).id
+                                              : -1;
+
+    // Lex vector: declared, static, and not invariant under the swaps.
+    std::vector<int> static_ids = model.staticVarIds();
+    for (int id : spec.lexVarIds) {
+        if (id < 0 || static_cast<size_t>(id) >= vocab.size()) {
+            add(report, Severity::Error, model, "lex", "lex-unknown-relation",
+                "lex vector references undeclared relation id " +
+                    std::to_string(id));
+            continue;
+        }
+        const std::string &name = vocab.decl(id).name;
+        if (std::find(static_ids.begin(), static_ids.end(), id) ==
+            static_ids.end()) {
+            add(report, Severity::Warning, model, "lex",
+                "lex-dynamic-relation",
+                "lex vector includes dynamic relation " + name +
+                    "; enumeration blocks only static cells, so its "
+                    "chain terms are dead weight");
+        } else if (id == po_id || (swg_id >= 0 && id == swg_id)) {
+            add(report, Severity::Warning, model, "lex",
+                "lex-invariant-relation",
+                "lex vector includes " + name +
+                    ", which is pointwise invariant under every guarded "
+                    "block swap; its chain terms are dead weight");
+        }
+    }
+
+    for (size_t gi = 0; gi < spec.generators.size(); gi++) {
+        const rel::ConditionalPerm &g = spec.generators[gi];
+        std::string where = "generator:#" + std::to_string(gi);
+
+        if (!isPermutation(g.perm, n)) {
+            add(report, Severity::Error, model, where, "bad-perm",
+                "generator permutation is not a bijection on the size-" +
+                    std::to_string(n) + " universe");
+            continue;
+        }
+        bool cells_ok = true;
+        for (const auto &c : g.conditions)
+            cells_ok = checkCell(model, c, n, where, report) && cells_ok;
+        if (!cells_ok)
+            continue;
+
+        BlockSwap swap;
+        if (!decomposeBlockSwap(g.perm, swap)) {
+            add(report, Severity::Error, model, where, "unequal-blocks",
+                "generator is not an equal-size contiguous block swap; "
+                "only complete-thread swaps are symmetries of the "
+                "po index-order facts");
+            continue;
+        }
+        for (size_t start : {swap.i, swap.j}) {
+            std::string missing =
+                missingBlockCert(g.conditions, po_id, start, swap.s, n);
+            if (!missing.empty()) {
+                add(report, Severity::Error, model, where,
+                    "missing-block-guard",
+                    "guard does not certify [" + std::to_string(start) +
+                        ", " + std::to_string(start + swap.s) +
+                        ") as a complete po block: missing " + missing +
+                        "; the swap would bind on partial threads, which "
+                        "the po facts order");
+            }
+        }
+        if (scoped && swg_id >= 0 &&
+            !hasCond(g.conditions, swg_id, swap.i, swap.j, true) &&
+            !hasCond(g.conditions, swg_id, swap.j, swap.i, true)) {
+            add(report, Severity::Error, model, where, "missing-scope-guard",
+                "scoped model: guard does not require swg(" +
+                    std::to_string(swap.i) + ", " + std::to_string(swap.j) +
+                    "); swapping blocks across workgroups changes the "
+                    "wg partition and is not a symmetry");
+        }
+    }
+
+    for (size_t pi = 0; pi < spec.forbidden.size(); pi++) {
+        const auto &pat = spec.forbidden[pi];
+        std::string where = "pattern:#" + std::to_string(pi);
+        bool cells_ok = true;
+        for (const auto &c : pat)
+            cells_ok = checkCell(model, c, n, where, report) && cells_ok;
+        if (!cells_ok)
+            continue;
+        if (pat.empty()) {
+            add(report, Severity::Error, model, where, "empty-pattern",
+                "empty forbidden pattern lowers to the empty clause and "
+                "makes every enumeration vacuously Unsat");
+            continue;
+        }
+        if (scoped && swg_id >= 0) {
+            bool has_swg = false;
+            for (const auto &c : pat)
+                has_swg = has_swg || (c.varId == swg_id && c.value);
+            if (!has_swg) {
+                add(report, Severity::Error, model, where,
+                    "missing-scope-guard",
+                    "scoped model: forbidden pattern carries no "
+                    "same-workgroup guard; it would exclude size-sorted "
+                    "layouts that no in-workgroup swap can reach");
+            }
+        }
+    }
+}
+
+void
+checkSymmetry(const mm::Model &model, size_t n, Report &report)
+{
+    checkSymmetrySpec(model, model.symmetrySpec(n), n, report);
+}
+
+} // namespace lts::analysis

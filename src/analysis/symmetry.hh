@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Symmetry-spec analysis for memory-model specs.
+ *
+ * mm::Model::symmetrySpec hand-builds guarded thread-block swaps over
+ * the po well-formedness guarantees, and nothing else checks that the
+ * two stay in agreement: a generator whose permutation is not an
+ * equal-size block swap, or whose guard fails to certify both ranges as
+ * complete po blocks, silently prunes satisfying instances — the
+ * synthesizer then *loses tests* with no error anywhere. This pass
+ * validates the spec's contract shape by shape:
+ *
+ *  - every generator permutation is a bijection and an involution that
+ *    swaps two disjoint, equal-size, contiguous index ranges intact;
+ *  - every generator guard carries the full complete-block certificate
+ *    for both ranges (boundary-false po cells at interior block edges,
+ *    chain-true po cells inside);
+ *  - on scoped models, every generator and forbidden pattern is guarded
+ *    by same-workgroup membership (an unscoped swap or pattern is not a
+ *    symmetry of the workgroup partition);
+ *  - the lex vector names declared relations only, and flags po/swg
+ *    (invariant under every guarded swap) and dynamic relations
+ *    (enumeration blocks static cells only) as dead weight;
+ *  - every guard and pattern cell references a declared relation and
+ *    in-universe atoms.
+ *
+ * The core checks an explicit spec so tests can hand in broken ones;
+ * checkSymmetry runs it on model.symmetrySpec(n).
+ */
+
+#ifndef LTS_ANALYSIS_SYMMETRY_HH
+#define LTS_ANALYSIS_SYMMETRY_HH
+
+#include "analysis/report.hh"
+#include "mm/model.hh"
+#include "rel/symmetry.hh"
+
+namespace lts::analysis
+{
+
+/** Validate an explicit spec as if it were @p model's at size @p n. */
+void checkSymmetrySpec(const mm::Model &model, const rel::SymmetrySpec &spec,
+                       size_t n, Report &report);
+
+/** Validate model.symmetrySpec(n). */
+void checkSymmetry(const mm::Model &model, size_t n, Report &report);
+
+} // namespace lts::analysis
+
+#endif // LTS_ANALYSIS_SYMMETRY_HH

@@ -488,6 +488,17 @@ RelSolver::retract(FactHandle h)
                     liveFacts.end());
 }
 
+sat::Cnf
+RelSolver::exportCnf() const
+{
+    sat::Cnf cnf;
+    cnf.numVars = solver.numVars();
+    cnf.clauses = solver.liveClauses(false);
+    for (FactHandle h : liveFacts)
+        cnf.clauses.push_back({solver.groupLit(h)});
+    return cnf;
+}
+
 FactHandle
 RelSolver::newLayer()
 {

@@ -33,6 +33,7 @@
 #include "rel/gates.hh"
 #include "rel/instance.hh"
 #include "rel/symmetry.hh"
+#include "sat/dimacs.hh"
 #include "sat/solver.hh"
 
 namespace lts::rel
@@ -265,6 +266,23 @@ class RelSolver
      * then solve() again.
      */
     sat::SolveResult blockAndContinue(const std::vector<int> &var_ids = {});
+
+    /**
+     * Attach a DRAT proof writer to the SAT backend (see
+     * sat::Solver::setProof). Call right after construction, before any
+     * facts are asserted; pass nullptr to detach. The writer must
+     * outlive the solver (or be detached first).
+     */
+    void setProof(sat::DratWriter *writer) { solver.setProof(writer); }
+
+    /**
+     * Snapshot the current constraint set as a standalone CNF: every
+     * live problem clause (group guards included) plus one unit per
+     * live fact-layer selector, so the file poses exactly the query
+     * solve() poses. Pair with sat::writeDimacs to cross-check an Unsat
+     * shard with an external solver.
+     */
+    sat::Cnf exportCnf() const;
 
     Encoder &encoder() { return enc; }
     sat::Solver &satSolver() { return solver; }

@@ -56,7 +56,7 @@ class Simplifier
     void buildIndex();
     void registerClause(ClauseRef cref);
     void enqueueSubsumption(ClauseRef cref);
-    int addOrEnqueue(std::vector<Lit> lits);
+    int addOrEnqueue(std::vector<Lit> lits, bool log_add = true);
     void processTrail();
     void drainSubsumption();
     void backwardSubsume(ClauseRef cref);
@@ -85,6 +85,7 @@ class Simplifier
     std::vector<uint8_t> queued;         ///< per clause: in subQueue
     mutable std::vector<uint8_t> marks;  ///< per Lit::index() scratch
     size_t trailSeen = 0;                ///< root trail prefix already handled
+    size_t proofTrailSeen = 0;           ///< root trail prefix proof-logged
 };
 
 bool
@@ -104,6 +105,18 @@ Solver::simplify(const SimplifyConfig &cfg)
 bool
 Simplifier::run()
 {
+    // Proof logging: the pass deletes clauses that may be the unit-
+    // propagation reasons of root assignments (purged learnts,
+    // satisfied clauses), which would strand those units' derivations.
+    // Re-derive every root unit up front — in trail order each is RUP
+    // while its reason is still live — so later proof steps can lean on
+    // them regardless of what the pass removes.
+    if (s.proof) {
+        for (Lit l : s.trail)
+            s.proofAddUnit(l);
+    }
+    proofTrailSeen = s.trail.size();
+
     purgeLearnts();
     collectGroupScope();
     buildIndex();
@@ -189,11 +202,17 @@ Simplifier::buildIndex()
             // Root-falsified literals are dropped by rebuilding the
             // clause: an in-place edit could leave a false literal in a
             // watch position, making the clause invisible to propagation.
+            // Add before delete — the proof justifies the residue from
+            // the original, so the original must still be in the
+            // database when the residue's 'a' line appears. (The add
+            // can reallocate the clause store and, via propagation,
+            // even delete the original itself; hence the re-checks.)
             std::vector<Lit> lits = c.lits;
-            s.removeClause(i);
             addOrEnqueue(std::move(lits));
             if (!s.ok)
                 return;
+            if (!s.clauses[i].deleted)
+                s.removeClause(i);
         } else {
             registerClause(i);
         }
@@ -231,9 +250,14 @@ Simplifier::enqueueSubsumption(ClauseRef cref)
  * implied root facts then flow back through processTrail), and real
  * clauses are allocated, attached, and registered in the index. Returns
  * the new clause ref, or kNoReason when no clause was stored.
+ *
+ * With @p log_add the stored (or enqueued) clause is proof-logged
+ * unconditionally; without it only an actual normalization is logged —
+ * callers that already logged the raw clause (BVE resolvents) pass
+ * false to avoid duplicate lines.
  */
 int
-Simplifier::addOrEnqueue(std::vector<Lit> lits)
+Simplifier::addOrEnqueue(std::vector<Lit> lits, bool log_add)
 {
     std::sort(lits.begin(), lits.end());
     std::vector<Lit> out;
@@ -247,14 +271,28 @@ Simplifier::addOrEnqueue(std::vector<Lit> lits)
         prev = l;
     }
     if (out.empty()) {
+        // No 'a' line for the empty clause: the caller keeps the parent
+        // clause in the database on this path, and its literals are all
+        // root-false, so the checker reaches the conflict by itself.
         s.ok = false;
         return Solver::kNoReason;
     }
+    if (s.proof && (log_add || out.size() != lits.size()))
+        s.proofAdd(out);
     if (out.size() == 1) {
         s.uncheckedEnqueue(out[0], Solver::kNoReason);
+        // out[0]'s add line is already in the trace (just above, or the
+        // caller's raw line when !log_add and nothing normalized away).
+        proofTrailSeen++;
         if (s.propagate() != Solver::kNoReason) {
             s.ok = false;
             return Solver::kNoReason;
+        }
+        // Log propagation-derived units now, while their reason clauses
+        // are still live — processTrail below starts deleting clauses.
+        if (s.proof) {
+            while (proofTrailSeen < s.trail.size())
+                s.proofAddUnit(s.trail[proofTrailSeen++]);
         }
         processTrail();
         return Solver::kNoReason;
@@ -284,14 +322,17 @@ Simplifier::processTrail()
         occ[p.index()].clear();
         for (size_t i = 0; i < occ[(~p).index()].size(); i++) {
             ClauseRef cref = occ[(~p).index()][i];
-            const auto &c = s.clauses[cref];
-            if (c.deleted)
+            if (s.clauses[cref].deleted)
                 continue;
-            std::vector<Lit> lits = c.lits;
-            s.removeClause(cref);
+            // Add before delete: the residue's proof line needs the
+            // original live. The add can reallocate s.clauses and even
+            // delete the original via re-entrant trail processing.
+            std::vector<Lit> lits = s.clauses[cref].lits;
             addOrEnqueue(std::move(lits));
             if (!s.ok)
                 return;
+            if (!s.clauses[cref].deleted)
+                s.removeClause(cref);
         }
         occ[(~p).index()].clear();
     }
@@ -391,17 +432,27 @@ Simplifier::subsumeCheck(const std::vector<Lit> &c, const std::vector<Lit> &d,
 void
 Simplifier::strengthenClause(ClauseRef cref, Lit drop)
 {
-    const auto &c = s.clauses[cref];
     std::vector<Lit> lits;
-    lits.reserve(c.lits.size() - 1);
-    for (Lit l : c.lits) {
-        if (l != drop)
-            lits.push_back(l);
+    {
+        const auto &c = s.clauses[cref];
+        lits.reserve(c.lits.size() - 1);
+        for (Lit l : c.lits) {
+            if (l != drop)
+                lits.push_back(l);
+        }
+        assert(lits.size() + 1 == c.lits.size());
     }
-    assert(lits.size() + 1 == c.lits.size());
     s.statsData.strengthenedLits++;
-    s.removeClause(cref);
+    // Add before delete: the strengthened clause is RUP from the
+    // subsumer plus the original, so the original must still be present
+    // when its 'a' line is emitted. The add can reallocate s.clauses
+    // (hence the scoped reference above) and can delete the original
+    // itself through re-entrant trail processing.
     addOrEnqueue(std::move(lits));
+    if (!s.ok)
+        return;
+    if (!s.clauses[cref].deleted)
+        s.removeClause(cref);
 }
 
 bool
@@ -498,6 +549,15 @@ Simplifier::tryEliminate(Var v)
     s.elimFlags[v] = 1;
     s.statsData.eliminatedVars++;
 
+    // Proof: every resolvent is RUP while both parents are live, so log
+    // the whole raw set before deleting the originals. addOrEnqueue is
+    // then told not to re-log; it only adds a line if normalization
+    // changes the clause.
+    if (s.proof) {
+        for (const auto &lits : resolvents)
+            s.proofAdd(lits);
+    }
+
     std::vector<ClauseRef> originals;
     originals.reserve(before);
     originals.insert(originals.end(), pos.begin(), pos.end());
@@ -509,7 +569,7 @@ Simplifier::tryEliminate(Var v)
     pos.clear();
     neg.clear();
     for (auto &lits : resolvents) {
-        addOrEnqueue(std::move(lits));
+        addOrEnqueue(std::move(lits), /*log_add=*/false);
         if (!s.ok)
             return true;
     }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "sat/clausebank.hh"
+#include "sat/drat.hh"
 
 namespace lts::sat
 {
@@ -88,6 +89,8 @@ Solver::removeClause(ClauseRef cref)
 {
     auto &c = clauses[cref];
     assert(!c.deleted);
+    if (proof)
+        proof->deleteClause(c.lits);
     detachClause(cref);
     // The clause may be recorded as the reason of a root-level assignment;
     // root-level reasons are never dereferenced, but clear the record so
@@ -130,6 +133,12 @@ Solver::addClauseInternal(Clause lits, Group group)
         return false;
 
     std::sort(lits.begin(), lits.end());
+    // Input clauses are logged as given (before normalization): they are
+    // the caller's constraints, which the checker takes on faith. The
+    // normalized residue is re-derived below as an 'a' line when it
+    // differs, so later deletions match a clause the checker has.
+    if (proof)
+        proof->addInput(lits);
     // Dedupe; drop clause on tautology; drop level-0 falsified literals.
     std::vector<Lit> out;
     Lit prev;
@@ -157,6 +166,10 @@ Solver::addClauseInternal(Clause lits, Group group)
         ok = false;
         return false;
     }
+    // The root-normalized clause is RUP given the input line and the
+    // units that falsified the dropped literals, all logged earlier.
+    if (proof && out.size() != lits.size())
+        proof->addDerived(out);
     if (out.size() == 1) {
         // For a group clause this can only be the guard literal itself
         // (the body was root-falsified): the group becomes permanently
@@ -216,6 +229,14 @@ Solver::release(Group g)
         return;
     info.releasedFlag = true;
     statsData.releasedGroups++;
+
+    // A group clause can only ever root-propagate its own guard (any
+    // other propagation would need the selector true at the root, which
+    // never happens). If one did, re-derive the guard unit before its
+    // reason clause is deleted, so later proof steps can still rely on
+    // it; the Undef case is covered by the pin below ('i' line).
+    if (proof && value(info.selector) == LBool::False)
+        proofAddUnit(Lit::neg(info.selector));
 
     for (ClauseRef cref : info.clauseRefs) {
         if (!clauses[cref].deleted)
@@ -646,6 +667,11 @@ Solver::search(int64_t max_conflicts)
             int lbd = 0;
             analyze(confl, learnt, bt_level, lbd);
             maybeExportLearnt(learnt, lbd);
+            // First-UIP clauses (minimization included) are derivable by
+            // trivial resolution from the conflict's reason cone, hence
+            // RUP against the clauses live right now.
+            if (proof)
+                proof->addDerived(learnt);
             cancelUntil(bt_level);
             if (learnt.size() == 1) {
                 uncheckedEnqueue(learnt[0], kNoReason);
@@ -845,11 +871,20 @@ Solver::importSharedClauses()
         }
         if (satisfied)
             continue;
+        // Under a proof, an import must be re-justified locally — the
+        // trace has to stand on its own. Clauses this solver cannot
+        // re-derive by root unit propagation are skipped; they are
+        // sound (the family contract guarantees it) but unprovable
+        // here, and dropping them only costs heuristic strength.
+        if (proof && !rupImpliedAtRoot(out))
+            continue;
         statsData.importedClauses++;
         if (out.empty()) {
             ok = false;
             return false;
         }
+        if (proof)
+            proof->addDerived(out);
         if (out.size() == 1) {
             uncheckedEnqueue(out[0], kNoReason);
             if (propagate() != kNoReason) {
@@ -865,6 +900,68 @@ Solver::importSharedClauses()
         attachClause(cref);
     }
     return true;
+}
+
+void
+Solver::setProof(DratWriter *writer)
+{
+    assert(decisionLevel() == 0);
+    proof = writer;
+    if (!proof)
+        return;
+    // Snapshot what is already here as input lines so attachment is
+    // sound at any point. Learnt clauses cannot be re-justified after
+    // the fact, so the solver must not have any yet.
+    assert(numLearnedClauses == 0 &&
+           "attach the proof writer before any solving");
+    for (const Clause &c : liveClauses(false))
+        proof->addInput(c);
+}
+
+void
+Solver::proofConcludeUnsat()
+{
+    if (!proof)
+        return;
+    assert(lastResult == SolveResult::Unsat &&
+           "proofConcludeUnsat() is only meaningful after Unsat");
+    // The final conflict clause (negated failed assumptions) is RUP:
+    // asserting the assumptions back and propagating replays the
+    // reason cone analyzeFinal walked. An assumption-free refutation
+    // concludes with the empty clause.
+    proof->addConclusion(conflict);
+}
+
+void
+Solver::proofAdd(const std::vector<Lit> &lits)
+{
+    if (proof)
+        proof->addDerived(lits);
+}
+
+void
+Solver::proofAddUnit(Lit l)
+{
+    if (proof)
+        proof->addDerived({l});
+}
+
+bool
+Solver::rupImpliedAtRoot(const std::vector<Lit> &lits)
+{
+    assert(decisionLevel() == 0);
+    // Trial level: assert the clause's negation, propagate, and expect
+    // a conflict. The trail is rolled back either way; only phase
+    // saving and watch order are perturbed, neither of which affects
+    // answers.
+    newDecisionLevel();
+    for (Lit l : lits) {
+        if (value(l) == LBool::Undef)
+            uncheckedEnqueue(~l, kNoReason);
+    }
+    bool conflicted = propagate() != kNoReason;
+    cancelUntil(0);
+    return conflicted;
 }
 
 std::vector<Clause>

@@ -32,6 +32,7 @@ namespace lts::sat
 {
 
 class ClauseBank;
+class DratWriter;
 
 /** Aggregate counters exposed for benchmarks and logging. */
 struct SolverStats
@@ -207,6 +208,37 @@ class Solver
      */
     std::vector<Clause> liveClauses(bool include_learned = false) const;
 
+    // --- proof logging (drat.hh) ------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a proof writer. From here on
+     * every clause addition, derivation, and deletion is logged, so any
+     * Unsat answer concluded with proofConcludeUnsat() can be verified
+     * by the independent checker in drat.hh. Clauses already present
+     * (and root units) are snapshotted as input lines, so attaching to
+     * a solver that has clauses is sound — but it must not have learnt
+     * clauses yet (asserted), since those cannot be re-justified here.
+     * The writer is not owned and must outlive the solver (or be
+     * detached first). Under a proof, clause-bank imports are adopted
+     * only when re-justifiable by root unit propagation, keeping the
+     * trace self-contained; dropped imports only change heuristics,
+     * never answers.
+     */
+    void setProof(DratWriter *writer);
+
+    /** Whether a proof writer is attached. */
+    bool hasProof() const { return proof != nullptr; }
+
+    /**
+     * Log the most recent Unsat answer as a proof conclusion ('u'): the
+     * negated failed assumptions (the empty clause for an assumption-
+     * free refutation). The checker verifies every conclusion, so call
+     * this only for the answers the caller relies on — probe solves
+     * (witness minimization and the like) are best left unlogged.
+     * Requires the last solve() to have returned SolveResult::Unsat.
+     */
+    void proofConcludeUnsat();
+
     // --- solving ----------------------------------------------------------
 
     /** Solve with no assumptions. */
@@ -313,6 +345,11 @@ class Solver
     bool importSharedClauses();
     void maybeExportLearnt(const std::vector<Lit> &lits, int lbd);
 
+    // --- proof support ----------------------------------------------------
+    void proofAdd(const std::vector<Lit> &lits);
+    void proofAddUnit(Lit l);
+    bool rupImpliedAtRoot(const std::vector<Lit> &lits);
+
     // --- search ----------------------------------------------------------
     ClauseRef propagate();
     void analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
@@ -390,6 +427,8 @@ class Solver
     size_t bankCursor = 0;
     bool bankExportPoisoned = false; ///< a shard-local shared-var clause
                                      ///< was added; stop exporting
+
+    DratWriter *proof = nullptr; ///< proof sink; not owned
 
     bool ok = true;
     double varInc = 1.0;

@@ -39,6 +39,15 @@ synthFlagSpecs()
         {"share-clauses", "true",
          "exchange learnt clauses between same-size from-scratch shards; "
          "suites are byte-identical on or off"},
+        {"proof", "",
+         "write a DRAT proof trace per shard into this directory; each "
+         "exhausted shard records its final Unsat as a checkable "
+         "conclusion (see lts-drat-check)"},
+        {"proof-text", "false",
+         "write text-format proofs instead of the compact binary form"},
+        {"dump-dimacs", "",
+         "dump each exhausted shard's final post-simplify CNF into this "
+         "directory as DIMACS"},
     };
     return specs;
 }
@@ -69,6 +78,9 @@ synthOptionsFromFlags(const Flags &flags)
     opt.jobs = flags.getInt("jobs");
     opt.simplify = flags.getBool("simplify");
     opt.shareClauses = flags.getBool("share-clauses");
+    opt.proofDir = flags.get("proof");
+    opt.proofText = flags.getBool("proof-text");
+    opt.dumpDimacsDir = flags.get("dump-dimacs");
     return opt;
 }
 

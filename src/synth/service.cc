@@ -1,6 +1,7 @@
 #include "synth/service.hh"
 
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -35,6 +36,23 @@ canonName(const SynthOptions &options)
     if (!options.useCanon)
         return "off";
     return options.canonMode == litmus::CanonMode::Exact ? "exact" : "paper";
+}
+
+/** Content digest of a proof file's bytes; empty when unreadable. */
+std::string
+proofFileDigest(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::string();
+    uint64_t h = hashInit();
+    h = hashCombine(h, std::string_view("lts-proof-v1"));
+    char buf[4096];
+    while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+        h = hashCombine(
+            h, std::string_view(buf, static_cast<size_t>(in.gcount())));
+    }
+    return hex16(h);
 }
 
 // --- line-oriented record formats ------------------------------------------
@@ -416,7 +434,9 @@ serializeSuiteResult(const SuiteResult &result)
     out << "provenance " << result.shards.size() << "\n";
     for (const auto &s : result.shards) {
         out << "shard " << s.size << " " << (s.cached ? 1 : 0) << " "
-            << s.tests << " " << escapeLine(s.axiom) << "\n";
+            << s.tests << " "
+            << (s.proofDigest.empty() ? "-" : s.proofDigest) << " "
+            << escapeLine(s.axiom) << "\n";
     }
     out << "suites " << result.suites.size() << "\n";
     for (const auto &suite : result.suites)
@@ -456,9 +476,11 @@ parseSuiteResult(const std::string &text)
         std::istringstream line(r.field("shard"));
         ShardProvenance s;
         int cached = 0;
-        if (!(line >> s.size >> cached >> s.tests))
+        if (!(line >> s.size >> cached >> s.tests >> s.proofDigest))
             throw std::runtime_error("service: bad provenance line");
         s.cached = cached != 0;
+        if (s.proofDigest == "-")
+            s.proofDigest.clear();
         std::getline(line, s.axiom);
         s.axiom = trim(s.axiom);
         result.shards.push_back(std::move(s));
@@ -634,7 +656,8 @@ Service::query(const mm::Model &model, const SuiteRequest &request,
                                 result.shards.push_back(
                                     {axioms[ai],
                                      min_size + static_cast<int>(si), true,
-                                     shards[ai][si].tests.size()});
+                                     shards[ai][si].tests.size(),
+                                     std::string()});
                             }
                         }
                         result.progress = progress.snapshot();
@@ -767,10 +790,23 @@ Service::query(const mm::Model &model, const SuiteRequest &request,
     assemble(shards);
     for (size_t ai = 0; ai < axioms.size(); ai++) {
         for (size_t si = 0; si < n_sizes; si++) {
-            result.shards.push_back({axioms[ai],
-                                     min_size + static_cast<int>(si),
-                                     from_store[ai][si],
-                                     shards[ai][si].tests.size()});
+            ShardProvenance prov{axioms[ai],
+                                 min_size + static_cast<int>(si),
+                                 from_store[ai][si],
+                                 shards[ai][si].tests.size(),
+                                 std::string()};
+            // A freshly synthesized shard's conclusion landed in a proof
+            // file; pin its content digest into the provenance. Cached
+            // shards ran no solver, and the resident-encoding sweep is
+            // proof-less (see BaseEncoding::synthesizeShard).
+            if (!from_store[ai][si] && !options.proofDir.empty() &&
+                !config.residentEncodings) {
+                prov.proofDigest = proofFileDigest(proofFilePath(
+                    options, model.name(),
+                    options.incremental ? std::string() : axioms[ai],
+                    prov.size));
+            }
+            result.shards.push_back(std::move(prov));
         }
     }
     result.cache = result.shardsSynthesized == 0

@@ -97,6 +97,16 @@ struct ShardProvenance
     int size = 0;
     bool cached = false;
     size_t tests = 0;
+
+    /**
+     * Content digest (16 hex digits) of the DRAT proof file this
+     * shard's conclusion landed in, when the query ran with
+     * options.proofDir and the shard was synthesized (not served from
+     * cache — cached shards carry no fresh proof). Under the
+     * incremental engine all same-size shards share one trace and so
+     * report the same digest. Empty otherwise.
+     */
+    std::string proofDigest;
 };
 
 /** The result of one SuiteRequest. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -15,6 +16,8 @@
 #include "mm/convert.hh"
 #include "rel/encoder.hh"
 #include "sat/clausebank.hh"
+#include "sat/dimacs.hh"
+#include "sat/drat.hh"
 #include "synth/minimality.hh"
 
 namespace lts::synth
@@ -127,6 +130,7 @@ validArrangements(const LitmusTest &test, bool by_full_key)
  */
 ShardResult
 enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
+               const std::string &shard_label,
                const std::vector<int> &block_vars,
                const std::vector<rel::FactHandle> &witness_layers,
                bool sbp_active, const SynthOptions &options)
@@ -290,6 +294,21 @@ enumerateTrack(const mm::Model &model, rel::RelSolver &solver,
     }
     if (res == sat::SolveResult::BudgetExhausted)
         result.truncated = true;
+    if (res == sat::SolveResult::Unsat) {
+        // Enumeration exhausted: this final Unsat — no further instance
+        // under the blocks — is the shard's checkable completeness claim.
+        // Record it as a proof conclusion (no-op without a writer; probe
+        // solves above never conclude) and optionally dump the CNF that
+        // poses the query, both before the blocking layer dies.
+        solver.satSolver().proofConcludeUnsat();
+        if (!options.dumpDimacsDir.empty()) {
+            std::string path = options.dumpDimacsDir + "/" + model.name() +
+                               "." + shard_label + ".n" + std::to_string(n) +
+                               ".cnf";
+            std::ofstream out(path);
+            sat::writeDimacs(out, solver.exportCnf());
+        }
+    }
     solver.retract(block_layer);
 
     result.tests.reserve(byKey.size());
@@ -344,7 +363,16 @@ runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
            sat::ClauseBank *bank)
 {
     size_t n = static_cast<size_t>(size);
+    // Declared before the solver so the writer outlives it.
+    std::unique_ptr<sat::DratWriter> proof;
     rel::RelSolver solver(model.vocab(), n);
+    if (!options.proofDir.empty()) {
+        proof = std::make_unique<sat::DratWriter>(
+            proofFilePath(options, model.name(), track.label, size),
+            options.proofText ? sat::DratFormat::Text
+                              : sat::DratFormat::Binary);
+        solver.setProof(proof.get());
+    }
     if (options.conflictBudget)
         solver.satSolver().setConflictBudget(options.conflictBudget);
 
@@ -368,8 +396,9 @@ runSizeJob(const mm::Model &model, const BaseFormulaFn &base,
     if (options.blockStaticOnly)
         block_vars = model.staticVarIds();
 
-    ShardResult result = enumerateTrack(model, solver, block_vars,
-                                          witness_layers, sbp_active, options);
+    ShardResult result =
+        enumerateTrack(model, solver, track.label, block_vars, witness_layers,
+                       sbp_active, options);
     result.sbpClauses = sbp_clauses;
     accumulateSolverStats(options.progress, solver.satSolver().stats());
     return result;
@@ -396,7 +425,18 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
     std::vector<ShardResult> out(tracks.size());
     auto selected = [&](size_t ti) { return !mask || (*mask)[ti]; };
 
+    // One shared solver per size, so one proof file per size: each swept
+    // track contributes its own 'u' conclusion to the shared trace.
+    // Declared before the solver so the writer outlives it.
+    std::unique_ptr<sat::DratWriter> proof;
     rel::RelSolver solver(model.vocab(), n);
+    if (!options.proofDir.empty()) {
+        proof = std::make_unique<sat::DratWriter>(
+            proofFilePath(options, model.name(), "", size),
+            options.proofText ? sat::DratFormat::Text
+                              : sat::DratFormat::Binary);
+        solver.setProof(proof.get());
+    }
     solver.addBaseFact(base(n));
     if (options.simplify)
         solver.simplifyBase();
@@ -421,8 +461,8 @@ runIncrementalSizeJob(const mm::Model &model, const BaseFormulaFn &base,
             // not the lifetime of the shared solver.
             solver.satSolver().setConflictBudget(options.conflictBudget);
         }
-        out[ti] = enumerateTrack(model, solver, block_vars, {layer},
-                                 sbp_active, options);
+        out[ti] = enumerateTrack(model, solver, tracks[ti].label, block_vars,
+                                 {layer}, sbp_active, options);
         out[ti].sbpClauses = attributed_sbp ? 0 : sbp_clauses;
         attributed_sbp = true;
         solver.retract(layer);
@@ -732,6 +772,19 @@ assembleShardSuite(const mm::Model &model, const std::string &label,
     return suite;
 }
 
+std::string
+proofFilePath(const SynthOptions &options, const std::string &model,
+              const std::string &axiom, int size)
+{
+    if (options.proofDir.empty())
+        return std::string();
+    std::string name = model;
+    if (!axiom.empty())
+        name += "." + axiom;
+    name += ".n" + std::to_string(size) + ".drat";
+    return options.proofDir + "/" + name;
+}
+
 std::vector<std::vector<ShardResult>>
 synthesizeShards(const mm::Model &model, const SynthOptions &options,
                  const ShardSelector &selector)
@@ -799,8 +852,13 @@ BaseEncoding::synthesizeShard(const mm::Model &model,
         options.progress->jobsQueued.fetch_add(1, std::memory_order_relaxed);
         options.progress->jobsRunning.fetch_add(1, std::memory_order_relaxed);
     }
-    ShardResult result = enumerateTrack(model, solver, impl->blockVars,
-                                        {layer}, impl->sbpActive, options);
+    // The resident encoding is proof-less by design (options.proofDir is
+    // ignored here): its solver lives across requests, so one file could
+    // not delimit a shard's claim. enumerateTrack's conclusion hook
+    // no-ops without a writer.
+    ShardResult result =
+        enumerateTrack(model, solver, axiom_name, impl->blockVars, {layer},
+                       impl->sbpActive, options);
     solver.retract(layer);
     // Same attribution rule as the incremental sweep: the resident SBP
     // layer's clauses are counted once, by the first shard swept here.

@@ -170,6 +170,32 @@ struct SynthOptions
      */
     bool shareClauses = true;
 
+    /**
+     * When non-empty, every enumeration solver logs a DRAT-style proof
+     * trace (see sat/drat.hh) into this directory, and each shard that
+     * exhausts its enumeration records its final Unsat answer as a
+     * checkable conclusion. The from-scratch engine writes one file per
+     * (axiom, size); the incremental engine writes one file per size
+     * carrying one conclusion per swept axiom (see proofFilePath).
+     * Probe solves (witness re-derivation) are logged but never
+     * concluded. A proof knob is an engine knob: suites are
+     * byte-identical with logging on or off, and the store/service
+     * digests ignore it.
+     */
+    std::string proofDir;
+
+    /** Write text-format proofs instead of the compact binary form. */
+    bool proofText = false;
+
+    /**
+     * When non-empty, each shard that exhausts its enumeration also
+     * dumps its final post-simplify CNF — live clauses plus fact-layer
+     * selector units — as DIMACS into this directory, one
+     * "<model>.<axiom>.n<size>.cnf" per shard, for offline cross-checks
+     * with external solvers. Engine knob, like proofDir.
+     */
+    std::string dumpDimacsDir;
+
     /** Optional live counters, updated by every job. Not owned. */
     SynthProgress *progress = nullptr;
 };
@@ -223,6 +249,18 @@ struct ShardResult
  * re-synthesize only the shards whose criterion formulas changed.
  */
 using ShardSelector = std::function<bool(const std::string &axiom, int size)>;
+
+/**
+ * The proof file a shard's trace lands in under options.proofDir: the
+ * from-scratch engine gives every (axiom, size) pair its own solver and
+ * file, "<model>.<axiom>.n<size>.drat"; the incremental engine sweeps
+ * all axioms of a size over one solver and so shares one
+ * "<model>.n<size>.drat" (pass an empty @p axiom). Returns an empty
+ * string when options.proofDir is empty.
+ */
+std::string proofFilePath(const SynthOptions &options,
+                          const std::string &model, const std::string &axiom,
+                          int size);
 
 /**
  * Synthesize per-(axiom, size) shards for every axiom of the model:

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/analysis.hh"
 #include "mm/exprs.hh"
 #include "mm/registry.hh"
@@ -247,6 +249,148 @@ TEST(AnalysisTest, FlagsUnsatisfiableModel)
     EXPECT_TRUE(hasFinding(report, "model-unsat", "well-formedness"))
         << findingCodes(report);
     EXPECT_EQ(report.count(Severity::Error), 1u);
+}
+
+// --- symmetry-spec validation -----------------------------------------------
+
+TEST(SymmetryTest, RealSpecsValidateClean)
+{
+    for (const auto &name : mm::allModelNames()) {
+        auto model = mm::makeModel(name);
+        Report report;
+        checkSymmetry(*model, 4, report);
+        EXPECT_TRUE(report.findings().empty())
+            << name << ": " << report.text();
+    }
+}
+
+TEST(SymmetryTest, FlagsNonBijectivePermutation)
+{
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec;
+    spec.generators.push_back({{0, 0, 2, 3}, {}});
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "bad-perm", "generator:#0"))
+        << findingCodes(report);
+}
+
+TEST(SymmetryTest, FlagsNonBlockSwapPermutation)
+{
+    // A 3-cycle is a bijection but not an involution of two blocks.
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec;
+    spec.generators.push_back({{1, 2, 0, 3}, {}});
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "unequal-blocks", "generator:#0"))
+        << findingCodes(report);
+}
+
+TEST(SymmetryTest, FlagsMissingBlockGuard)
+{
+    // A correct swap of events 0 and 1 with no po certificate at all:
+    // both ranges are reported as uncertified.
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec;
+    spec.generators.push_back({{1, 0, 2, 3}, {}});
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "missing-block-guard", "generator:#0"))
+        << findingCodes(report);
+    EXPECT_EQ(report.count(Severity::Error), 2u) << report.text();
+}
+
+TEST(SymmetryTest, FlagsStrippedBlockGuardCell)
+{
+    // Drop one po cell from a real generator guard: the certificate for
+    // one of its ranges is now incomplete.
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec = model->symmetrySpec(4);
+    ASSERT_FALSE(spec.generators.empty());
+    const int po_id = model->vocab().find(mm::kPo).id;
+    auto &conds = spec.generators[0].conditions;
+    auto it = std::find_if(conds.begin(), conds.end(),
+                           [&](const rel::CellCond &c) {
+                               return c.varId == po_id;
+                           });
+    ASSERT_NE(it, conds.end());
+    const rel::CellCond gone = *it;
+    conds.erase(std::remove_if(conds.begin(), conds.end(),
+                               [&](const rel::CellCond &c) {
+                                   return c.varId == gone.varId &&
+                                          c.i == gone.i && c.j == gone.j &&
+                                          c.value == gone.value;
+                               }),
+                conds.end());
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "missing-block-guard", "generator:#0"))
+        << findingCodes(report);
+}
+
+TEST(SymmetryTest, FlagsStrippedScopeGuardOnScopedModel)
+{
+    auto model = mm::makeModel("sscc");
+    ASSERT_TRUE(model->features().scopes);
+    rel::SymmetrySpec spec = model->symmetrySpec(4);
+    ASSERT_FALSE(spec.generators.empty());
+    ASSERT_FALSE(spec.forbidden.empty());
+    const int swg_id = model->vocab().find(mm::kSameWg).id;
+    auto strip = [&](std::vector<rel::CellCond> &conds) {
+        conds.erase(std::remove_if(conds.begin(), conds.end(),
+                                   [&](const rel::CellCond &c) {
+                                       return c.varId == swg_id;
+                                   }),
+                    conds.end());
+    };
+    strip(spec.generators[0].conditions);
+    strip(spec.forbidden[0]);
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "missing-scope-guard", "generator:#0"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "missing-scope-guard", "pattern:#0"))
+        << findingCodes(report);
+}
+
+TEST(SymmetryTest, FlagsLexVectorProblems)
+{
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec = model->symmetrySpec(4);
+    spec.lexVarIds.push_back(model->vocab().find(kPo).id);
+    spec.lexVarIds.push_back(model->vocab().find(kRf).id);
+    spec.lexVarIds.push_back(9999);
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "lex-invariant-relation", "lex"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "lex-dynamic-relation", "lex"))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "lex-unknown-relation", "lex"))
+        << findingCodes(report);
+}
+
+TEST(SymmetryTest, FlagsEmptyPatternAndBadGuardCell)
+{
+    auto model = mm::makeModel("tso");
+    rel::SymmetrySpec spec = model->symmetrySpec(4);
+    spec.forbidden.push_back({});
+    size_t bad = spec.forbidden.size();
+    spec.forbidden.push_back({{-5, 0, 1, true}});
+    spec.forbidden.push_back(
+        {{model->vocab().find(kPo).id, 0, 9, true}});
+    Report report;
+    checkSymmetrySpec(*model, spec, 4, report);
+    EXPECT_TRUE(hasFinding(report, "empty-pattern",
+                           "pattern:#" + std::to_string(bad - 1)))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "bad-guard-cell",
+                           "pattern:#" + std::to_string(bad)))
+        << findingCodes(report);
+    EXPECT_TRUE(hasFinding(report, "bad-guard-cell",
+                           "pattern:#" + std::to_string(bad + 1)))
+        << findingCodes(report);
 }
 
 // --- report rendering and orchestration -------------------------------------

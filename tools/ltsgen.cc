@@ -25,6 +25,8 @@
 #include <iostream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "bench/bench_util.hh"
 #include "common/flags.hh"
 #include "common/strings.hh"
@@ -35,6 +37,7 @@
 #include "litmus/herd.hh"
 #include "litmus/print.hh"
 #include "mm/registry.hh"
+#include "sat/drat.hh"
 #include "synth/daemon.hh"
 #include "synth/minimality.hh"
 #include "synth/options.hh"
@@ -393,6 +396,49 @@ requestFromFlags(const Flags &flags, synth::SuiteRequest &request)
     return true;
 }
 
+/**
+ * Check every *.drat under @p dir with the independent checker. A trace
+ * without a conclusion is reported and skipped — a budget-truncated
+ * shard never concludes, so its file claims nothing — while any other
+ * failure is fatal. Returns the number of bad proofs.
+ */
+int
+checkProofDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".drat")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr, "ltsgen: no proofs found under %s\n",
+                     dir.c_str());
+        return 1;
+    }
+    int bad = 0;
+    for (const auto &path : files) {
+        sat::DratCheckResult res = sat::checkDratFile(path.string());
+        if (res.ok) {
+            std::fprintf(stderr,
+                         "  proof %s: ok (%zu conclusions, %zu steps, "
+                         "core %zu steps / %zu inputs)\n",
+                         path.filename().c_str(), res.conclusions,
+                         res.steps, res.coreSteps, res.coreInputs);
+        } else if (res.error.find("no conclusion") != std::string::npos) {
+            std::fprintf(stderr, "  proof %s: skipped (%s)\n",
+                         path.filename().c_str(), res.error.c_str());
+        } else {
+            std::fprintf(stderr, "  proof %s: FAILED: %s\n",
+                         path.filename().c_str(), res.error.c_str());
+            bad++;
+        }
+    }
+    return bad;
+}
+
 /** The synth verb core, shared with the legacy spelling. */
 int
 doSynth(const Flags &flags)
@@ -400,6 +446,21 @@ doSynth(const Flags &flags)
     synth::SuiteRequest request;
     if (!requestFromFlags(flags, request))
         return 1;
+
+    bool proof_check = flags.getBool("proof-check");
+    std::filesystem::path temp_proof_dir;
+    if (proof_check && request.options.proofDir.empty()) {
+        temp_proof_dir = std::filesystem::temp_directory_path() /
+                         ("ltsgen-proof-" + std::to_string(::getpid()));
+        request.options.proofDir = temp_proof_dir.string();
+    }
+    std::error_code mk_ec;
+    if (!request.options.proofDir.empty())
+        std::filesystem::create_directories(request.options.proofDir, mk_ec);
+    if (!request.options.dumpDimacsDir.empty()) {
+        std::filesystem::create_directories(request.options.dumpDimacsDir,
+                                            mk_ec);
+    }
 
     synth::ServiceConfig config;
     config.storeDir = flags.get("store");
@@ -430,6 +491,23 @@ doSynth(const Flags &flags)
         writeBenchRecord(flags.get("bench-json"), request, result,
                          wall.seconds());
     }
+
+    if (proof_check) {
+        std::fprintf(stderr, "ltsgen: checking proofs under %s\n",
+                     request.options.proofDir.c_str());
+        // Cache hits ran no solver and wrote no proof: there is nothing
+        // to check, but silently passing would overstate what was
+        // verified, so say so and fail.
+        int bad = checkProofDir(request.options.proofDir);
+        if (!temp_proof_dir.empty()) {
+            std::error_code rm_ec;
+            std::filesystem::remove_all(temp_proof_dir, rm_ec);
+        }
+        if (bad != 0) {
+            std::fprintf(stderr, "ltsgen: %d bad proof(s)\n", bad);
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -456,6 +534,11 @@ declareSynthVerbFlags(Flags &flags)
                   "queries are answered from it byte-identically");
     flags.declare("bench-json", "",
                   "write a BENCH_*.json baseline for this run ('' = skip)");
+    flags.declare("proof-check", "false",
+                  "after synthesis, run the independent DRAT checker over "
+                  "every proof in the --proof directory (a temporary "
+                  "directory when --proof is unset) and fail on any bad "
+                  "proof");
 }
 
 int
